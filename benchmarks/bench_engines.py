@@ -1,0 +1,99 @@
+"""Engine ablation: real wall-clock of every MIS/MM engine on one input.
+
+Complements the simulated-time figures with genuine single-core timing of
+the vectorized engines (the work curves that drive the figures show up
+directly in these numbers), and pins the linear-work property of the
+root-set engines.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.matching import (
+    parallel_greedy_matching,
+    prefix_greedy_matching,
+    rootset_matching,
+    sequential_greedy_matching,
+)
+from repro.core.mis import (
+    luby_mis,
+    parallel_greedy_mis,
+    prefix_greedy_mis,
+    rootset_mis,
+    sequential_greedy_mis,
+)
+from repro.core.orderings import random_priorities
+from repro.graphs.generators import uniform_random_graph
+from repro.pram.machine import Machine, null_machine
+
+N, M, SEED = 20_000, 100_000, 7
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return uniform_random_graph(N, M, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def ranks(graph):
+    return random_priorities(graph.num_vertices, seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def edges(graph):
+    return graph.edge_list()
+
+
+@pytest.fixture(scope="module")
+def edge_ranks(edges):
+    return random_priorities(edges.num_edges, seed=SEED)
+
+
+class TestMISEngines:
+    def test_sequential(self, benchmark, graph, ranks):
+        benchmark(lambda: sequential_greedy_mis(graph, ranks, machine=null_machine()))
+
+    def test_parallel(self, benchmark, graph, ranks):
+        benchmark(lambda: parallel_greedy_mis(graph, ranks, machine=null_machine()))
+
+    def test_prefix_tuned(self, benchmark, graph, ranks):
+        benchmark(
+            lambda: prefix_greedy_mis(
+                graph, ranks, prefix_frac=0.02, machine=null_machine()
+            )
+        )
+
+    def test_rootset(self, benchmark, graph, ranks):
+        result = benchmark.pedantic(
+            lambda: rootset_mis(graph, ranks), rounds=1, iterations=1
+        )
+        assert result.stats.work <= 8 * (N + 2 * M)
+
+    def test_luby(self, benchmark, graph):
+        benchmark(lambda: luby_mis(graph, seed=SEED, machine=null_machine()))
+
+
+class TestMMEngines:
+    def test_sequential(self, benchmark, edges, edge_ranks):
+        benchmark(
+            lambda: sequential_greedy_matching(edges, edge_ranks, machine=null_machine())
+        )
+
+    def test_parallel(self, benchmark, edges, edge_ranks):
+        benchmark(
+            lambda: parallel_greedy_matching(edges, edge_ranks, machine=null_machine())
+        )
+
+    def test_prefix_tuned(self, benchmark, edges, edge_ranks):
+        benchmark(
+            lambda: prefix_greedy_matching(
+                edges, edge_ranks, prefix_frac=0.02, machine=null_machine()
+            )
+        )
+
+    def test_rootset(self, benchmark, edges, edge_ranks):
+        result = benchmark.pedantic(
+            lambda: rootset_matching(edges, edge_ranks), rounds=1, iterations=1
+        )
+        assert result.stats.work <= 10 * (N + 2 * M)

@@ -1,0 +1,82 @@
+"""Extension benches: coloring and spanning forest under random orders.
+
+The §7 extensions, measured: the Jones–Plassmann coloring schedule depth
+(the priority DAG's longest path) versus the much shallower MIS dependence
+length on the same order, and the spanning-forest commit-round count.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.dependence import dependence_length, longest_path_length
+from repro.core.orderings import random_priorities
+from repro.extensions import (
+    parallel_greedy_coloring,
+    parallel_spanning_forest,
+    sequential_greedy_coloring,
+    sequential_spanning_forest,
+)
+
+SEED = 4
+
+
+class TestColoringBench:
+    def test_coloring_depth_vs_mis_depth(self, random_graph, results_dir, benchmark):
+        ranks = random_priorities(random_graph.num_vertices, seed=SEED)
+        colors, stats = parallel_greedy_coloring(random_graph, ranks)
+        mis_dep = dependence_length(random_graph, ranks)
+        payload = {
+            "colors_used": int(colors.max()) + 1,
+            "max_degree_plus_1": random_graph.max_degree() + 1,
+            "coloring_steps": stats.steps,
+            "longest_path": longest_path_length(random_graph, ranks),
+            "mis_dependence_length": mis_dep,
+        }
+        assert payload["colors_used"] <= payload["max_degree_plus_1"]
+        assert payload["coloring_steps"] == payload["longest_path"]
+        assert payload["coloring_steps"] >= mis_dep
+        (results_dir / "coloring_ablation.json").write_text(
+            json.dumps(payload, indent=2) + "\n"
+        )
+        benchmark.pedantic(
+            lambda: sequential_greedy_coloring(random_graph, ranks),
+            rounds=1, iterations=1,
+        )
+
+    def test_parallel_coloring_wallclock(self, random_graph, benchmark):
+        ranks = random_priorities(random_graph.num_vertices, seed=SEED)
+        benchmark.pedantic(
+            lambda: parallel_greedy_coloring(random_graph, ranks),
+            rounds=1, iterations=1,
+        )
+
+
+class TestForestBench:
+    def test_forest_rounds_polylog(self, random_graph, results_dir, benchmark):
+        el = random_graph.edge_list()
+        ranks = random_priorities(el.num_edges, seed=SEED)
+        accepted, stats = parallel_spanning_forest(el, ranks)
+        seq, _ = sequential_spanning_forest(el, ranks)
+        assert np.array_equal(accepted, seq)
+        assert stats.steps <= 6 * np.log2(max(el.num_edges, 2))
+        (results_dir / "forest_ablation.json").write_text(
+            json.dumps({
+                "edges": int(el.num_edges),
+                "forest_size": int(accepted.sum()),
+                "commit_rounds": stats.steps,
+            }, indent=2) + "\n"
+        )
+        benchmark.pedantic(
+            lambda: parallel_spanning_forest(el, ranks), rounds=1, iterations=1
+        )
+
+    def test_sequential_forest_wallclock(self, random_graph, benchmark):
+        el = random_graph.edge_list()
+        ranks = random_priorities(el.num_edges, seed=SEED)
+        benchmark.pedantic(
+            lambda: sequential_spanning_forest(el, ranks), rounds=1, iterations=1
+        )

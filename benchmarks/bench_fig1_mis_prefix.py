@@ -1,0 +1,133 @@
+"""Figure 1: MIS work / rounds / running time vs prefix size.
+
+Panels (a)-(c) use the sparse random graph, (d)-(f) the rMat graph.  Each
+test regenerates one panel from a session-cached prefix sweep, asserts the
+paper's qualitative shape, writes the data table to ``results/``, and
+benchmarks the representative engine run (real single-core wall time of
+the vectorized prefix engine at that panel's characteristic prefix).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.figures import figure1_panels
+from repro.core.mis.prefix import prefix_greedy_mis
+from repro.core.orderings import random_priorities
+from repro.pram.machine import null_machine
+
+SEED = 1
+
+
+@pytest.fixture(scope="module")
+def panels_random(random_graph):
+    return figure1_panels(random_graph, "random", seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def panels_rmat(rmat_graph_fx):
+    return figure1_panels(rmat_graph_fx, "rmat", seed=SEED)
+
+
+def _assert_work_shape(panel):
+    _, ys = panel.series["work_ratio"]
+    # Monotone non-decreasing up to jitter; sequential end near 1; full
+    # prefix does ~2-4x the sequential item-work (paper: 1 -> ~3).
+    assert ys[0] < 1.5
+    assert ys[-1] > 1.6
+    assert ys[-1] == max(ys)
+
+
+def _assert_rounds_shape(panel, total):
+    xs, ys = panel.series["rounds_frac"]
+    # rounds = ceil(total / prefix): exact -1 slope in log-log.
+    assert ys[0] == 1.0
+    assert ys[-1] == pytest.approx(1.0 / total)
+    assert all(a >= b for a, b in zip(ys, ys[1:]))
+
+
+def _assert_time_shape(panel):
+    _, ys = panel.series["sim_time"]
+    best = min(ys)
+    # U shape: both extremes are strictly worse than the interior optimum.
+    assert ys[0] > 2 * best
+    assert ys[-1] > best
+    assert ys.index(best) not in (0,)
+
+
+class TestFig1RandomGraph:
+    def test_fig1a_work(self, panels_random, record_figure, benchmark, random_graph):
+        panel = panels_random["work"]
+        _assert_work_shape(panel)
+        record_figure(panel)
+        ranks = random_priorities(random_graph.num_vertices, seed=SEED)
+        benchmark.pedantic(
+            lambda: prefix_greedy_mis(
+                random_graph, ranks, prefix_size=1 + random_graph.num_vertices // 1000,
+                machine=null_machine(),
+            ),
+            rounds=1, iterations=1,
+        )
+
+    def test_fig1b_rounds(self, panels_random, record_figure, benchmark, random_graph):
+        panel = panels_random["rounds"]
+        _assert_rounds_shape(panel, random_graph.num_vertices)
+        record_figure(panel)
+        ranks = random_priorities(random_graph.num_vertices, seed=SEED)
+        benchmark.pedantic(
+            lambda: prefix_greedy_mis(
+                random_graph, ranks, prefix_frac=0.02, machine=null_machine()
+            ),
+            rounds=1, iterations=1,
+        )
+
+    def test_fig1c_time(self, panels_random, record_figure, benchmark, random_graph):
+        panel = panels_random["time"]
+        _assert_time_shape(panel)
+        record_figure(panel)
+        ranks = random_priorities(random_graph.num_vertices, seed=SEED)
+        benchmark.pedantic(
+            lambda: prefix_greedy_mis(
+                random_graph, ranks, prefix_frac=0.1, machine=null_machine()
+            ),
+            rounds=1, iterations=1,
+        )
+
+
+class TestFig1RmatGraph:
+    def test_fig1d_work(self, panels_rmat, record_figure, benchmark, rmat_graph_fx):
+        panel = panels_rmat["work"]
+        _assert_work_shape(panel)
+        record_figure(panel)
+        ranks = random_priorities(rmat_graph_fx.num_vertices, seed=SEED)
+        benchmark.pedantic(
+            lambda: prefix_greedy_mis(
+                rmat_graph_fx, ranks, prefix_frac=0.001, machine=null_machine()
+            ),
+            rounds=1, iterations=1,
+        )
+
+    def test_fig1e_rounds(self, panels_rmat, record_figure, benchmark, rmat_graph_fx):
+        panel = panels_rmat["rounds"]
+        _assert_rounds_shape(panel, rmat_graph_fx.num_vertices)
+        record_figure(panel)
+        ranks = random_priorities(rmat_graph_fx.num_vertices, seed=SEED)
+        benchmark.pedantic(
+            lambda: prefix_greedy_mis(
+                rmat_graph_fx, ranks, prefix_frac=0.02, machine=null_machine()
+            ),
+            rounds=1, iterations=1,
+        )
+
+    def test_fig1f_time(self, panels_rmat, record_figure, benchmark, rmat_graph_fx):
+        panel = panels_rmat["time"]
+        _assert_time_shape(panel)
+        record_figure(panel)
+        ranks = random_priorities(rmat_graph_fx.num_vertices, seed=SEED)
+        benchmark.pedantic(
+            lambda: prefix_greedy_mis(
+                rmat_graph_fx, ranks, prefix_frac=0.1, machine=null_machine()
+            ),
+            rounds=1, iterations=1,
+        )

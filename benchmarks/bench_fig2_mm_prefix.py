@@ -1,0 +1,107 @@
+"""Figure 2: MM work / rounds / running time vs prefix size.
+
+Panels (a)-(c): random graph; (d)-(f): rMat graph.  Same structure as the
+Figure 1 bench, over the *edge* priority order.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import figure2_panels
+from repro.core.matching.prefix import prefix_greedy_matching
+from repro.core.orderings import random_priorities
+from repro.pram.machine import null_machine
+
+SEED = 1
+
+
+@pytest.fixture(scope="module")
+def el_random(random_graph):
+    return random_graph.edge_list()
+
+
+@pytest.fixture(scope="module")
+def el_rmat(rmat_graph_fx):
+    return rmat_graph_fx.edge_list()
+
+
+@pytest.fixture(scope="module")
+def panels_random(el_random):
+    return figure2_panels(el_random, "random", seed=SEED)
+
+
+@pytest.fixture(scope="module")
+def panels_rmat(el_rmat):
+    return figure2_panels(el_rmat, "rmat", seed=SEED)
+
+
+def _assert_work_shape(panel):
+    _, ys = panel.series["work_ratio"]
+    assert ys[0] < 1.5
+    assert ys[-1] == max(ys)
+    assert ys[-1] > 1.3  # paper fig 2a/2d: ~2.3-2.5 at full prefix
+
+
+def _assert_rounds_shape(panel, total):
+    _, ys = panel.series["rounds_frac"]
+    assert ys[0] == 1.0
+    assert ys[-1] == pytest.approx(1.0 / total)
+    assert all(a >= b for a, b in zip(ys, ys[1:]))
+
+
+def _assert_time_shape(panel):
+    _, ys = panel.series["sim_time"]
+    best = min(ys)
+    assert ys[0] > 2 * best
+    assert ys.index(best) != 0
+
+
+def _bench_prefix_mm(benchmark, el, frac):
+    ranks = random_priorities(el.num_edges, seed=SEED)
+    benchmark.pedantic(
+        lambda: prefix_greedy_matching(
+            el, ranks, prefix_frac=frac, machine=null_machine()
+        ),
+        rounds=1, iterations=1,
+    )
+
+
+class TestFig2RandomGraph:
+    def test_fig2a_work(self, panels_random, record_figure, benchmark, el_random):
+        panel = panels_random["work"]
+        _assert_work_shape(panel)
+        record_figure(panel)
+        _bench_prefix_mm(benchmark, el_random, 0.001)
+
+    def test_fig2b_rounds(self, panels_random, record_figure, benchmark, el_random):
+        panel = panels_random["rounds"]
+        _assert_rounds_shape(panel, el_random.num_edges)
+        record_figure(panel)
+        _bench_prefix_mm(benchmark, el_random, 0.02)
+
+    def test_fig2c_time(self, panels_random, record_figure, benchmark, el_random):
+        panel = panels_random["time"]
+        _assert_time_shape(panel)
+        record_figure(panel)
+        _bench_prefix_mm(benchmark, el_random, 0.1)
+
+
+class TestFig2RmatGraph:
+    def test_fig2d_work(self, panels_rmat, record_figure, benchmark, el_rmat):
+        panel = panels_rmat["work"]
+        _assert_work_shape(panel)
+        record_figure(panel)
+        _bench_prefix_mm(benchmark, el_rmat, 0.001)
+
+    def test_fig2e_rounds(self, panels_rmat, record_figure, benchmark, el_rmat):
+        panel = panels_rmat["rounds"]
+        _assert_rounds_shape(panel, el_rmat.num_edges)
+        record_figure(panel)
+        _bench_prefix_mm(benchmark, el_rmat, 0.02)
+
+    def test_fig2f_time(self, panels_rmat, record_figure, benchmark, el_rmat):
+        panel = panels_rmat["time"]
+        _assert_time_shape(panel)
+        record_figure(panel)
+        _bench_prefix_mm(benchmark, el_rmat, 0.1)

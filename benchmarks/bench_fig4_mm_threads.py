@@ -1,0 +1,59 @@
+"""Figure 4: MM running time vs thread count — prefix-based vs serial.
+
+Reproduction targets: crossover at a small thread count (paper: ~4) and
+strong self-relative speedup at 32 threads (paper: 21-24x).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.figures import figure4
+from repro.core.matching.parallel import parallel_greedy_matching
+from repro.core.matching.sequential import sequential_greedy_matching
+from repro.core.orderings import random_priorities
+from repro.pram.machine import null_machine
+
+SEED = 1
+THREADS = (1, 2, 4, 8, 16, 32, 64)
+
+
+def _assert_fig4_shapes(fig):
+    threads = [int(x) for x in fig.series["prefix-based MM"][0]]
+    prefix = fig.series["prefix-based MM"][1]
+    serial = fig.series["serial MM"][1]
+    assert serial[0] == serial[-1]
+    crossover = None
+    for i, p in enumerate(threads):
+        if prefix[i] < serial[i]:
+            crossover = p
+            break
+    assert crossover is not None and crossover <= 8
+    speedup32 = prefix[0] / prefix[threads.index(32)]
+    assert speedup32 > 6
+
+
+class TestFig4a:
+    def test_fig4a_random(self, random_graph, record_figure, benchmark):
+        el = random_graph.edge_list()
+        fig = figure4(el, "random", threads=THREADS, seed=SEED)
+        _assert_fig4_shapes(fig)
+        record_figure(fig)
+        ranks = random_priorities(el.num_edges, seed=SEED)
+        benchmark.pedantic(
+            lambda: sequential_greedy_matching(el, ranks, machine=null_machine()),
+            rounds=1, iterations=1,
+        )
+
+
+class TestFig4b:
+    def test_fig4b_rmat(self, rmat_graph_fx, record_figure, benchmark):
+        el = rmat_graph_fx.edge_list()
+        fig = figure4(el, "rmat", threads=THREADS, seed=SEED)
+        _assert_fig4_shapes(fig)
+        record_figure(fig)
+        ranks = random_priorities(el.num_edges, seed=SEED)
+        benchmark.pedantic(
+            lambda: parallel_greedy_matching(el, ranks, machine=null_machine()),
+            rounds=1, iterations=1,
+        )

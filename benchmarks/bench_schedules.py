@@ -1,0 +1,108 @@
+"""Schedule ablation: the same lex-first MIS under five execution schedules.
+
+DESIGN.md calls out "one result, many schedules" as the core design
+decision; this bench quantifies what each schedule costs on the same
+(graph, π):
+
+* fixed prefix (the Figure 1 dial at the work-optimal ratio),
+* the Theorem 4.5 adaptive schedule (geometric degree-halving prefixes),
+* the fully parallel peel (Algorithm 2, maximum redundancy),
+* the root-set engine (linear work by construction),
+* deterministic reservations (the PBBS execution model).
+
+All five must return bit-identical sets; the interesting output is the
+work/round spread, written to results/schedule_ablation.json.
+"""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.mis import (
+    parallel_greedy_mis,
+    prefix_greedy_mis,
+    rootset_mis,
+    sequential_greedy_mis,
+    theorem45_prefix_sizes,
+)
+from repro.core.orderings import random_priorities
+from repro.extensions.reservations import reservation_mis
+from repro.pram.machine import Machine, null_machine
+
+N_FRACTION = 50  # fixed prefix = n / 50, the near-optimal Figure 1 ratio
+
+
+@pytest.fixture(scope="module")
+def setup(random_graph):
+    ranks = random_priorities(random_graph.num_vertices, seed=2)
+    ref = sequential_greedy_mis(random_graph, ranks, machine=Machine())
+    return random_graph, ranks, ref
+
+
+def _run_all(graph, ranks):
+    n = graph.num_vertices
+    runs = {}
+    m1 = Machine()
+    runs["prefix-fixed"] = prefix_greedy_mis(
+        graph, ranks, prefix_size=max(1, n // N_FRACTION), machine=m1
+    )
+    m2 = Machine()
+    runs["prefix-thm45"] = prefix_greedy_mis(
+        graph, ranks, prefix_sizes=theorem45_prefix_sizes(n, graph.max_degree()),
+        machine=m2,
+    )
+    m3 = Machine()
+    runs["parallel-peel"] = parallel_greedy_mis(graph, ranks, machine=m3)
+    m4 = Machine()
+    runs["rootset"] = rootset_mis(graph, ranks, machine=m4)
+    m5 = Machine()
+    runs["reservations"] = reservation_mis(
+        graph, ranks, granularity=max(1, n // N_FRACTION), machine=m5
+    )
+    return runs
+
+
+class TestScheduleAblation:
+    def test_all_schedules_identical_and_recorded(self, setup, results_dir, benchmark):
+        graph, ranks, ref = setup
+        runs = _run_all(graph, ranks)
+        table = {}
+        for name, res in runs.items():
+            assert np.array_equal(res.in_set, ref.in_set), name
+            table[name] = {
+                "work": res.stats.work,
+                "rounds": res.stats.rounds,
+                "steps": res.stats.steps,
+            }
+        table["sequential"] = {
+            "work": ref.stats.work, "rounds": ref.stats.rounds, "steps": ref.stats.steps,
+        }
+        # The structural expectations the ablation exists to check:
+        n, m = graph.num_vertices, graph.num_edges
+        assert table["rootset"]["work"] <= 8 * (n + 2 * m)          # Lemma 4.2
+        assert table["prefix-thm45"]["rounds"] <= table["prefix-fixed"]["rounds"]
+        assert table["prefix-fixed"]["work"] <= table["parallel-peel"]["work"]
+        (results_dir / "schedule_ablation.json").write_text(
+            json.dumps(table, indent=2) + "\n"
+        )
+        benchmark.pedantic(
+            lambda: prefix_greedy_mis(
+                graph, ranks, prefix_size=max(1, n // N_FRACTION),
+                machine=null_machine(),
+            ),
+            rounds=1, iterations=1,
+        )
+
+    def test_thm45_schedule_is_polylog_rounds(self, setup, benchmark):
+        graph, ranks, _ = setup
+        sizes = theorem45_prefix_sizes(graph.num_vertices, graph.max_degree())
+        assert len(sizes) <= 4 * np.log2(graph.num_vertices)
+        benchmark.pedantic(
+            lambda: prefix_greedy_mis(
+                graph, ranks, prefix_sizes=sizes, machine=null_machine()
+            ),
+            rounds=1, iterations=1,
+        )

@@ -1,0 +1,87 @@
+"""Ablation bench: the lemma quantities that drive the paper's analysis.
+
+Measures Lemma 3.1 (degree reduction), Corollary 3.4 (prefix path length),
+and Lemma 4.3 (internal-edge sparsity) on the random workload and records
+the constants to results/ so EXPERIMENTS.md can quote them.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.core.orderings import random_priorities
+from repro.theory import (
+    degree_reduction_prefix_size,
+    internal_edge_count,
+    longest_path_in_prefix,
+    max_degree_after_prefix,
+    path_length_bound,
+)
+
+SEED = 5
+
+
+class TestLemmaBenches:
+    def test_lemma31_degree_reduction(self, random_graph, results_dir, benchmark):
+        n = random_graph.num_vertices
+        delta = random_graph.max_degree()
+        rows = []
+        i = 0
+        d = delta
+        ranks = random_priorities(n, seed=SEED)
+        while d >= 2:
+            k = degree_reduction_prefix_size(n, d, ell=math.log(n))
+            residual = max_degree_after_prefix(random_graph, ranks, k)
+            rows.append({"round": i, "target_degree": d, "prefix": k, "residual": residual})
+            assert residual <= d
+            d //= 2
+            i += 1
+            if i > 4:
+                break
+        (results_dir / "lemma31_degree_reduction.json").write_text(
+            json.dumps(rows, indent=2) + "\n"
+        )
+        k = degree_reduction_prefix_size(n, delta // 2, ell=math.log(n))
+        benchmark.pedantic(
+            lambda: max_degree_after_prefix(random_graph, ranks, k),
+            rounds=1, iterations=1,
+        )
+
+    def test_corollary34_path_length(self, random_graph, results_dir, benchmark):
+        n = random_graph.num_vertices
+        d = random_graph.max_degree()
+        k = max(1, int(math.log2(n) / d * n))
+        ranks = random_priorities(n, seed=SEED)
+        lp = longest_path_in_prefix(random_graph, ranks, k)
+        assert lp <= path_length_bound(n)
+        (results_dir / "cor34_path_length.json").write_text(
+            json.dumps({"n": n, "prefix": k, "longest_path": lp,
+                        "bound": path_length_bound(n)}, indent=2) + "\n"
+        )
+        benchmark.pedantic(
+            lambda: longest_path_in_prefix(random_graph, ranks, k),
+            rounds=1, iterations=1,
+        )
+
+    def test_lemma43_internal_edges(self, random_graph, results_dir, benchmark):
+        n = random_graph.num_vertices
+        d = random_graph.max_degree()
+        ranks = random_priorities(n, seed=SEED)
+        rows = []
+        for k_factor in (0.25, 0.5, 1.0):
+            size = max(1, int(k_factor / d * n))
+            internal = internal_edge_count(random_graph, ranks, size)
+            rows.append({"k": k_factor, "prefix": size, "internal_edges": internal})
+            # Lemma 4.3: expected O(k |P|); generous explicit constant.
+            assert internal <= max(6 * k_factor * size, 12)
+        (results_dir / "lemma43_internal_edges.json").write_text(
+            json.dumps(rows, indent=2) + "\n"
+        )
+        size = max(1, int(n / d))
+        benchmark.pedantic(
+            lambda: internal_edge_count(random_graph, ranks, size),
+            rounds=1, iterations=1,
+        )

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Prefix-based MIS vs Luby's algorithm — Figure 3, interactively.
+
+The classical objection to "just parallelize the greedy loop" is that
+dedicated parallel MIS algorithms (Luby 1986) already exist.  The paper's
+answer, made tangible here:
+
+* Luby re-randomizes priorities every round, so it must process the whole
+  live graph each time — measure its work;
+* the prefix-based greedy algorithm keeps ONE order and touches most
+  edges once — measure its work at several prefix sizes;
+* replay both traces across thread counts and find the crossovers.
+
+Run:
+    python examples/luby_showdown.py [n] [m] [seed]
+"""
+
+import sys
+
+import repro
+from repro.core.mis import luby_mis, prefix_greedy_mis, sequential_greedy_mis
+from repro.pram import Machine, speedup_curve
+from repro.util import format_table
+
+
+def main(n: int = 50_000, m: int = 250_000, seed: int = 0) -> None:
+    graph = repro.generators.uniform_random_graph(n, m, seed=seed)
+    ranks = repro.random_priorities(n, seed=seed + 1)
+    threads = (1, 2, 4, 8, 16, 32)
+
+    runs = {}
+    mach = Machine()
+    res = sequential_greedy_mis(graph, ranks, machine=mach)
+    runs["serial greedy"] = (mach, res.stats)
+    for frac in (0.01, 0.05):
+        mach = Machine()
+        res = prefix_greedy_mis(graph, ranks, prefix_frac=frac, machine=mach)
+        runs[f"prefix {frac:g}N"] = (mach, res.stats)
+    mach = Machine()
+    res = repro.maximal_independent_set(graph, ranks, method="theorem45",
+                                        machine=mach)
+    runs["prefix thm4.5"] = (mach, res.stats)
+    mach = Machine()
+    res = luby_mis(graph, seed=seed + 2, machine=mach)
+    runs["Luby"] = (mach, res.stats)
+
+    rows = []
+    for name, (machine, stats) in runs.items():
+        curve = speedup_curve(machine, threads)
+        rows.append(
+            [name, stats.work, stats.rounds]
+            + [f"{curve[p]:.2e}" for p in threads]
+        )
+    headers = ["algorithm", "work", "rounds"] + [f"t(P={p})" for p in threads]
+    print(f"G({n}, {m}), one fixed order for the greedy engines:\n")
+    print(format_table(headers, rows))
+
+    luby_work = runs["Luby"][1].work
+    best_prefix = min(
+        (s for name, (_, s) in runs.items() if name.startswith("prefix")),
+        key=lambda s: s.work,
+    )
+    print(f"\nLuby does {luby_work / best_prefix.work:.1f}x the work of the "
+          "best prefix configuration — the mechanism behind the paper's "
+          "4-8x running-time gap (Section 6).")
+    print("Determinism bonus: every greedy row above computed the *same* "
+          "MIS; Luby's differs run to run.")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:4]]
+    main(*args)

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Peer pairing and vertex cover via maximal matching.
+
+Two classic maximal-matching applications on one synthetic network:
+
+1. **Peer pairing** — a P2P overlay wants to pair up as many directly
+   connected nodes as possible for bandwidth tests.  A maximal matching
+   pairs nodes so that no connected pair is left both-idle, and the greedy
+   matching is a 1/2-approximation of the maximum matching.
+2. **Monitoring cover** — the endpoints of any maximal matching form a
+   vertex cover at most 2x the optimum: placing monitors on the matched
+   endpoints observes every link in the network.
+
+The network is an rMat graph (power-law degrees, like real overlays).
+
+Run:
+    python examples/network_pairing.py [scale] [edges] [seed]
+"""
+
+import sys
+
+import numpy as np
+
+import repro
+from repro.core.matching import assert_valid_matching
+
+
+def main(scale: int = 13, edges: int = 60_000, seed: int = 0) -> None:
+    graph = repro.generators.rmat_graph(scale, edges, seed=seed)
+    el = graph.edge_list()
+    print(f"overlay: {graph.num_vertices} nodes, {graph.num_edges} links, "
+          f"max degree {graph.max_degree()}")
+
+    ranks = repro.random_priorities(el.num_edges, seed=seed + 1)
+    mm = repro.maximal_matching(el, ranks, method="prefix")
+    assert_valid_matching(el, mm.matched, ranks)
+
+    paired = 2 * mm.size
+    isolated = int(np.count_nonzero(graph.degrees() == 0))
+    eligible = graph.num_vertices - isolated
+    print(f"\npairing: {mm.size} pairs "
+          f"({paired} of {eligible} connected nodes paired, "
+          f"{100 * paired / max(eligible, 1):.1f}%)")
+    print("sample pairs:", mm.pairs[:5].tolist())
+
+    # Greedy maximal matching is a 1/2-approximation: the maximum matching
+    # has at most 2x the edges.
+    print(f"guarantee: maximum matching has <= {2 * mm.size} edges")
+
+    cover = mm.vertex_cover_mask()
+    src, dst = graph.arcs()
+    assert np.all(cover[src] | cover[dst]), "not a cover!"
+    print(f"\nmonitoring cover: {int(cover.sum())} monitors "
+          f"(<= 2x optimal) observe all {graph.num_edges} links ✓")
+
+    # Parallel-schedule quality: the whole pairing resolves in a handful
+    # of dependence steps despite the power-law degrees.
+    par = repro.maximal_matching(el, ranks, method="parallel")
+    print(f"\ndependence length of the edge order: {par.stats.steps} steps "
+          f"(log2 m = {np.log2(max(el.num_edges, 2)):.1f})")
+    assert np.array_equal(par.matched, mm.matched)
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:4]]
+    main(*args)

@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""A guided tour of the paper, section by section, on a live graph.
+
+Walks the SPAA 2012 paper's claims in order and prints the corresponding
+measured quantity from this library — a runnable table of contents.
+docs/paper-map.md is the full static index; this script is the dynamic one.
+
+Run:
+    python examples/paper_tour.py [n] [m] [seed]
+"""
+
+import sys
+
+import numpy as np
+
+import repro
+from repro.core.dependence import (
+    average_parallelism,
+    dependence_length,
+    longest_path_length,
+    matching_dependence_length,
+)
+from repro.core.mis import luby_mis, theorem45_prefix_sizes
+from repro.extensions import (
+    parallel_spanning_forest,
+    sequential_spanning_forest,
+)
+from repro.graphs.linegraph import line_graph
+from repro.theory import (
+    dependence_length_bound,
+    internal_edge_count,
+    max_degree_after_prefix,
+)
+
+
+def section(title):
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def main(n: int = 20_000, m: int = 100_000, seed: int = 0) -> None:
+    g = repro.generators.uniform_random_graph(n, m, seed=seed)
+    ranks = repro.random_priorities(n, seed=seed + 1)
+    print(f"touring on G({n}, {m}), max degree {g.max_degree()}, "
+          f"one random order (seed {seed + 1})")
+
+    section("§1  The trivial parallelization is highly parallel")
+    dep = dependence_length(g, ranks)
+    print(f"dependence length of the greedy MIS: {dep} steps "
+          f"(log2^2 n = {np.log2(n) ** 2:.0f})")
+    print(f"average parallelism: {average_parallelism(g, ranks):,.0f} "
+          "vertices decided per step")
+
+    section("§3  Priority DAG: dependence length vs longest path")
+    lp = longest_path_length(g, ranks)
+    print(f"longest directed path in the priority DAG: {lp}")
+    print(f"dependence length: {dep}  (<= longest path; can be far less —")
+    kg = repro.generators.complete_graph(200)
+    kranks = repro.random_priorities(200, seed=seed)
+    print(f" on K_200: path {longest_path_length(kg, kranks)}, "
+          f"dependence length {dependence_length(kg, kranks)})")
+
+    section("§3  Lemma 3.1: prefixes shrink the maximum degree")
+    d = g.max_degree()
+    k = max(1, int(np.log(n) / (d / 2) * n))
+    print(f"after the (ln n / (Δ/2))-prefix ({k} vertices): residual max "
+          f"degree {max_degree_after_prefix(g, ranks, k)} (target Δ/2 = {d // 2})")
+
+    section("§3  Theorem 3.5: dep length <= O(log Δ · log n)")
+    print(f"measured {dep} <= bound {dependence_length_bound(n, d):.0f} ✓")
+
+    section("§4  Linear work: internal-edge sparsity (Lemma 4.3)")
+    small = max(1, int(0.5 / d * n))
+    print(f"a (0.5/Δ)-prefix of {small} vertices induces only "
+          f"{internal_edge_count(g, ranks, small)} internal edges")
+    print("theorem-4.5 adaptive schedule:",
+          theorem45_prefix_sizes(n, d)[:6], "...")
+
+    section("§5  Matching: same story over edges (Lemma 5.1)")
+    el = g.edge_list()
+    eranks = repro.random_priorities(el.num_edges, seed=seed + 2)
+    mm_dep = matching_dependence_length(el, eranks)
+    print(f"MM dependence length: {mm_dep} (log2^2 m = "
+          f"{np.log2(el.num_edges) ** 2:.0f})")
+    small_g = repro.generators.uniform_random_graph(300, 900, seed=seed)
+    lg, small_el = line_graph(small_g)
+    lr = repro.random_priorities(small_el.num_edges, seed=seed + 3)
+    mm = repro.maximal_matching(small_el, lr, method="parallel")
+    mis_lg = repro.maximal_independent_set(lg, lr, method="parallel")
+    print(f"line-graph reduction on a small instance: MM == MIS(L(G)) is "
+          f"{bool(np.array_equal(mm.matched, mis_lg.in_set))}")
+
+    section("§6  Experiments: work is why prefix beats Luby")
+    pre = repro.maximal_independent_set(g, ranks, method="prefix",
+                                        machine=repro.Machine())
+    lub = luby_mis(g, seed=seed + 4, machine=repro.Machine())
+    print(f"prefix work {pre.stats.work:,} vs Luby work {lub.stats.work:,} "
+          f"-> ratio {lub.stats.work / pre.stats.work:.1f}x")
+    for p in (1, 32):
+        tp = repro.simulate_time(pre.machine, p)
+        tl = repro.simulate_time(lub.machine, p)
+        print(f"  simulated at P={p:>2}: prefix {tp:.2e}s, Luby {tl:.2e}s")
+
+    section("§7  Future work, implemented: spanning forest")
+    f_seq, _ = sequential_spanning_forest(el, eranks)
+    f_par, stats = parallel_spanning_forest(el, eranks)
+    print(f"greedy forest: {int(f_seq.sum())} edges; parallel commit "
+          f"rounds: {stats.steps}; identical to sequential: "
+          f"{bool(np.array_equal(f_seq, f_par))}")
+
+    print("\ntour complete — see docs/paper-map.md for the full index.")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:4]]
+    main(*args)

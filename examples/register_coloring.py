@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""Greedy coloring of an interference graph — the §7 extension in action.
+
+Register allocation's core abstraction: variables are vertices, an edge
+means two live ranges interfere, and a proper coloring assigns registers.
+Greedy sequential coloring in a random order uses at most Δ+1 colors; this
+example runs both the sequential loop and the Jones–Plassmann-style
+parallel schedule from :mod:`repro.extensions.coloring`, verifies they
+produce the *same* coloring, and contrasts the schedule depth with the
+MIS dependence length on the same order (coloring must respect every
+earlier-neighbor dependence; MIS can shortcut).
+
+Run:
+    python examples/register_coloring.py [variables] [interferences] [seed]
+"""
+
+import sys
+
+import numpy as np
+
+import repro
+from repro.core.dependence import dependence_length, longest_path_length
+from repro.extensions import (
+    is_proper_coloring,
+    parallel_greedy_coloring,
+    sequential_greedy_coloring,
+)
+
+
+def main(n: int = 8_000, m: int = 48_000, seed: int = 0) -> None:
+    graph = repro.generators.uniform_random_graph(n, m, seed=seed)
+    ranks = repro.random_priorities(n, seed=seed + 1)
+    print(f"interference graph: {n} variables, {m} interferences, "
+          f"max degree {graph.max_degree()}")
+
+    seq_colors, seq_stats = sequential_greedy_coloring(graph, ranks)
+    par_colors, par_stats = parallel_greedy_coloring(graph, ranks)
+    assert np.array_equal(seq_colors, par_colors)
+    assert is_proper_coloring(graph, seq_colors)
+
+    used = int(seq_colors.max()) + 1
+    print(f"\nregisters used: {used} (first-fit bound: Δ+1 = {graph.max_degree() + 1})")
+    hist = np.bincount(seq_colors)
+    print("register pressure (variables per register, first 10):",
+          hist[:10].tolist())
+
+    print(f"\nparallel schedule: {par_stats.steps} steps "
+          f"(= longest path in the priority DAG: "
+          f"{longest_path_length(graph, ranks)})")
+    print(f"MIS dependence length on the same order: "
+          f"{dependence_length(graph, ranks)} steps")
+    print("Coloring waits for *all* earlier neighbors; MIS can resolve a "
+          "vertex as soon as one earlier neighbor joins the set — which is "
+          "why its schedule is shallower on the same π.")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:4]]
+    main(*args)

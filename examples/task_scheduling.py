@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Task scheduling with iterated MIS — the paper's motivating application.
+
+"If the vertices represent tasks and each edge represents the constraint
+that two tasks cannot run in parallel, the MIS finds a maximal set of
+tasks to run in parallel."  (Section 1.)
+
+This example builds a synthetic task-conflict graph (tasks conflict when
+they touch a shared resource), then schedules all tasks in conflict-free
+batches by repeatedly extracting an MIS of the remaining conflict graph.
+Because the MIS is the *lexicographically-first* one for a fixed priority
+order, the schedule is deterministic: re-running this script with the same
+seed reproduces the exact same batches regardless of engine.
+
+Run:
+    python examples/task_scheduling.py [num_tasks] [num_resources] [seed]
+"""
+
+import sys
+
+import numpy as np
+
+import repro
+from repro.graphs.builders import from_edges
+
+
+def build_conflict_graph(num_tasks: int, num_resources: int, seed: int):
+    """Tasks grab 2 random resources; tasks sharing a resource conflict."""
+    rng = np.random.default_rng(seed)
+    grabs = rng.integers(0, num_resources, size=(num_tasks, 2))
+    us, vs = [], []
+    # Group tasks by resource and emit pairwise conflicts per resource.
+    for r in range(num_resources):
+        holders = np.nonzero((grabs == r).any(axis=1))[0]
+        if holders.size > 1:
+            a, b = np.meshgrid(holders, holders, indexing="ij")
+            mask = a < b
+            us.append(a[mask])
+            vs.append(b[mask])
+    if not us:
+        e = np.empty(0, dtype=np.int64)
+        return from_edges(num_tasks, e, e)
+    return from_edges(num_tasks, np.concatenate(us), np.concatenate(vs))
+
+
+def main(num_tasks: int = 2_000, num_resources: int = 700, seed: int = 3) -> None:
+    from repro.extensions import is_mis_decomposition, mis_decomposition
+
+    graph = build_conflict_graph(num_tasks, num_resources, seed)
+    print(f"conflict graph: {graph.num_vertices} tasks, "
+          f"{graph.num_edges} conflicts, max degree {graph.max_degree()}")
+
+    batches = mis_decomposition(graph, seed=seed)
+    assert is_mis_decomposition(graph, batches)
+    print(f"\nschedule: {len(batches)} conflict-free batches")
+    for i, batch in enumerate(batches[:8]):
+        print(f"  batch {i}: {batch.size} tasks")
+    if len(batches) > 8:
+        print(f"  ... {len(batches) - 8} more")
+
+    # Validate: batches partition tasks, and no batch contains a conflict.
+    all_tasks = np.concatenate(batches)
+    assert np.array_equal(np.sort(all_tasks), np.arange(num_tasks))
+    member = np.full(num_tasks, -1)
+    for i, batch in enumerate(batches):
+        member[batch] = i
+    src, dst = graph.arcs()
+    assert not np.any(member[src] == member[dst]), "conflict within a batch!"
+    print("\nvalidation: partition ✓, conflict-free batches ✓")
+
+    ideal = graph.max_degree() + 1
+    print(f"batches used: {len(batches)}  (greedy bound: Δ+1 = {ideal})")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:4]]
+    main(*args)

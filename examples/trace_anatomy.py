@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Anatomy of a prefix-based run: where does the work and time go?
+
+Dissects one prefix-based MIS execution with the trace tools:
+
+* the **work breakdown by tag** shows the split between mandatory work
+  (slot scans, one-time gathers) and the redundant inner-step
+  re-examinations that grow with prefix size;
+* the **parallelism profile** shows how front-loaded Algorithm 2's steps
+  are (most of the graph resolves immediately — the reason speedups exist);
+* the **critical fraction** shows, per processor count, how much of the
+  simulated time is *not* divisible work — the quantity that forces the
+  U shape of Figure 1c.
+
+Run:
+    python examples/trace_anatomy.py [n] [m] [seed]
+"""
+
+import sys
+
+import numpy as np
+
+import repro
+from repro.core.dependence import average_parallelism, parallelism_profile
+from repro.pram import Machine, critical_fraction, format_trace, work_breakdown
+
+
+def main(n: int = 30_000, m: int = 150_000, seed: int = 0) -> None:
+    graph = repro.generators.uniform_random_graph(n, m, seed=seed)
+    ranks = repro.random_priorities(n, seed=seed + 1)
+
+    print("=== parallelism profile (Algorithm 2) ===")
+    profile = parallelism_profile(graph, ranks)
+    total = int(profile.sum())
+    running = 0
+    for step, count in enumerate(profile.tolist(), start=1):
+        running += count
+        bar = "#" * max(1, int(50 * count / total))
+        print(f"  step {step:>2}: {count:>7} decided  {bar}  "
+              f"({100 * running / total:.1f}% cumulative)")
+    print(f"  average parallelism: {average_parallelism(graph, ranks):,.0f} "
+          f"vertices/step over {profile.size} steps")
+
+    for frac, label in ((0.002, "small prefix (work-optimal)"),
+                        (0.1, "large prefix (parallelism-optimal)")):
+        print(f"\n=== trace: {label}, prefix/N = {frac} ===")
+        machine = Machine()
+        repro.maximal_independent_set(
+            graph, ranks, method="prefix", prefix_frac=frac, machine=machine
+        )
+        breakdown = work_breakdown(machine)
+        for tag in ("scan", "gather", "inner"):
+            if tag in breakdown:
+                b = breakdown[tag]
+                print(f"  {tag:<7} {b['work']:>9} ops  "
+                      f"({100 * b['fraction']:.1f}%)  in {b['steps']} steps")
+        print(f"  total   {machine.work:>9} ops in {machine.num_rounds} rounds")
+        for p in (1, 8, 32, 128):
+            cf = critical_fraction(machine, p)
+            t = repro.simulate_time(machine, p)
+            print(f"  P={p:>3}: simulated {t:.2e} s, "
+                  f"{100 * cf:.0f}% overhead/depth-bound")
+
+    print("\nReading: the small prefix does ~pure mandatory work but is "
+          "overhead-bound at high P (many rounds); the large prefix buys "
+          "divisible work at the cost of inner-step redundancy.")
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:4]]
+    main(*args)

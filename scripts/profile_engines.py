@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Profile the hot engine kernels (the HPC-guide workflow: measure first).
+
+Runs cProfile over each vectorized engine on the small-tier workload and
+prints the top functions by cumulative time, so optimization work targets
+measured bottlenecks rather than guesses.
+
+Usage:
+    python scripts/profile_engines.py [engine ...]
+
+where each engine is one of: mis-sequential mis-parallel mis-prefix
+mm-parallel mm-prefix luby (default: all).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import io
+import pstats
+import sys
+
+from repro.bench.workloads import paper_random_graph
+from repro.core.matching.parallel import parallel_greedy_matching
+from repro.core.matching.prefix import prefix_greedy_matching
+from repro.core.mis.luby import luby_mis
+from repro.core.mis.parallel import parallel_greedy_mis
+from repro.core.mis.prefix import prefix_greedy_mis
+from repro.core.mis.sequential import sequential_greedy_mis
+from repro.core.orderings import random_priorities
+from repro.pram.machine import null_machine
+
+TOP = 12
+
+
+def main(argv=None) -> int:
+    graph = paper_random_graph("small")
+    ranks = random_priorities(graph.num_vertices, seed=1)
+    el = graph.edge_list()
+    eranks = random_priorities(el.num_edges, seed=2)
+
+    targets = {
+        "mis-sequential": lambda: sequential_greedy_mis(graph, ranks, machine=null_machine()),
+        "mis-parallel": lambda: parallel_greedy_mis(graph, ranks, machine=null_machine()),
+        "mis-prefix": lambda: prefix_greedy_mis(graph, ranks, prefix_frac=0.02, machine=null_machine()),
+        "mm-parallel": lambda: parallel_greedy_matching(el, eranks, machine=null_machine()),
+        "mm-prefix": lambda: prefix_greedy_matching(el, eranks, prefix_frac=0.02, machine=null_machine()),
+        "luby": lambda: luby_mis(graph, seed=3, machine=null_machine()),
+    }
+    wanted = (argv or sys.argv[1:]) or list(targets)
+    unknown = [w for w in wanted if w not in targets]
+    if unknown:
+        print(f"unknown engines: {unknown}; choose from {sorted(targets)}")
+        return 2
+    print(f"profiling on {graph!r}\n")
+    for name in wanted:
+        profiler = cProfile.Profile()
+        profiler.enable()
+        targets[name]()
+        profiler.disable()
+        buf = io.StringIO()
+        stats = pstats.Stats(profiler, stream=buf)
+        stats.sort_stats("cumulative").print_stats(TOP)
+        lines = buf.getvalue().splitlines()
+        # Keep header + top rows, drop the noise.
+        print(f"=== {name} " + "=" * max(1, 60 - len(name)))
+        for line in lines[:TOP + 8]:
+            print(line)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

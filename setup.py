@@ -1,0 +1,8 @@
+# Legacy shim for environments without PEP 517 build isolation (e.g. the
+# offline container this reproduction was developed in, where `pip install
+# -e .` cannot fetch build dependencies).  All metadata lives in
+# pyproject.toml; use `python setup.py develop` only as the fallback
+# documented in README.md.
+from setuptools import setup
+
+setup()

@@ -1,0 +1,61 @@
+"""repro — Greedy sequential MIS and matching are parallel on average.
+
+A from-scratch Python reproduction of Blelloch, Fineman & Shun (SPAA 2012,
+arXiv:1202.3205): the greedy sequential maximal-independent-set and
+maximal-matching algorithms have polylogarithmic dependence length under a
+random order, and a prefix-based schedule turns that into fast, *deterministic*
+parallel implementations.
+
+Quickstart
+----------
+>>> import repro
+>>> g = repro.generators.uniform_random_graph(1000, 5000, seed=0)
+>>> res = repro.maximal_independent_set(g, seed=0, method="prefix")
+>>> repro.mis.is_maximal_independent_set(g, res.in_set)
+True
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-figure reproductions.
+"""
+
+from repro.core.mis import maximal_independent_set
+from repro.core.matching import maximal_matching
+from repro.core import mis, matching, dependence
+from repro.core.orderings import (
+    random_priorities,
+    identity_priorities,
+    ranks_from_permutation,
+    permutation_from_ranks,
+)
+from repro.core.result import MISResult, MatchingResult, RunStats
+from repro.graphs import CSRGraph, EdgeList, generators, from_edges, line_graph
+from repro.pram import CostModel, Machine, simulate_time, speedup_curve
+from repro import errors
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "maximal_independent_set",
+    "maximal_matching",
+    "mis",
+    "matching",
+    "dependence",
+    "random_priorities",
+    "identity_priorities",
+    "ranks_from_permutation",
+    "permutation_from_ranks",
+    "MISResult",
+    "MatchingResult",
+    "RunStats",
+    "CSRGraph",
+    "EdgeList",
+    "generators",
+    "from_edges",
+    "line_graph",
+    "CostModel",
+    "Machine",
+    "simulate_time",
+    "speedup_curve",
+    "errors",
+    "__version__",
+]

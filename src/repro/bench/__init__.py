@@ -1,0 +1,74 @@
+"""Benchmark harness: workloads, sweeps, and per-figure drivers.
+
+Layering:
+
+* :mod:`repro.bench.workloads` — the paper's two inputs at configurable
+  scale (defaults preserve the paper's m = 5n ratio for the random graph).
+* :mod:`repro.bench.sweeps` — prefix-size sweeps and thread-count sweeps
+  returning structured points.
+* :mod:`repro.bench.figures` — one driver per paper figure, returning
+  :class:`~repro.bench.figures.FigureData` ready for printing/recording.
+* :mod:`repro.bench.reporting` — fixed-width tables and JSON persistence.
+
+The pytest-benchmark files under ``benchmarks/`` are thin wrappers over
+these drivers; everything here is importable for interactive use.
+"""
+
+from repro.bench.workloads import (
+    paper_random_graph,
+    paper_rmat_graph,
+    bench_scale,
+    workload_pair,
+)
+from repro.bench.sweeps import (
+    SweepPoint,
+    default_prefix_sizes,
+    prefix_sweep_mis,
+    prefix_sweep_mm,
+    thread_sweep_mis,
+    thread_sweep_mm,
+)
+from repro.bench.figures import (
+    FigureData,
+    figure1_panels,
+    figure2_panels,
+    figure3,
+    figure4,
+    luby_work_comparison,
+)
+from repro.bench.reporting import format_table, render_figure, save_figure_json
+from repro.bench.svgplot import render_svg, save_figure_svg
+from repro.bench.regression import (
+    RegressionReport,
+    SeriesDrift,
+    compare_figure_files,
+    compare_payloads,
+)
+
+__all__ = [
+    "render_svg",
+    "save_figure_svg",
+    "RegressionReport",
+    "SeriesDrift",
+    "compare_figure_files",
+    "compare_payloads",
+    "paper_random_graph",
+    "paper_rmat_graph",
+    "bench_scale",
+    "workload_pair",
+    "SweepPoint",
+    "default_prefix_sizes",
+    "prefix_sweep_mis",
+    "prefix_sweep_mm",
+    "thread_sweep_mis",
+    "thread_sweep_mm",
+    "FigureData",
+    "figure1_panels",
+    "figure2_panels",
+    "figure3",
+    "figure4",
+    "luby_work_comparison",
+    "format_table",
+    "render_figure",
+    "save_figure_json",
+]

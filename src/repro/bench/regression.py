@@ -1,0 +1,122 @@
+"""Result regression: diff two saved figure JSON files.
+
+`scripts/run_experiments.py` and the benches persist every figure's series
+under ``results/``.  This module compares two such files (e.g. a committed
+baseline against a fresh run) and reports per-point drift — the CI hook
+that makes reproduction results durable.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Union
+
+__all__ = ["SeriesDrift", "RegressionReport", "compare_figure_files", "compare_payloads"]
+
+PathLike = Union[str, os.PathLike]
+
+
+@dataclass(frozen=True)
+class SeriesDrift:
+    """Maximum relative deviation of one series between two runs."""
+
+    series: str
+    max_rel_error: float
+    worst_x: float
+    baseline_y: float
+    candidate_y: float
+
+
+@dataclass
+class RegressionReport:
+    """Outcome of a figure comparison."""
+
+    figure_id: str
+    matched: bool
+    tolerance: float
+    drifts: List[SeriesDrift] = field(default_factory=list)
+    structural_errors: List[str] = field(default_factory=list)
+
+    def summary(self) -> str:
+        """One-paragraph human-readable verdict."""
+        if self.structural_errors:
+            return (
+                f"{self.figure_id}: STRUCTURAL MISMATCH — "
+                + "; ".join(self.structural_errors)
+            )
+        worst = max(self.drifts, key=lambda d: d.max_rel_error, default=None)
+        if self.matched:
+            detail = (
+                f"worst series {worst.series!r} off by "
+                f"{100 * worst.max_rel_error:.2f}%"
+                if worst else "no series"
+            )
+            return f"{self.figure_id}: OK within {100 * self.tolerance:.1f}% ({detail})"
+        assert worst is not None
+        return (
+            f"{self.figure_id}: DRIFT — series {worst.series!r} deviates "
+            f"{100 * worst.max_rel_error:.2f}% at x={worst.worst_x:g} "
+            f"(baseline {worst.baseline_y:g}, candidate {worst.candidate_y:g})"
+        )
+
+
+def compare_payloads(baseline: dict, candidate: dict, tolerance: float = 0.05) -> RegressionReport:
+    """Compare two figure payloads (the dicts `save_figure_json` writes).
+
+    Structural differences (figure id, series names, x grids) are
+    reported as errors; numeric differences as per-series maximum
+    relative deviation, judged against *tolerance*.
+    """
+    report = RegressionReport(
+        figure_id=str(baseline.get("figure_id", "<unknown>")),
+        matched=True,
+        tolerance=tolerance,
+    )
+    if baseline.get("figure_id") != candidate.get("figure_id"):
+        report.structural_errors.append(
+            f"figure ids differ: {baseline.get('figure_id')!r} vs "
+            f"{candidate.get('figure_id')!r}"
+        )
+    b_series = baseline.get("series", {})
+    c_series = candidate.get("series", {})
+    if set(b_series) != set(c_series):
+        report.structural_errors.append(
+            f"series sets differ: {sorted(b_series)} vs {sorted(c_series)}"
+        )
+    if report.structural_errors:
+        report.matched = False
+        return report
+    for name in b_series:
+        bx, by = b_series[name]["x"], b_series[name]["y"]
+        cx, cy = c_series[name]["x"], c_series[name]["y"]
+        if bx != cx:
+            report.structural_errors.append(
+                f"series {name!r}: x grids differ ({len(bx)} vs {len(cx)} points)"
+            )
+            report.matched = False
+            continue
+        worst = SeriesDrift(name, 0.0, float("nan"), float("nan"), float("nan"))
+        for x, b, c in zip(bx, by, cy):
+            denom = max(abs(b), abs(c), 1e-300)
+            rel = abs(b - c) / denom
+            if rel > worst.max_rel_error:
+                worst = SeriesDrift(name, rel, x, b, c)
+        report.drifts.append(worst)
+        if worst.max_rel_error > tolerance:
+            report.matched = False
+    return report
+
+
+def compare_figure_files(
+    baseline_path: PathLike,
+    candidate_path: PathLike,
+    tolerance: float = 0.05,
+) -> RegressionReport:
+    """Load two saved figure JSON files and compare them."""
+    with open(baseline_path, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)
+    with open(candidate_path, "r", encoding="utf-8") as fh:
+        candidate = json.load(fh)
+    return compare_payloads(baseline, candidate, tolerance)

@@ -1,0 +1,55 @@
+"""Plain-text tables and JSON persistence for figure data.
+
+The harness is terminal-first (this is a benchmark suite, not a plotting
+package): :func:`render_figure` prints the same rows/series a figure plots,
+and :func:`save_figure_json` persists them for EXPERIMENTS.md regeneration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Union
+
+from repro.util.tables import format_table
+
+__all__ = ["format_table", "render_figure", "save_figure_json"]
+
+def render_figure(figure) -> str:
+    """Render a :class:`~repro.bench.figures.FigureData` as text.
+
+    One table per figure: first column is the x axis, one column per
+    series.  Series are aligned on the x values of the first series (all
+    drivers emit aligned series).
+    """
+    headers = [figure.x_label] + list(figure.series)
+    first = next(iter(figure.series.values()))
+    xs = first[0]
+    rows = []
+    for i, x in enumerate(xs):
+        row: List[Cell] = [x]
+        for name, (sx, sy) in figure.series.items():
+            row.append(sy[i] if i < len(sy) else float("nan"))
+        rows.append(row)
+    title = f"{figure.figure_id}: {figure.title}"
+    body = format_table(headers, rows)
+    notes = f"\n{figure.notes}" if figure.notes else ""
+    return f"{title}\n{body}{notes}"
+
+
+def save_figure_json(figure, path: Union[str, os.PathLike]) -> None:
+    """Persist a figure's data (id, title, axes, series) as JSON."""
+    payload = {
+        "figure_id": figure.figure_id,
+        "title": figure.title,
+        "x_label": figure.x_label,
+        "y_label": figure.y_label,
+        "notes": figure.notes,
+        "series": {
+            name: {"x": list(map(float, sx)), "y": list(map(float, sy))}
+            for name, (sx, sy) in figure.series.items()
+        },
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")

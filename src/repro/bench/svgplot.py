@@ -1,0 +1,216 @@
+"""Dependency-free SVG line charts for the figure harness.
+
+matplotlib is not available in every reproduction environment, and the
+paper's plots are simple log/linear line charts — so this module renders
+:class:`~repro.bench.figures.FigureData` straight to SVG: one polyline per
+series, decade ticks on log axes, a legend, and the figure title.  The
+output opens in any browser and diffs cleanly in review.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from typing import List, Optional, Sequence, Tuple, Union
+
+__all__ = ["render_svg", "save_figure_svg", "axis_ticks"]
+
+PathLike = Union[str, os.PathLike]
+
+# A small colorblind-safe palette (Okabe–Ito).
+_COLORS = ["#0072B2", "#D55E00", "#009E73", "#CC79A7", "#E69F00", "#56B4E9"]
+
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 70, 20, 40, 50
+
+
+def axis_ticks(lo: float, hi: float, log: bool, max_ticks: int = 8) -> List[float]:
+    """Tick positions for an axis spanning ``[lo, hi]``.
+
+    Log axes tick at powers of ten (thinned to *max_ticks*); linear axes
+    use a 1/2/5 step ladder.
+    """
+    if not (math.isfinite(lo) and math.isfinite(hi)) or hi < lo:
+        raise ValueError(f"invalid axis range [{lo}, {hi}]")
+    if log:
+        if lo <= 0:
+            raise ValueError("log axis requires strictly positive range")
+        d0 = math.floor(math.log10(lo))
+        d1 = math.ceil(math.log10(hi))
+        decades = list(range(d0, d1 + 1))
+        stride = max(1, math.ceil(len(decades) / max_ticks))
+        return [10.0 ** d for d in decades[::stride]]
+    if hi == lo:
+        return [lo]
+    span = hi - lo
+    raw = span / max(max_ticks - 1, 1)
+    mag = 10.0 ** math.floor(math.log10(raw))
+    for mult in (1.0, 2.0, 5.0, 10.0):
+        if raw <= mult * mag:
+            step = mult * mag
+            break
+    first = math.ceil(lo / step) * step
+    ticks = []
+    t = first
+    while t <= hi + 1e-12 * span:
+        ticks.append(round(t, 12))
+        t += step
+    return ticks or [lo]
+
+
+def _fmt_tick(v: float, log: bool) -> str:
+    if log:
+        exp = round(math.log10(v))
+        if abs(10.0 ** exp - v) < 1e-9 * v:
+            return f"1e{exp}"
+    if v == 0:
+        return "0"
+    if abs(v) >= 1e4 or abs(v) < 1e-3:
+        return f"{v:.0e}"
+    return f"{v:g}"
+
+
+def render_svg(
+    figure,
+    *,
+    width: int = 640,
+    height: int = 420,
+    log_x: bool = True,
+    log_y: bool = True,
+) -> str:
+    """Render a FigureData-like object (``.series``, ``.title``, axis
+    labels) to an SVG document string."""
+    xs_all: List[float] = []
+    ys_all: List[float] = []
+    for sx, sy in figure.series.values():
+        xs_all.extend(float(v) for v in sx)
+        ys_all.extend(float(v) for v in sy)
+    if not xs_all:
+        raise ValueError(f"figure {figure.figure_id!r} has no data points")
+    if log_x and min(xs_all) <= 0:
+        log_x = False
+    if log_y and min(ys_all) <= 0:
+        log_y = False
+    x_lo, x_hi = min(xs_all), max(xs_all)
+    y_lo, y_hi = min(ys_all), max(ys_all)
+    if x_lo == x_hi:
+        x_lo, x_hi = x_lo * 0.9 if x_lo else -1.0, x_hi * 1.1 if x_hi else 1.0
+    if y_lo == y_hi:
+        y_lo, y_hi = y_lo * 0.9 if y_lo else -1.0, y_hi * 1.1 if y_hi else 1.0
+
+    plot_w = width - _MARGIN_L - _MARGIN_R
+    plot_h = height - _MARGIN_T - _MARGIN_B
+
+    def sx(v: float) -> float:
+        if log_x:
+            frac = (math.log10(v) - math.log10(x_lo)) / (
+                math.log10(x_hi) - math.log10(x_lo)
+            )
+        else:
+            frac = (v - x_lo) / (x_hi - x_lo)
+        return _MARGIN_L + frac * plot_w
+
+    def sy(v: float) -> float:
+        if log_y:
+            frac = (math.log10(v) - math.log10(y_lo)) / (
+                math.log10(y_hi) - math.log10(y_lo)
+            )
+        else:
+            frac = (v - y_lo) / (y_hi - y_lo)
+        return _MARGIN_T + (1.0 - frac) * plot_h
+
+    parts: List[str] = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="11">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2:.1f}" y="20" text-anchor="middle" '
+        f'font-size="13">{_esc(figure.title)}</text>',
+        # Plot frame.
+        f'<rect x="{_MARGIN_L}" y="{_MARGIN_T}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#333"/>',
+    ]
+    # Ticks + gridlines.
+    for t in axis_ticks(x_lo, x_hi, log_x):
+        if not (x_lo <= t <= x_hi):
+            continue
+        px = sx(t)
+        parts.append(
+            f'<line x1="{px:.1f}" y1="{_MARGIN_T}" x2="{px:.1f}" '
+            f'y2="{_MARGIN_T + plot_h}" stroke="#ddd"/>'
+        )
+        parts.append(
+            f'<text x="{px:.1f}" y="{_MARGIN_T + plot_h + 16}" '
+            f'text-anchor="middle">{_fmt_tick(t, log_x)}</text>'
+        )
+    for t in axis_ticks(y_lo, y_hi, log_y):
+        if not (y_lo <= t <= y_hi):
+            continue
+        py = sy(t)
+        parts.append(
+            f'<line x1="{_MARGIN_L}" y1="{py:.1f}" '
+            f'x2="{_MARGIN_L + plot_w}" y2="{py:.1f}" stroke="#ddd"/>'
+        )
+        parts.append(
+            f'<text x="{_MARGIN_L - 6}" y="{py + 4:.1f}" '
+            f'text-anchor="end">{_fmt_tick(t, log_y)}</text>'
+        )
+    # Axis labels.
+    parts.append(
+        f'<text x="{_MARGIN_L + plot_w / 2:.1f}" y="{height - 12}" '
+        f'text-anchor="middle">{_esc(figure.x_label)}</text>'
+    )
+    parts.append(
+        f'<text x="16" y="{_MARGIN_T + plot_h / 2:.1f}" text-anchor="middle" '
+        f'transform="rotate(-90 16 {_MARGIN_T + plot_h / 2:.1f})">'
+        f'{_esc(figure.y_label)}</text>'
+    )
+    # Series.
+    for i, (name, (series_x, series_y)) in enumerate(figure.series.items()):
+        color = _COLORS[i % len(_COLORS)]
+        pts = " ".join(
+            f"{sx(float(x)):.1f},{sy(float(y)):.1f}"
+            for x, y in zip(series_x, series_y)
+        )
+        parts.append(
+            f'<polyline points="{pts}" fill="none" stroke="{color}" '
+            f'stroke-width="1.8"/>'
+        )
+        for x, y in zip(series_x, series_y):
+            parts.append(
+                f'<circle cx="{sx(float(x)):.1f}" cy="{sy(float(y)):.1f}" '
+                f'r="2.4" fill="{color}"/>'
+            )
+        # Legend entry.
+        ly = _MARGIN_T + 14 + 15 * i
+        lx = _MARGIN_L + plot_w - 150
+        parts.append(
+            f'<line x1="{lx}" y1="{ly - 4}" x2="{lx + 18}" y2="{ly - 4}" '
+            f'stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(f'<text x="{lx + 24}" y="{ly}">{_esc(name)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def _esc(text: str) -> str:
+    return (
+        str(text)
+        .replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+    )
+
+
+def save_figure_svg(
+    figure,
+    path: PathLike,
+    *,
+    width: int = 640,
+    height: int = 420,
+    log_x: bool = True,
+    log_y: bool = True,
+) -> None:
+    """Render *figure* and write the SVG document to *path*."""
+    svg = render_svg(figure, width=width, height=height, log_x=log_x, log_y=log_y)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(svg + "\n")

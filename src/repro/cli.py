@@ -1,0 +1,308 @@
+"""Command-line interface: generate graphs, run engines, sweep prefixes.
+
+Installed as the ``repro`` console script (also usable as
+``python -m repro.cli``).  Subcommands:
+
+``gen``
+    Generate a workload graph and write it in PBBS adjacency format.
+``info``
+    Print structural statistics of a graph file.
+``mis`` / ``mm``
+    Run an MIS / maximal-matching engine on a graph file, verify the
+    result, and report size + work/round/step accounting.
+``deps``
+    Report the dependence length and longest priority-DAG path for a
+    random (or seeded) order.
+``sweep``
+    Prefix-size sweep with simulated times at chosen processor counts
+    (a command-line Figure 1/2 panel).
+
+Every command takes ``--seed`` so runs are reproducible end to end.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+import numpy as np
+
+from repro.bench.reporting import format_table
+from repro.bench.sweeps import default_prefix_sizes, prefix_sweep_mis, prefix_sweep_mm
+from repro.core.dependence import (
+    dependence_length,
+    longest_path_length,
+    matching_dependence_length,
+)
+from repro.core.matching import MM_METHODS, assert_valid_matching, maximal_matching
+from repro.core.mis import MIS_METHODS, assert_valid_mis, maximal_independent_set
+from repro.core.orderings import random_priorities
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    grid_graph,
+    path_graph,
+    rmat_graph,
+    star_graph,
+    uniform_random_graph,
+)
+from repro.graphs.io import read_adjacency_graph, write_adjacency_graph
+from repro.graphs.properties import degree_histogram, num_connected_components
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Greedy sequential MIS/matching, parallel on average "
+        "(Blelloch-Fineman-Shun SPAA 2012 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    g = sub.add_parser("gen", help="generate a graph file (PBBS adjacency format)")
+    g.add_argument("output", help="output path")
+    g.add_argument("--kind", default="random",
+                   choices=["random", "rmat", "grid", "cycle", "path", "star", "complete"])
+    g.add_argument("--n", type=int, default=10_000, help="vertices (or grid side)")
+    g.add_argument("--m", type=int, default=50_000, help="edges / edge samples")
+    g.add_argument("--scale", type=int, default=14, help="rMat: log2(vertices)")
+    g.add_argument("--seed", type=int, default=0)
+
+    i = sub.add_parser("info", help="print graph statistics")
+    i.add_argument("graph", help="graph file (PBBS adjacency format)")
+
+    for name, help_text in (("mis", "maximal independent set"),
+                            ("mm", "maximal matching")):
+        p = sub.add_parser(name, help=f"compute a {help_text}")
+        p.add_argument("graph")
+        p.add_argument("--method", default="prefix",
+                       choices=MIS_METHODS if name == "mis" else MM_METHODS)
+        p.add_argument("--prefix-size", type=int, default=None)
+        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--processors", type=int, default=32,
+                       help="simulated processor count for the time estimate")
+
+    d = sub.add_parser("deps", help="dependence-length analysis")
+    d.add_argument("graph")
+    d.add_argument("--target", default="mis", choices=["mis", "mm"])
+    d.add_argument("--seed", type=int, default=0)
+
+    s = sub.add_parser("sweep", help="prefix-size sweep (Figure 1/2 panel)")
+    s.add_argument("graph")
+    s.add_argument("--target", default="mis", choices=["mis", "mm"])
+    s.add_argument("--points", type=int, default=9)
+    s.add_argument("--processors", default="1,32",
+                   help="comma-separated simulated processor counts")
+    s.add_argument("--seed", type=int, default=0)
+
+    f = sub.add_parser(
+        "figures", help="regenerate paper figures on a graph file"
+    )
+    f.add_argument("graph")
+    f.add_argument("--which", default="1",
+                   choices=["1", "2", "3", "4"],
+                   help="paper figure number")
+    f.add_argument("--label", default="custom",
+                   help="graph label used in titles/ids")
+    f.add_argument("--out-dir", default=None,
+                   help="also write .txt/.json tables to this directory")
+    f.add_argument("--seed", type=int, default=0)
+
+    c = sub.add_parser(
+        "compare", help="diff two saved figure JSON files (regression check)"
+    )
+    c.add_argument("baseline")
+    c.add_argument("candidate")
+    c.add_argument("--tolerance", type=float, default=0.05,
+                   help="max relative deviation per point")
+    return parser
+
+
+def _cmd_gen(args) -> int:
+    if args.kind == "random":
+        g = uniform_random_graph(args.n, args.m, seed=args.seed)
+    elif args.kind == "rmat":
+        g = rmat_graph(args.scale, args.m, seed=args.seed)
+    elif args.kind == "grid":
+        side = max(1, int(args.n ** 0.5))
+        g = grid_graph(side, side)
+    elif args.kind == "cycle":
+        g = cycle_graph(args.n)
+    elif args.kind == "path":
+        g = path_graph(args.n)
+    elif args.kind == "star":
+        g = star_graph(args.n)
+    else:
+        g = complete_graph(args.n)
+    write_adjacency_graph(g, args.output)
+    print(f"wrote {args.kind} graph: n={g.num_vertices} m={g.num_edges} -> {args.output}")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    g = read_adjacency_graph(args.graph)
+    degs = g.degrees()
+    print(f"vertices:    {g.num_vertices}")
+    print(f"edges:       {g.num_edges}")
+    print(f"max degree:  {g.max_degree()}")
+    if g.num_vertices:
+        print(f"mean degree: {degs.mean():.2f}")
+        print(f"isolated:    {int((degs == 0).sum())}")
+    if g.num_vertices <= 200_000:
+        print(f"components:  {num_connected_components(g)}")
+    hist = degree_histogram(g)
+    top = sorted(hist.items())[:8]
+    print("degree histogram (lowest 8):", dict(top))
+    return 0
+
+
+def _cmd_mis(args) -> int:
+    from repro.pram import simulate_time
+
+    g = read_adjacency_graph(args.graph)
+    ranks = None
+    if args.method != "luby":
+        ranks = random_priorities(g.num_vertices, seed=args.seed)
+    res = maximal_independent_set(
+        g, ranks, method=args.method, prefix_size=args.prefix_size,
+        seed=args.seed,
+    )
+    assert_valid_mis(g, res.in_set, ranks if args.method != "luby" else None)
+    s = res.stats
+    print(f"MIS size:    {res.size} / {g.num_vertices}")
+    print(f"engine:      {s.algorithm}")
+    print(f"rounds:      {s.rounds}   steps: {s.steps}")
+    print(f"work:        {s.work}")
+    print(f"sim time on {args.processors} procs: "
+          f"{simulate_time(res.machine, args.processors):.3e} s")
+    return 0
+
+
+def _cmd_mm(args) -> int:
+    from repro.pram import simulate_time
+
+    g = read_adjacency_graph(args.graph)
+    el = g.edge_list()
+    ranks = random_priorities(el.num_edges, seed=args.seed)
+    res = maximal_matching(
+        el, ranks, method=args.method, prefix_size=args.prefix_size,
+    )
+    assert_valid_matching(el, res.matched, ranks)
+    s = res.stats
+    print(f"matching size: {res.size} / {el.num_edges} edges "
+          f"({2 * res.size} vertices covered)")
+    print(f"engine:        {s.algorithm}")
+    print(f"rounds:        {s.rounds}   steps: {s.steps}")
+    print(f"work:          {s.work}")
+    print(f"sim time on {args.processors} procs: "
+          f"{simulate_time(res.machine, args.processors):.3e} s")
+    return 0
+
+
+def _cmd_deps(args) -> int:
+    g = read_adjacency_graph(args.graph)
+    if args.target == "mis":
+        ranks = random_priorities(g.num_vertices, seed=args.seed)
+        dep = dependence_length(g, ranks)
+        lp = longest_path_length(g, ranks)
+        print(f"MIS dependence length: {dep}")
+        print(f"longest priority-DAG path: {lp}")
+        print(f"log2(n)^2 reference: {np.log2(max(g.num_vertices, 2)) ** 2:.1f}")
+    else:
+        el = g.edge_list()
+        ranks = random_priorities(el.num_edges, seed=args.seed)
+        dep = matching_dependence_length(el, ranks)
+        print(f"MM dependence length: {dep}")
+        print(f"log2(m)^2 reference: {np.log2(max(el.num_edges, 2)) ** 2:.1f}")
+    return 0
+
+
+def _cmd_sweep(args) -> int:
+    g = read_adjacency_graph(args.graph)
+    processors = tuple(int(p) for p in args.processors.split(","))
+    if args.target == "mis":
+        total = g.num_vertices
+        points = prefix_sweep_mis(
+            g, random_priorities(total, seed=args.seed),
+            default_prefix_sizes(max(total, 1), points=args.points),
+            processors=processors,
+        )
+    else:
+        el = g.edge_list()
+        total = el.num_edges
+        points = prefix_sweep_mm(
+            el, random_priorities(total, seed=args.seed),
+            default_prefix_sizes(max(total, 1), points=args.points),
+            processors=processors,
+        )
+    headers = ["prefix", "work/N", "rounds", "steps"] + [f"t(P={p})" for p in processors]
+    rows = [
+        [p.prefix_size, f"{p.norm_work:.3f}", p.rounds, p.steps]
+        + [f"{p.sim_times[q]:.2e}" for q in processors]
+        for p in points
+    ]
+    print(format_table(headers, rows))
+    return 0
+
+
+def _cmd_figures(args) -> int:
+    import pathlib
+
+    from repro.bench.figures import figure1_panels, figure2_panels, figure3, figure4
+    from repro.bench.reporting import render_figure, save_figure_json
+    from repro.bench.svgplot import save_figure_svg
+
+    g = read_adjacency_graph(args.graph)
+    if args.which == "1":
+        figures = list(figure1_panels(g, args.label, seed=args.seed).values())
+    elif args.which == "2":
+        figures = list(
+            figure2_panels(g.edge_list(), args.label, seed=args.seed).values()
+        )
+    elif args.which == "3":
+        figures = [figure3(g, args.label, seed=args.seed)]
+    else:
+        figures = [figure4(g.edge_list(), args.label, seed=args.seed)]
+    for fig in figures:
+        print(render_figure(fig))
+        print()
+        if args.out_dir:
+            out = pathlib.Path(args.out_dir)
+            out.mkdir(parents=True, exist_ok=True)
+            (out / f"{fig.figure_id}.txt").write_text(render_figure(fig) + "\n")
+            save_figure_json(fig, out / f"{fig.figure_id}.json")
+            save_figure_svg(fig, out / f"{fig.figure_id}.svg")
+    return 0
+
+
+def _cmd_compare(args) -> int:
+    from repro.bench.regression import compare_figure_files
+
+    report = compare_figure_files(args.baseline, args.candidate, args.tolerance)
+    print(report.summary())
+    return 0 if report.matched else 1
+
+
+_COMMANDS = {
+    "gen": _cmd_gen,
+    "info": _cmd_info,
+    "mis": _cmd_mis,
+    "mm": _cmd_mm,
+    "deps": _cmd_deps,
+    "sweep": _cmd_sweep,
+    "figures": _cmd_figures,
+    "compare": _cmd_compare,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

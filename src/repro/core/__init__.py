@@ -1,0 +1,44 @@
+"""The paper's contribution: greedy MIS/MM engines and their analysis.
+
+Public surface:
+
+* :mod:`repro.core.mis` — five MIS engines (sequential greedy, parallel
+  greedy, prefix-based, linear-work root-set, Luby baseline) behind
+  :func:`repro.core.mis.maximal_independent_set`.
+* :mod:`repro.core.matching` — four MM engines behind
+  :func:`repro.core.matching.maximal_matching`.
+* :mod:`repro.core.dependence` — priority-DAG analysis (dependence length,
+  longest path, per-vertex step numbers).
+* :mod:`repro.core.orderings` — random priorities π.
+"""
+
+from repro.core.orderings import (
+    random_priorities,
+    identity_priorities,
+    ranks_from_permutation,
+    permutation_from_ranks,
+    validate_priorities,
+)
+from repro.core.status import UNDECIDED, IN_SET, KNOCKED_OUT, EDGE_LIVE, EDGE_MATCHED, EDGE_DEAD
+from repro.core.result import MISResult, MatchingResult, RunStats
+from repro.core import mis, matching, dependence
+
+__all__ = [
+    "random_priorities",
+    "identity_priorities",
+    "ranks_from_permutation",
+    "permutation_from_ranks",
+    "validate_priorities",
+    "UNDECIDED",
+    "IN_SET",
+    "KNOCKED_OUT",
+    "EDGE_LIVE",
+    "EDGE_MATCHED",
+    "EDGE_DEAD",
+    "MISResult",
+    "MatchingResult",
+    "RunStats",
+    "mis",
+    "matching",
+    "dependence",
+]

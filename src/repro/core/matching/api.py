@@ -1,0 +1,90 @@
+"""Front door for maximal matching: method dispatch over a graph or edge list."""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.matching.parallel import parallel_greedy_matching
+from repro.core.matching.prefix import prefix_greedy_matching
+from repro.core.matching.rootset import rootset_matching
+from repro.core.matching.sequential import sequential_greedy_matching
+from repro.core.result import MatchingResult
+from repro.errors import EngineError
+from repro.graphs.csr import CSRGraph, EdgeList
+from repro.pram.machine import Machine
+from repro.util.rng import SeedLike
+
+__all__ = ["maximal_matching", "MM_METHODS"]
+
+#: Engine names accepted by :func:`maximal_matching`.
+MM_METHODS = ("sequential", "parallel", "prefix", "rootset")
+
+
+def maximal_matching(
+    graph_or_edges: Union[CSRGraph, EdgeList],
+    ranks: Optional[np.ndarray] = None,
+    *,
+    method: str = "prefix",
+    prefix_size: Optional[int] = None,
+    prefix_frac: Optional[float] = None,
+    seed: SeedLike = None,
+    machine: Optional[Machine] = None,
+) -> MatchingResult:
+    """Compute a maximal matching.
+
+    Parameters
+    ----------
+    graph_or_edges:
+        A :class:`~repro.graphs.csr.CSRGraph` (its canonical edge list is
+        used, so edge ids are reproducible) or an explicit
+        :class:`~repro.graphs.csr.EdgeList`.
+    ranks:
+        Edge priorities π (edge id → rank).  Random from *seed* when
+        omitted.
+    method:
+        One of :data:`MM_METHODS`; every method returns the
+        lexicographically-first matching for *ranks*.
+    prefix_size, prefix_frac:
+        Prefix knobs, only for ``method="prefix"``.
+    seed, machine:
+        As in :func:`repro.core.mis.maximal_independent_set`.
+
+    Examples
+    --------
+    >>> from repro.graphs.generators import cycle_graph
+    >>> res = maximal_matching(cycle_graph(6), seed=1)
+    >>> res.size in (2, 3)
+    True
+    """
+    if isinstance(graph_or_edges, CSRGraph):
+        edges = graph_or_edges.edge_list()
+    elif isinstance(graph_or_edges, EdgeList):
+        edges = graph_or_edges
+    else:
+        raise EngineError(
+            f"expected CSRGraph or EdgeList, got {type(graph_or_edges).__name__}"
+        )
+    if method not in MM_METHODS:
+        raise EngineError(
+            f"unknown matching method {method!r}; expected one of {MM_METHODS}"
+        )
+    if method != "prefix" and (prefix_size is not None or prefix_frac is not None):
+        raise EngineError(
+            f"prefix_size/prefix_frac only apply to method='prefix', not {method!r}"
+        )
+    if method == "sequential":
+        return sequential_greedy_matching(edges, ranks, seed=seed, machine=machine)
+    if method == "parallel":
+        return parallel_greedy_matching(edges, ranks, seed=seed, machine=machine)
+    if method == "rootset":
+        return rootset_matching(edges, ranks, seed=seed, machine=machine)
+    return prefix_greedy_matching(
+        edges,
+        ranks,
+        prefix_size=prefix_size,
+        prefix_frac=prefix_frac,
+        seed=seed,
+        machine=machine,
+    )

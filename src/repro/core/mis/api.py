@@ -1,0 +1,114 @@
+"""Front door for MIS: method dispatch with uniform options.
+
+Most users should call :func:`maximal_independent_set`; the per-engine
+functions remain available for code that needs engine-specific knobs.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.mis.luby import luby_mis
+from repro.core.mis.parallel import parallel_greedy_mis
+from repro.core.mis.prefix import prefix_greedy_mis
+from repro.core.mis.rootset import rootset_mis
+from repro.core.mis.sequential import sequential_greedy_mis
+from repro.core.result import MISResult
+from repro.errors import EngineError
+from repro.graphs.csr import CSRGraph
+from repro.pram.machine import Machine
+from repro.util.rng import SeedLike
+
+__all__ = ["maximal_independent_set", "MIS_METHODS"]
+
+#: Engine names accepted by :func:`maximal_independent_set`.
+#: ``theorem45`` is the prefix engine driven by the adaptive schedule from
+#: the proof of Theorem 4.5 (geometric degree-halving prefixes).
+MIS_METHODS = ("sequential", "parallel", "prefix", "theorem45", "rootset", "luby")
+
+
+def maximal_independent_set(
+    graph: CSRGraph,
+    ranks: Optional[np.ndarray] = None,
+    *,
+    method: str = "prefix",
+    prefix_size: Optional[int] = None,
+    prefix_frac: Optional[float] = None,
+    seed: SeedLike = None,
+    machine: Optional[Machine] = None,
+) -> MISResult:
+    """Compute a maximal independent set of *graph*.
+
+    Parameters
+    ----------
+    graph:
+        Simple undirected :class:`~repro.graphs.csr.CSRGraph`.
+    ranks:
+        Priority array (vertex → rank; smaller = earlier).  Random from
+        *seed* when omitted.  Ignored by ``method="luby"``, which
+        re-randomizes internally.
+    method:
+        One of :data:`MIS_METHODS`.  ``"sequential"``, ``"parallel"``,
+        ``"prefix"`` and ``"rootset"`` all return the lexicographically
+        first MIS for *ranks* (the paper's determinism property);
+        ``"luby"`` returns a seed-dependent MIS.
+    prefix_size, prefix_frac:
+        Prefix knobs, only meaningful for ``method="prefix"``.
+    seed:
+        Randomness source for priorities (and Luby's rounds).
+    machine:
+        Optional :class:`~repro.pram.machine.Machine` to charge; useful to
+        share one trace across phases.
+
+    Returns
+    -------
+    MISResult
+        Membership, the order used, and work/depth/step accounting.
+
+    Examples
+    --------
+    >>> from repro.graphs.generators import cycle_graph
+    >>> res = maximal_independent_set(cycle_graph(5), seed=0)
+    >>> res.size in (2,)
+    True
+    """
+    if method not in MIS_METHODS:
+        raise EngineError(
+            f"unknown MIS method {method!r}; expected one of {MIS_METHODS}"
+        )
+    if method != "prefix" and (prefix_size is not None or prefix_frac is not None):
+        raise EngineError(
+            f"prefix_size/prefix_frac only apply to method='prefix', not {method!r}"
+        )
+    if method == "theorem45":
+        from repro.core.mis.prefix import theorem45_prefix_sizes
+
+        if graph.num_vertices == 0:
+            return prefix_greedy_mis(graph, ranks, seed=seed, machine=machine)
+        sizes = theorem45_prefix_sizes(graph.num_vertices, graph.max_degree())
+        return prefix_greedy_mis(
+            graph, ranks, prefix_sizes=sizes, seed=seed, machine=machine
+        )
+    if method == "sequential":
+        return sequential_greedy_mis(graph, ranks, seed=seed, machine=machine)
+    if method == "parallel":
+        return parallel_greedy_mis(graph, ranks, seed=seed, machine=machine)
+    if method == "rootset":
+        return rootset_mis(graph, ranks, seed=seed, machine=machine)
+    if method == "luby":
+        if ranks is not None:
+            raise EngineError(
+                "method='luby' regenerates priorities every round and ignores ranks; "
+                "omit the ranks argument"
+            )
+        return luby_mis(graph, seed=seed, machine=machine)
+    return prefix_greedy_mis(
+        graph,
+        ranks,
+        prefix_size=prefix_size,
+        prefix_frac=prefix_frac,
+        seed=seed,
+        machine=machine,
+    )

@@ -1,0 +1,115 @@
+"""MIS verification predicates.
+
+Boolean predicates never raise; :func:`assert_valid_mis` wraps them with
+diagnostic :class:`~repro.errors.VerificationError` messages.  The
+lexicographically-first check re-runs the (trusted, trivially-auditable)
+sequential loop and compares — the strongest statement of the paper's
+determinism property.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import VerificationError
+from repro.graphs.csr import CSRGraph
+
+__all__ = [
+    "is_independent_set",
+    "is_maximal_independent_set",
+    "is_lexicographically_first_mis",
+    "assert_valid_mis",
+]
+
+
+def _as_mask(graph: CSRGraph, members) -> np.ndarray:
+    mask = np.asarray(members)
+    if mask.dtype == bool:
+        if mask.shape != (graph.num_vertices,):
+            raise ValueError(
+                f"membership mask must have shape ({graph.num_vertices},), "
+                f"got {mask.shape}"
+            )
+        return mask
+    out = np.zeros(graph.num_vertices, dtype=bool)
+    out[mask.astype(np.int64)] = True
+    return out
+
+
+def is_independent_set(graph: CSRGraph, members) -> bool:
+    """True iff no edge joins two members.
+
+    *members* may be a boolean mask over vertices or an array of vertex ids.
+    """
+    mask = _as_mask(graph, members)
+    src, dst = graph.arcs()
+    return not bool(np.any(mask[src] & mask[dst]))
+
+
+def is_maximal_independent_set(graph: CSRGraph, members) -> bool:
+    """True iff *members* is independent and no vertex can be added.
+
+    Maximality: every non-member has at least one member neighbor.
+    """
+    mask = _as_mask(graph, members)
+    if not is_independent_set(graph, mask):
+        return False
+    src, dst = graph.arcs()
+    covered = mask.copy()
+    covered[src[mask[dst]]] = True  # non-members adjacent to a member
+    return bool(covered.all())
+
+
+def is_lexicographically_first_mis(graph: CSRGraph, ranks: np.ndarray, members) -> bool:
+    """True iff *members* equals the greedy sequential MIS for *ranks*.
+
+    Uses the fixed-point characterization rather than re-running the
+    greedy loop: a set ``S`` is the lex-first MIS iff for **every** vertex
+    ``v``, ``v ∈ S`` exactly when no earlier neighbor of ``v`` is in
+    ``S``.  (Uniqueness follows by induction on rank: the condition pins
+    each vertex's membership given all earlier vertices'.)  One vectorized
+    pass over the arcs, ``O(n + m)``.
+    """
+    from repro.core.orderings import validate_priorities
+
+    mask = _as_mask(graph, members)
+    ranks = validate_priorities(np.asarray(ranks), graph.num_vertices)
+    src, dst = graph.arcs()
+    earlier_member = np.zeros(graph.num_vertices, dtype=bool)
+    # For arc (v -> u): u being an earlier member dominates v.
+    dominating = mask[dst] & (ranks[dst] < ranks[src])
+    earlier_member[src[dominating]] = True
+    return bool(np.array_equal(mask, ~earlier_member))
+
+
+def assert_valid_mis(
+    graph: CSRGraph,
+    members,
+    ranks: Optional[np.ndarray] = None,
+) -> None:
+    """Raise :class:`VerificationError` unless *members* is a valid MIS.
+
+    When *ranks* is given, additionally require the lexicographically-first
+    MIS for that order.
+    """
+    mask = _as_mask(graph, members)
+    src, dst = graph.arcs()
+    conflict = np.nonzero(mask[src] & mask[dst])[0]
+    if conflict.size:
+        a, b = int(src[conflict[0]]), int(dst[conflict[0]])
+        raise VerificationError(
+            f"not independent: both endpoints of edge ({a}, {b}) are in the set"
+        )
+    covered = mask.copy()
+    covered[src[mask[dst]]] = True
+    if not covered.all():
+        v = int(np.nonzero(~covered)[0][0])
+        raise VerificationError(
+            f"not maximal: vertex {v} is outside the set and has no member neighbor"
+        )
+    if ranks is not None and not is_lexicographically_first_mis(graph, ranks, mask):
+        raise VerificationError(
+            "valid MIS, but not the lexicographically-first MIS for the given order"
+        )

@@ -1,0 +1,58 @@
+"""Status codes shared by all engines.
+
+Vertex life-cycle in the MIS algorithms::
+
+    UNDECIDED --(no earlier undecided neighbor)--> IN_SET
+    UNDECIDED --(an earlier neighbor entered)----> KNOCKED_OUT
+
+Edge life-cycle in the MM algorithms::
+
+    EDGE_LIVE --(locally earliest on both ends)--> EDGE_MATCHED
+    EDGE_LIVE --(an adjacent edge matched)-------> EDGE_DEAD
+
+All engines use ``int8`` status arrays, the densest dtype numpy compares
+cheaply; the values are chosen so ``status == UNDECIDED`` is the common
+hot-path predicate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "UNDECIDED",
+    "IN_SET",
+    "KNOCKED_OUT",
+    "EDGE_LIVE",
+    "EDGE_MATCHED",
+    "EDGE_DEAD",
+    "STATUS_DTYPE",
+    "new_vertex_status",
+    "new_edge_status",
+]
+
+STATUS_DTYPE = np.int8
+
+#: Vertex not yet decided.
+UNDECIDED: int = 0
+#: Vertex accepted into the independent set.
+IN_SET: int = 1
+#: Vertex excluded because a neighbor entered the set.
+KNOCKED_OUT: int = 2
+
+#: Edge still in play.
+EDGE_LIVE: int = 0
+#: Edge accepted into the matching.
+EDGE_MATCHED: int = 1
+#: Edge excluded because an adjacent edge matched.
+EDGE_DEAD: int = 2
+
+
+def new_vertex_status(n: int) -> np.ndarray:
+    """Fresh all-``UNDECIDED`` status array for *n* vertices."""
+    return np.zeros(n, dtype=STATUS_DTYPE)
+
+
+def new_edge_status(m: int) -> np.ndarray:
+    """Fresh all-``EDGE_LIVE`` status array for *m* edges."""
+    return np.zeros(m, dtype=STATUS_DTYPE)

@@ -1,0 +1,57 @@
+"""Exception hierarchy for :mod:`repro`.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything produced by this package with a single ``except``
+clause while still letting programming errors (``TypeError`` from numpy,
+etc.) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GraphFormatError",
+    "InvalidGraphError",
+    "InvalidOrderingError",
+    "EngineError",
+    "VerificationError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` package."""
+
+
+class GraphFormatError(ReproError):
+    """A graph file or serialized payload could not be parsed.
+
+    Raised by :mod:`repro.graphs.io` when a file does not follow the PBBS
+    adjacency-graph or edge-list formats, or when the declared counts are
+    inconsistent with the payload.
+    """
+
+
+class InvalidGraphError(ReproError):
+    """Graph arrays violate the CSR invariants.
+
+    Examples: non-monotone offsets, neighbor indices out of range, an
+    asymmetric adjacency structure where an undirected graph is required,
+    or self-loops passed to an algorithm that forbids them.
+    """
+
+
+class InvalidOrderingError(ReproError):
+    """A priority array is not a permutation of the expected index range."""
+
+
+class EngineError(ReproError):
+    """An algorithm engine was misconfigured (unknown method, bad prefix
+    size, invalid processor count, ...)."""
+
+
+class VerificationError(ReproError):
+    """An output failed verification against its specification.
+
+    Raised by the ``verify`` helpers when asked to *assert* validity (as
+    opposed to the boolean-returning predicates, which never raise).
+    """

@@ -1,0 +1,57 @@
+"""Extensions: the paper's §7 direction, applied.
+
+"We believe that our approach can be applied to sequential greedy
+algorithms for other problems (e.g. spanning forest) and this is a
+direction for future work."  This subpackage carries the program out for
+two classic greedy loops:
+
+* :mod:`repro.extensions.coloring` — greedy graph coloring.  The parallel
+  schedule here must respect *every* earlier-neighbor dependence (a vertex
+  needs all earlier neighbors' colors), so its step count is the longest
+  path of the priority DAG rather than the MIS dependence length — a
+  measurably different (but still polylog for random orders on bounded
+  degree) quantity the benches contrast.
+* :mod:`repro.extensions.spanning_forest` — greedy (Kruskal-order)
+  spanning forest with a step-synchronous commit rule: an edge commits
+  when it is the highest-priority live edge on *both* of its endpoints'
+  components.  Returns the identical forest to the sequential loop.
+"""
+
+from repro.extensions.coloring import (
+    sequential_greedy_coloring,
+    parallel_greedy_coloring,
+    is_proper_coloring,
+)
+from repro.extensions.spanning_forest import (
+    sequential_spanning_forest,
+    parallel_spanning_forest,
+    is_spanning_forest,
+)
+from repro.extensions.reservations import (
+    speculative_for,
+    reservation_mis,
+    reservation_matching,
+)
+from repro.extensions.clique import (
+    lexicographically_first_maximal_clique,
+    maximal_clique_via_complement,
+    is_maximal_clique,
+)
+from repro.extensions.iterated_mis import mis_decomposition, is_mis_decomposition
+
+__all__ = [
+    "speculative_for",
+    "reservation_mis",
+    "reservation_matching",
+    "lexicographically_first_maximal_clique",
+    "maximal_clique_via_complement",
+    "is_maximal_clique",
+    "mis_decomposition",
+    "is_mis_decomposition",
+    "sequential_greedy_coloring",
+    "parallel_greedy_coloring",
+    "is_proper_coloring",
+    "sequential_spanning_forest",
+    "parallel_spanning_forest",
+    "is_spanning_forest",
+]

@@ -1,0 +1,43 @@
+"""Graph substrate: CSR storage, builders, generators, and I/O.
+
+Everything in :mod:`repro.core` operates on :class:`~repro.graphs.csr.CSRGraph`
+(undirected, symmetric compressed-sparse-row adjacency over numpy ``int64``
+arrays) or on its derived :class:`~repro.graphs.csr.EdgeList` (for maximal
+matching, which orders *edges*).
+
+The two evaluation inputs of the paper are provided by
+:func:`~repro.graphs.generators.random_graphs.uniform_random_graph` and
+:func:`~repro.graphs.generators.rmat.rmat_graph`.
+"""
+
+from repro.graphs.csr import CSRGraph, EdgeList
+from repro.graphs.builders import (
+    from_edges,
+    from_adjacency_lists,
+    from_networkx,
+    to_networkx,
+)
+from repro.graphs.io import (
+    read_adjacency_graph,
+    write_adjacency_graph,
+    read_edge_list,
+    write_edge_list,
+)
+from repro.graphs.linegraph import line_graph
+from repro.graphs import generators, properties
+
+__all__ = [
+    "CSRGraph",
+    "EdgeList",
+    "from_edges",
+    "from_adjacency_lists",
+    "from_networkx",
+    "to_networkx",
+    "read_adjacency_graph",
+    "write_adjacency_graph",
+    "read_edge_list",
+    "write_edge_list",
+    "line_graph",
+    "generators",
+    "properties",
+]

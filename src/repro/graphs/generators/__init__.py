@@ -1,0 +1,49 @@
+"""Workload generators.
+
+The two evaluation inputs of the paper:
+
+* :func:`~repro.graphs.generators.random_graphs.uniform_random_graph` —
+  the "sparse random graph" (uniform G(n, m)); the paper used n = 10^7,
+  m = 5 x 10^7.
+* :func:`~repro.graphs.generators.rmat.rmat_graph` — the R-MAT power-law
+  graph of Chakrabarti, Zhan & Faloutsos; the paper used n = 2^24,
+  m = 5 x 10^7.
+
+Plus structured families (grid/torus/cycle/star/complete/tree) and
+power-law models (Chung-Lu, Barabasi-Albert) used by the test and theory
+suites to exercise adversarial degree distributions.
+"""
+
+from repro.graphs.generators.random_graphs import uniform_random_graph, gnp_random_graph
+from repro.graphs.generators.rmat import rmat_graph
+from repro.graphs.generators.structured import (
+    empty_graph,
+    path_graph,
+    cycle_graph,
+    complete_graph,
+    star_graph,
+    grid_graph,
+    torus_graph,
+    balanced_tree,
+    hypercube_graph,
+    complete_bipartite_graph,
+)
+from repro.graphs.generators.powerlaw import chung_lu_graph, barabasi_albert_graph
+
+__all__ = [
+    "uniform_random_graph",
+    "gnp_random_graph",
+    "rmat_graph",
+    "empty_graph",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "grid_graph",
+    "torus_graph",
+    "balanced_tree",
+    "hypercube_graph",
+    "complete_bipartite_graph",
+    "chung_lu_graph",
+    "barabasi_albert_graph",
+]

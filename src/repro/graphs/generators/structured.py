@@ -1,0 +1,148 @@
+"""Deterministic structured graph families.
+
+These exercise the *adversarial graph, random order* setting that
+distinguishes the paper's Theorem 3.5 from the random-graph analyses of
+Coppersmith et al. and Calkin–Frieze: the dependence-length bound must hold
+on paths, grids, stars, and complete graphs too.  The complete graph is the
+paper's own example of a priority DAG whose longest path is Ω(n) while the
+dependence length is O(1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.builders import from_edges
+from repro.graphs.csr import CSRGraph
+from repro.util.validation import check_int, check_positive_int, require
+
+__all__ = [
+    "empty_graph",
+    "path_graph",
+    "cycle_graph",
+    "complete_graph",
+    "star_graph",
+    "grid_graph",
+    "torus_graph",
+    "balanced_tree",
+    "hypercube_graph",
+    "complete_bipartite_graph",
+]
+
+
+def empty_graph(n: int) -> CSRGraph:
+    """*n* isolated vertices, no edges (n may be 0 — wait, n >= 0)."""
+    n = check_int(n, "n")
+    require(n >= 0, f"n must be non-negative, got {n}", ValueError)
+    e = np.empty(0, dtype=np.int64)
+    return from_edges(max(n, 0), e, e) if n > 0 else CSRGraph(np.zeros(1, dtype=np.int64), e)
+
+
+def path_graph(n: int) -> CSRGraph:
+    """Path 0-1-2-...-(n-1)."""
+    n = check_positive_int(n, "n")
+    i = np.arange(n - 1, dtype=np.int64)
+    return from_edges(n, i, i + 1)
+
+
+def cycle_graph(n: int) -> CSRGraph:
+    """Cycle on *n* >= 3 vertices."""
+    n = check_positive_int(n, "n")
+    require(n >= 3, f"a simple cycle needs n >= 3, got {n}", ValueError)
+    i = np.arange(n, dtype=np.int64)
+    return from_edges(n, i, (i + 1) % n)
+
+
+def complete_graph(n: int) -> CSRGraph:
+    """Clique K_n — the paper's Ω(n)-longest-path / O(1)-dependence example."""
+    n = check_positive_int(n, "n")
+    iu = np.triu_indices(n, k=1)
+    return from_edges(n, iu[0].astype(np.int64), iu[1].astype(np.int64))
+
+
+def star_graph(n: int) -> CSRGraph:
+    """Star: center 0 connected to 1..n-1 (extreme degree skew)."""
+    n = check_positive_int(n, "n")
+    leaves = np.arange(1, n, dtype=np.int64)
+    centers = np.zeros(n - 1, dtype=np.int64)
+    return from_edges(n, centers, leaves)
+
+
+def grid_graph(rows: int, cols: int) -> CSRGraph:
+    """rows x cols 4-neighbor grid (vertex ``r*cols + c``)."""
+    rows = check_positive_int(rows, "rows")
+    cols = check_positive_int(cols, "cols")
+    r, c = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    vid = (r * cols + c).astype(np.int64)
+    us = []
+    vs = []
+    if cols > 1:
+        us.append(vid[:, :-1].ravel())
+        vs.append(vid[:, 1:].ravel())
+    if rows > 1:
+        us.append(vid[:-1, :].ravel())
+        vs.append(vid[1:, :].ravel())
+    if not us:
+        e = np.empty(0, dtype=np.int64)
+        return from_edges(rows * cols, e, e)
+    return from_edges(rows * cols, np.concatenate(us), np.concatenate(vs))
+
+
+def torus_graph(rows: int, cols: int) -> CSRGraph:
+    """Grid with wraparound in both dimensions (4-regular for sizes >= 3)."""
+    rows = check_positive_int(rows, "rows")
+    cols = check_positive_int(cols, "cols")
+    r, c = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    vid = (r * cols + c).astype(np.int64)
+    right = (r * cols + (c + 1) % cols).astype(np.int64)
+    down = (((r + 1) % rows) * cols + c).astype(np.int64)
+    u = np.concatenate([vid.ravel(), vid.ravel()])
+    v = np.concatenate([right.ravel(), down.ravel()])
+    return from_edges(rows * cols, u, v)
+
+
+def hypercube_graph(dimension: int) -> CSRGraph:
+    """d-dimensional hypercube: 2^d vertices, edges between ids differing
+    in one bit.  A d-regular, diameter-d family the theory suites use for
+    a structured log-degree regime."""
+    dimension = check_int(dimension, "dimension")
+    require(0 <= dimension <= 20,
+            f"dimension must lie in [0, 20], got {dimension}", ValueError)
+    n = 1 << dimension
+    if dimension == 0:
+        return empty_graph(1)
+    ids = np.arange(n, dtype=np.int64)
+    us = []
+    vs = []
+    for bit in range(dimension):
+        us.append(ids)
+        vs.append(ids ^ (1 << bit))
+    return from_edges(n, np.concatenate(us), np.concatenate(vs))
+
+
+def complete_bipartite_graph(a: int, b: int) -> CSRGraph:
+    """K_{a,b}: parts {0..a-1} and {a..a+b-1}, all cross edges.
+
+    Bipartite extremes stress the matching engines (perfect matchings
+    exist iff a == b) and give line graphs with huge cliques.
+    """
+    a = check_positive_int(a, "a")
+    b = check_positive_int(b, "b")
+    left = np.repeat(np.arange(a, dtype=np.int64), b)
+    right = np.tile(np.arange(a, a + b, dtype=np.int64), a)
+    return from_edges(a + b, left, right)
+
+
+def balanced_tree(branching: int, height: int) -> CSRGraph:
+    """Complete *branching*-ary tree of the given height (height 0 = root only)."""
+    branching = check_positive_int(branching, "branching")
+    height = check_int(height, "height")
+    require(height >= 0, f"height must be non-negative, got {height}", ValueError)
+    if branching == 1:
+        return path_graph(height + 1)
+    n = (branching ** (height + 1) - 1) // (branching - 1)
+    if n == 1:
+        return empty_graph(1)
+    children = np.arange(1, n, dtype=np.int64)
+    parents = (children - 1) // branching
+    return from_edges(n, parents, children)

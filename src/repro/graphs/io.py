@@ -1,0 +1,173 @@
+"""Graph file I/O in the two PBBS text formats.
+
+The paper's experimental inputs come from the Problem Based Benchmark Suite
+tooling; this module implements its two interchange formats so generated
+workloads can be persisted and re-read byte-for-byte.
+
+Adjacency-graph format (header ``AdjacencyGraph``)::
+
+    AdjacencyGraph
+    <n>
+    <num arcs>
+    <n offsets, one per line>
+    <num-arcs neighbor ids, one per line>
+
+Edge-array format (header ``EdgeArray``)::
+
+    EdgeArray
+    <u> <v>
+    ...
+
+Both readers validate counts and raise :class:`~repro.errors.GraphFormatError`
+with line-level context on malformed input.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import Tuple, Union
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graphs.builders import from_edges
+from repro.graphs.csr import CSRGraph
+
+__all__ = [
+    "ADJACENCY_HEADER",
+    "EDGE_ARRAY_HEADER",
+    "read_adjacency_graph",
+    "write_adjacency_graph",
+    "read_edge_list",
+    "write_edge_list",
+]
+
+ADJACENCY_HEADER = "AdjacencyGraph"
+EDGE_ARRAY_HEADER = "EdgeArray"
+
+PathLike = Union[str, os.PathLike]
+
+
+def _is_gzip(path: PathLike) -> bool:
+    return str(path).endswith(".gz")
+
+
+def _read_tokens(path: PathLike) -> list:
+    """Read a whitespace-token stream; ``.gz`` paths are transparently
+    decompressed (large PBBS inputs are usually shipped gzipped)."""
+    try:
+        if _is_gzip(path):
+            import gzip
+
+            with gzip.open(path, "rt", encoding="ascii") as fh:
+                text = fh.read()
+        else:
+            with open(path, "r", encoding="ascii") as fh:
+                text = fh.read()
+    except OSError as exc:
+        raise GraphFormatError(f"cannot read graph file {path!r}: {exc}") from exc
+    return text.split()
+
+
+def _open_for_write(path: PathLike):
+    if _is_gzip(path):
+        import gzip
+
+        return gzip.open(path, "wt", encoding="ascii")
+    return open(path, "w", encoding="ascii")
+
+
+def read_adjacency_graph(path: PathLike) -> CSRGraph:
+    """Read a graph in PBBS adjacency format.
+
+    The stored graph is taken at face value as a directed CSR; the PBBS
+    convention for undirected graphs is to store both arc directions, and
+    :class:`CSRGraph` construction enforces the resulting arc-count parity.
+    """
+    tokens = _read_tokens(path)
+    if not tokens or tokens[0] != ADJACENCY_HEADER:
+        found = tokens[0] if tokens else "<empty file>"
+        raise GraphFormatError(
+            f"{path}: expected header {ADJACENCY_HEADER!r}, found {found!r}"
+        )
+    if len(tokens) < 3:
+        raise GraphFormatError(f"{path}: missing vertex/arc counts")
+    try:
+        n = int(tokens[1])
+        arcs = int(tokens[2])
+    except ValueError as exc:
+        raise GraphFormatError(f"{path}: non-integer counts in header") from exc
+    expected = 3 + n + arcs
+    if len(tokens) != expected:
+        raise GraphFormatError(
+            f"{path}: expected {expected} tokens for n={n}, arcs={arcs}; "
+            f"found {len(tokens)}"
+        )
+    try:
+        body = np.array(tokens[3:], dtype=np.int64)
+    except ValueError as exc:
+        raise GraphFormatError(f"{path}: non-integer payload") from exc
+    starts = body[:n]
+    neighbors = body[n:]
+    offsets = np.empty(n + 1, dtype=np.int64)
+    offsets[:n] = starts
+    offsets[n] = arcs
+    try:
+        return CSRGraph(offsets, neighbors)
+    except Exception as exc:
+        raise GraphFormatError(f"{path}: invalid CSR payload: {exc}") from exc
+
+
+def write_adjacency_graph(graph: CSRGraph, path: PathLike) -> None:
+    """Write *graph* in PBBS adjacency format (see module docstring)."""
+    buf = io.StringIO()
+    buf.write(ADJACENCY_HEADER + "\n")
+    buf.write(f"{graph.num_vertices}\n")
+    buf.write(f"{graph.num_arcs}\n")
+    np.savetxt(buf, graph.offsets[:-1], fmt="%d")
+    np.savetxt(buf, graph.neighbors, fmt="%d")
+    with _open_for_write(path) as fh:
+        fh.write(buf.getvalue())
+
+
+def read_edge_list(path: PathLike) -> CSRGraph:
+    """Read a graph in PBBS edge-array format and canonicalize it.
+
+    Vertex count is inferred as ``max endpoint + 1``; the edge soup passes
+    through :func:`repro.graphs.builders.from_edges` (dedup, loop removal).
+    """
+    tokens = _read_tokens(path)
+    if not tokens or tokens[0] != EDGE_ARRAY_HEADER:
+        found = tokens[0] if tokens else "<empty file>"
+        raise GraphFormatError(
+            f"{path}: expected header {EDGE_ARRAY_HEADER!r}, found {found!r}"
+        )
+    body = tokens[1:]
+    if len(body) % 2 != 0:
+        raise GraphFormatError(
+            f"{path}: edge payload has odd token count {len(body)}"
+        )
+    try:
+        flat = np.array(body, dtype=np.int64)
+    except ValueError as exc:
+        raise GraphFormatError(f"{path}: non-integer endpoints") from exc
+    if flat.size == 0:
+        return from_edges(0, flat, flat)
+    if flat.min() < 0:
+        raise GraphFormatError(f"{path}: negative vertex id")
+    u = flat[0::2]
+    v = flat[1::2]
+    n = int(flat.max()) + 1
+    return from_edges(n, u, v)
+
+
+def write_edge_list(graph: CSRGraph, path: PathLike) -> None:
+    """Write *graph* as a PBBS edge array (one ``u v`` line per edge)."""
+    el = graph.edge_list()
+    pairs = np.stack([el.u, el.v], axis=1)
+    buf = io.StringIO()
+    buf.write(EDGE_ARRAY_HEADER + "\n")
+    np.savetxt(buf, pairs, fmt="%d")
+    with _open_for_write(path) as fh:
+        fh.write(buf.getvalue())

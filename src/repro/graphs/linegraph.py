@@ -1,0 +1,75 @@
+"""Line-graph construction (the MM → MIS reduction of Section 5).
+
+The paper proves Lemma 5.1 by observing that greedy maximal matching on
+``G`` under edge order π is *exactly* greedy MIS on the line graph ``L(G)``
+under the same order.  The reduction can be quadratically larger than ``G``
+(which is why the paper implements MM directly), but it is invaluable for
+testing: the property suite checks engine outputs against it on small
+graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graphs.csr import CSRGraph, EdgeList, expand_offsets
+from repro.graphs.builders import from_edges
+
+__all__ = ["line_graph"]
+
+
+def line_graph(graph: CSRGraph) -> Tuple[CSRGraph, EdgeList]:
+    """Build ``L(G)``: one vertex per edge of *G*, adjacency = shared endpoint.
+
+    Returns ``(L, edge_list)`` where vertex ``i`` of ``L`` corresponds to
+    edge ``i`` of ``edge_list`` (which is ``graph.edge_list()``, the
+    canonical numbering shared with the matching engines).
+
+    Cost is ``O(sum_v deg(v)^2)`` — all pairs of edges at each vertex —
+    built fully vectorized: for each vertex the incident-edge segment is
+    expanded into (segment-id, position) pairs and all ordered pairs within
+    a segment are emitted via a repeat/arange product.
+    """
+    el = graph.edge_list()
+    offsets, edge_ids = el.incidence()
+    n = graph.num_vertices
+    degs = np.diff(offsets)
+    # For a vertex with k incident edges we emit k*(k-1)/2 unordered pairs.
+    pair_counts = degs * (degs - 1) // 2
+    total = int(pair_counts.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return from_edges(el.num_edges, empty, empty), el
+
+    # Emit pairs (i, j) with i < j over each segment, vectorized per
+    # "row": for r = 1..k-1, segment contributes pairs (j - r, j) for
+    # j = r..k-1.  We loop over r up to the max degree; each iteration is
+    # one vectorized slice over all segments with degree > r.  Total work
+    # stays O(sum deg^2) because iteration r touches only segments with
+    # deg > r.
+    us = []
+    vs = []
+    max_deg = int(degs.max(initial=0))
+    starts = offsets[:-1]
+    for r in range(1, max_deg):
+        active = degs > r
+        if not np.any(active):
+            break
+        seg_starts = starts[active]
+        seg_degs = degs[active]
+        counts = seg_degs - r
+        lo = np.repeat(seg_starts, counts)
+        seg_starts_rep = np.zeros(counts.sum(), dtype=np.int64)
+        # position within the emitted run for each segment
+        run_starts = np.zeros(counts.size, dtype=np.int64)
+        np.cumsum(counts[:-1], out=run_starts[1:])
+        within = np.arange(int(counts.sum()), dtype=np.int64) - np.repeat(run_starts, counts)
+        first = edge_ids[lo + within]
+        second = edge_ids[lo + within + r]
+        us.append(first)
+        vs.append(second)
+    u = np.concatenate(us)
+    v = np.concatenate(vs)
+    return from_edges(el.num_edges, u, v), el

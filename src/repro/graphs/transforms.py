@@ -1,0 +1,117 @@
+"""Graph transforms: induction, relabeling, unions, degree capping.
+
+Utilities the applications and test suites lean on.  All transforms
+return fresh :class:`~repro.graphs.csr.CSRGraph` objects (graphs are
+immutable by convention) and are vectorized end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.core.orderings import validate_priorities
+from repro.graphs.builders import from_edges
+from repro.graphs.csr import CSRGraph
+from repro.util.validation import check_index_array, require
+
+__all__ = [
+    "induced_subgraph",
+    "remove_vertices",
+    "relabel",
+    "disjoint_union",
+    "cap_degrees",
+]
+
+
+def induced_subgraph(graph: CSRGraph, vertices) -> Tuple[CSRGraph, np.ndarray]:
+    """The subgraph induced by *vertices* (ids or boolean mask).
+
+    Returns ``(subgraph, kept)`` where ``kept`` is the sorted array of
+    original vertex ids; new vertex ``i`` corresponds to ``kept[i]``.
+    """
+    n = graph.num_vertices
+    mask = np.asarray(vertices)
+    if mask.dtype == bool:
+        require(mask.shape == (n,), f"mask must have shape ({n},)", ValueError)
+        keep = mask
+    else:
+        ids = check_index_array(mask, n, "vertices")
+        keep = np.zeros(n, dtype=bool)
+        keep[ids] = True
+    kept = np.nonzero(keep)[0].astype(np.int64)
+    new_id = np.cumsum(keep, dtype=np.int64) - 1
+    src, dst = graph.arcs()
+    alive = keep[src] & keep[dst]
+    sub = from_edges(int(kept.size), new_id[src[alive]], new_id[dst[alive]])
+    return sub, kept
+
+
+def remove_vertices(graph: CSRGraph, vertices) -> Tuple[CSRGraph, np.ndarray]:
+    """Complement of :func:`induced_subgraph`: drop the given vertices."""
+    n = graph.num_vertices
+    mask = np.asarray(vertices)
+    if mask.dtype == bool:
+        require(mask.shape == (n,), f"mask must have shape ({n},)", ValueError)
+        drop = mask
+    else:
+        ids = check_index_array(mask, n, "vertices")
+        drop = np.zeros(n, dtype=bool)
+        drop[ids] = True
+    return induced_subgraph(graph, ~drop)
+
+
+def relabel(graph: CSRGraph, permutation: np.ndarray) -> CSRGraph:
+    """Rename vertex ``v`` to ``permutation[v]`` (a bijection on ids).
+
+    Relabeling then running greedy with identity priorities is the same as
+    running greedy with ``ranks = permutation`` on the original graph — a
+    cross-check the tests use.
+    """
+    n = graph.num_vertices
+    perm = validate_priorities(np.asarray(permutation), n)
+    src, dst = graph.arcs()
+    return from_edges(n, perm[src], perm[dst])
+
+
+def disjoint_union(a: CSRGraph, b: CSRGraph) -> CSRGraph:
+    """Place *a* and *b* side by side; *b*'s ids are shifted by ``a.n``."""
+    na = a.num_vertices
+    asrc, adst = a.arcs()
+    bsrc, bdst = b.arcs()
+    src = np.concatenate([asrc, bsrc + na])
+    dst = np.concatenate([adst, bdst + na])
+    return from_edges(na + b.num_vertices, src, dst)
+
+
+def cap_degrees(graph: CSRGraph, max_degree: int, seed=None) -> CSRGraph:
+    """Drop edges until every vertex has degree <= *max_degree*.
+
+    Edges are dropped in a deterministic order (highest canonical edge id
+    first when *seed* is None, random otherwise) by repeatedly filtering
+    edges whose endpoints still exceed the cap.  Useful for constructing
+    the bounded-degree inputs of the lemma suites.
+    """
+    require(max_degree >= 0, f"max_degree must be >= 0, got {max_degree}", ValueError)
+    el = graph.edge_list()
+    m = el.num_edges
+    if m == 0:
+        return graph
+    if seed is None:
+        order = np.arange(m, dtype=np.int64)
+    else:
+        from repro.util.rng import as_generator
+
+        order = as_generator(seed).permutation(m).astype(np.int64)
+    degree = np.zeros(graph.num_vertices, dtype=np.int64)
+    keep = np.zeros(m, dtype=bool)
+    # Greedy in order: keep an edge iff both endpoints are under the cap.
+    for e in order.tolist():
+        a, b = int(el.u[e]), int(el.v[e])
+        if degree[a] < max_degree and degree[b] < max_degree:
+            keep[e] = True
+            degree[a] += 1
+            degree[b] += 1
+    ids = np.nonzero(keep)[0]
+    return from_edges(graph.num_vertices, el.u[ids], el.v[ids])

@@ -1,0 +1,45 @@
+"""CRCW-PRAM work--depth accounting substrate.
+
+The paper analyzes its algorithms in the work--depth model on a CRCW PRAM
+and evaluates them on a 32-core shared-memory machine.  A single-core
+CPython process cannot exhibit real shared-memory speedups (the GIL), so
+this subpackage provides the substitute substrate described in DESIGN.md:
+
+* :class:`~repro.pram.machine.Machine` — engines *charge* every synchronous
+  parallel step they execute with its exact work (operation count) and
+  depth (critical-path length).  Work is therefore measured, not modeled.
+* :mod:`~repro.pram.primitives` — the standard PRAM building blocks (scan,
+  pack, bucket sort, segmented reductions) implemented with vectorized
+  numpy and annotated with their textbook work/depth costs.
+* :class:`~repro.pram.cost_model.CostModel` and
+  :func:`~repro.pram.scheduler.simulate_time` — Brent's bound
+  ``T_P <= W/P + c*D`` plus a per-step synchronization overhead and a
+  sequential grain cutoff, turning a recorded trace into simulated running
+  time for ``P`` processors.  These three constants are the *only* modeled
+  quantities in the reproduction.
+"""
+
+from repro.pram.machine import Machine, StepRecord, null_machine
+from repro.pram.cost_model import CostModel
+from repro.pram.scheduler import simulate_time, speedup_curve
+from repro.pram.trace import (
+    round_summaries,
+    work_breakdown,
+    format_trace,
+    critical_fraction,
+)
+from repro.pram import primitives
+
+__all__ = [
+    "Machine",
+    "StepRecord",
+    "null_machine",
+    "CostModel",
+    "simulate_time",
+    "speedup_curve",
+    "round_summaries",
+    "work_breakdown",
+    "format_trace",
+    "critical_fraction",
+    "primitives",
+]

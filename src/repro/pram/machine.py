@@ -1,0 +1,176 @@
+"""The work--depth accounting machine.
+
+Every algorithm engine in :mod:`repro.core` receives a :class:`Machine` and
+charges it once per *synchronous step* — the unit of the CRCW PRAM model in
+which the paper states its bounds.  A step is a parallel region in which all
+processors advance together: e.g. "every live vertex inspects its live
+neighbors" is one step with ``work = #live vertices + #live edges`` and
+``depth = O(log n)`` (for the doubling/reduction inside the step).
+
+Sequential baselines charge steps with ``parallel=False``; the scheduler
+never divides their work among processors.
+
+The machine also records *round* boundaries (the outer iterations of the
+prefix-based Algorithm 3), which the figure harness reports directly.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterator, List, Optional
+
+__all__ = ["StepRecord", "Machine", "null_machine", "log2_depth"]
+
+
+def log2_depth(k: int) -> int:
+    """Depth of a balanced reduction/scan over ``k`` items: ``ceil(log2 k)``.
+
+    Returns 1 for ``k <= 2`` so that even a trivial step has unit depth.
+    """
+    if k <= 2:
+        return 1
+    return int(math.ceil(math.log2(k)))
+
+
+@dataclass(frozen=True)
+class StepRecord:
+    """One synchronous parallel step.
+
+    Attributes
+    ----------
+    work:
+        Total number of primitive operations performed by all processors in
+        this step (measured by the engine, e.g. the number of edge
+        inspections).
+    depth:
+        Critical-path length of the step (time with unboundedly many
+        processors); at least 1.
+    parallel:
+        ``False`` for steps executed by a sequential baseline; the
+        scheduler then costs them at ``work`` time regardless of ``P``.
+    tag:
+        Free-form label ("round-scan", "inner", "luby-round", ...) used by
+        traces and tests.
+    round_index:
+        Index of the outer round this step belongs to, or -1 when the
+        engine has no round structure.
+    """
+
+    work: int
+    depth: int = 1
+    parallel: bool = True
+    tag: str = ""
+    round_index: int = -1
+
+
+class Machine:
+    """Accumulates a trace of :class:`StepRecord` plus aggregate counters.
+
+    The aggregate ``work`` is the exact operation count of the run; the
+    aggregate ``depth`` is the sum of step depths, i.e. the time on an
+    unbounded-processor PRAM with a barrier after every step.
+
+    Notes
+    -----
+    A fresh machine should be used per algorithm run; engines create one
+    internally when the caller does not supply one (see
+    :func:`null_machine` for a shared do-nothing variant used in tight
+    property tests).
+    """
+
+    __slots__ = ("steps", "work", "depth", "_round")
+
+    def __init__(self) -> None:
+        self.steps: List[StepRecord] = []
+        self.work: int = 0
+        self.depth: int = 0
+        self._round: int = -1
+
+    # -- recording ---------------------------------------------------------
+
+    def charge(
+        self,
+        work: int,
+        depth: int = 1,
+        *,
+        parallel: bool = True,
+        tag: str = "",
+    ) -> None:
+        """Record one synchronous step of *work* operations.
+
+        ``depth`` defaults to 1; engines typically pass
+        ``log2_depth(fanin)`` for steps containing a reduction.  Steps of
+        zero work are dropped (they would only inflate the sync-overhead
+        term artificially).
+        """
+        work = int(work)
+        if work <= 0:
+            return
+        depth = max(1, int(depth))
+        self.steps.append(
+            StepRecord(work=work, depth=depth, parallel=parallel, tag=tag, round_index=self._round)
+        )
+        self.work += work
+        self.depth += depth
+
+    def begin_round(self) -> int:
+        """Mark the start of a new outer round; returns its index."""
+        self._round += 1
+        return self._round
+
+    # -- inspection --------------------------------------------------------
+
+    @property
+    def num_steps(self) -> int:
+        """Number of recorded synchronous steps."""
+        return len(self.steps)
+
+    @property
+    def num_rounds(self) -> int:
+        """Number of outer rounds marked via :meth:`begin_round`."""
+        return self._round + 1
+
+    def steps_in_round(self, round_index: int) -> Iterator[StepRecord]:
+        """Yield the steps charged during the given outer round."""
+        for s in self.steps:
+            if s.round_index == round_index:
+                yield s
+
+    def work_by_tag(self) -> dict:
+        """Aggregate work per step tag — handy for ablation tables."""
+        out: dict = {}
+        for s in self.steps:
+            out[s.tag] = out.get(s.tag, 0) + s.work
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Machine(work={self.work}, depth={self.depth}, "
+            f"steps={self.num_steps}, rounds={self.num_rounds})"
+        )
+
+
+class _NullMachine(Machine):
+    """A machine that records nothing; used when stats are not needed.
+
+    Property-based tests run engines thousands of times; skipping trace
+    allocation keeps them fast while exercising identical control flow.
+    """
+
+    __slots__ = ()
+
+    def charge(self, work: int, depth: int = 1, *, parallel: bool = True, tag: str = "") -> None:  # noqa: D102
+        work = int(work)
+        if work > 0:
+            self.work += work
+            self.depth += max(1, int(depth))
+
+    def begin_round(self) -> int:  # noqa: D102
+        self._round += 1
+        return self._round
+
+
+def null_machine() -> Machine:
+    """Return a lightweight machine that keeps totals but no step trace."""
+    return _NullMachine()

@@ -1,0 +1,67 @@
+"""Trace scheduler: replay a recorded machine trace on ``P`` processors.
+
+Separating *recording* (exact work/depth, done by the engines) from
+*scheduling* (Brent's bound, done here) means one algorithm run yields the
+whole thread-count axis of Figures 3 and 4 — the trace is replayed for each
+``P`` instead of re-running the algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence
+
+from repro.pram.cost_model import CostModel
+from repro.pram.machine import Machine
+
+__all__ = ["simulate_time", "speedup_curve"]
+
+
+def simulate_time(
+    machine: Machine,
+    processors: int,
+    cost: Optional[CostModel] = None,
+) -> float:
+    """Simulated wall-clock seconds of the recorded run on *processors*.
+
+    Parameters
+    ----------
+    machine:
+        A machine whose trace was populated by exactly one engine run.
+        Machines produced by :func:`repro.pram.machine.null_machine` carry
+        no trace and are rejected, since silently returning 0 would corrupt
+        a sweep.
+    processors:
+        Simulated core count ``P >= 1``.
+    cost:
+        Cost model; defaults to :class:`CostModel()`.
+
+    Returns
+    -------
+    float
+        Sum of per-step times under the cost model.
+    """
+    if cost is None:
+        cost = CostModel()
+    if processors < 1:
+        raise ValueError(f"processor count must be >= 1, got {processors}")
+    if machine.work > 0 and not machine.steps:
+        raise ValueError(
+            "machine has aggregate work but no step trace; "
+            "use Machine(), not null_machine(), for timing simulations"
+        )
+    return sum(cost.step_time(s, processors) for s in machine.steps)
+
+
+def speedup_curve(
+    machine: Machine,
+    processor_counts: Sequence[int],
+    cost: Optional[CostModel] = None,
+) -> Dict[int, float]:
+    """Simulated time for each processor count in *processor_counts*.
+
+    Returns a ``{P: seconds}`` dict preserving the input order (Python
+    dicts are insertion-ordered), ready for the Figure 3/4 harness.
+    """
+    if cost is None:
+        cost = CostModel()
+    return {int(p): simulate_time(machine, int(p), cost) for p in processor_counts}

@@ -1,0 +1,132 @@
+"""Trace analysis: turn a recorded machine trace into readable summaries.
+
+A :class:`~repro.pram.machine.Machine` trace is the raw material of every
+figure; this module provides the human-facing views:
+
+* :func:`round_summaries` — per-outer-round step/work/depth aggregates;
+* :func:`work_breakdown` — where the operations went, by step tag
+  (scan vs gather vs inner for the prefix engines — the redundancy the
+  paper's work plots measure);
+* :func:`format_trace` — a fixed-width table of either view;
+* :func:`critical_fraction` — the fraction of simulated time a given
+  processor count spends on the non-parallelizable terms (overheads +
+  depth), i.e. how far the run sits from the work-bound regime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.util.tables import format_table
+from repro.pram.cost_model import CostModel
+from repro.pram.machine import Machine
+
+__all__ = [
+    "RoundSummary",
+    "round_summaries",
+    "work_breakdown",
+    "format_trace",
+    "critical_fraction",
+]
+
+
+@dataclass(frozen=True)
+class RoundSummary:
+    """Aggregate of one outer round of an engine's trace."""
+
+    round_index: int
+    steps: int
+    work: int
+    depth: int
+
+
+def round_summaries(machine: Machine) -> List[RoundSummary]:
+    """Per-round aggregates, in round order.
+
+    Steps recorded outside any round (round index -1) are aggregated
+    under a leading pseudo-round, when present.
+    """
+    buckets: Dict[int, List] = {}
+    for step in machine.steps:
+        buckets.setdefault(step.round_index, []).append(step)
+    out = []
+    for idx in sorted(buckets):
+        steps = buckets[idx]
+        out.append(
+            RoundSummary(
+                round_index=idx,
+                steps=len(steps),
+                work=sum(s.work for s in steps),
+                depth=sum(s.depth for s in steps),
+            )
+        )
+    return out
+
+
+def work_breakdown(machine: Machine) -> Dict[str, Dict[str, float]]:
+    """Work and step counts per tag, with fractions of the total.
+
+    Returns ``{tag: {"work": w, "steps": k, "fraction": w/W}}``.
+    """
+    total = max(machine.work, 1)
+    out: Dict[str, Dict[str, float]] = {}
+    for step in machine.steps:
+        entry = out.setdefault(step.tag, {"work": 0, "steps": 0, "fraction": 0.0})
+        entry["work"] += step.work
+        entry["steps"] += 1
+    for entry in out.values():
+        entry["fraction"] = entry["work"] / total
+    return out
+
+
+def format_trace(machine: Machine, *, max_rounds: int = 20) -> str:
+    """Readable two-part report: work breakdown plus the first rounds."""
+    breakdown = work_breakdown(machine)
+    rows = [
+        [tag or "(untagged)", v["steps"], v["work"], f"{100 * v['fraction']:.1f}%"]
+        for tag, v in sorted(breakdown.items(), key=lambda kv: -kv[1]["work"])
+    ]
+    parts = [
+        f"total work {machine.work}, depth {machine.depth}, "
+        f"{machine.num_steps} steps, {machine.num_rounds} rounds",
+        format_table(["tag", "steps", "work", "share"], rows),
+    ]
+    rounds = round_summaries(machine)
+    if rounds:
+        shown = rounds[:max_rounds]
+        parts.append(
+            format_table(
+                ["round", "steps", "work", "depth"],
+                [[r.round_index, r.steps, r.work, r.depth] for r in shown],
+            )
+        )
+        if len(rounds) > max_rounds:
+            parts.append(f"... {len(rounds) - max_rounds} more rounds")
+    return "\n\n".join(parts)
+
+
+def critical_fraction(
+    machine: Machine, processors: int, cost: Optional[CostModel] = None
+) -> float:
+    """Fraction of simulated time spent outside the divisible-work term.
+
+    0 means perfectly work-bound (ideal scaling still available); values
+    near 1 mean the run is overhead/depth-bound at this processor count —
+    the regime where smaller prefixes stop paying off (left side of the
+    Figure 1c/2c U curves).
+    """
+    if cost is None:
+        cost = CostModel()
+    total = 0.0
+    divisible = 0.0
+    for step in machine.steps:
+        t = cost.step_time(step, processors)
+        total += t
+        if step.parallel and step.work > cost.grain and processors > 1:
+            divisible += step.work * cost.sec_per_op / processors
+        else:
+            divisible += step.work * cost.sec_per_op
+    if total <= 0.0:
+        return 0.0
+    return max(0.0, 1.0 - divisible / total)

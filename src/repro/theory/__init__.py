@@ -1,0 +1,47 @@
+"""Empirical validators for the paper's lemmas and theorems.
+
+Each function runs the *process the proof reasons about* and returns the
+measured quantity, so tests (and the theory benches) can check the claimed
+high-probability bounds with explicit constants:
+
+* Lemma 3.1 / Corollary 3.2 — degree reduction after a prefix.
+* Lemma 3.3 / Corollary 3.4 — longest path inside a random prefix.
+* Lemmas 4.3 / 4.4 — internal-edge sparsity of small prefixes.
+* Theorem 3.5 — O(log Δ · log n) dependence length.
+"""
+
+from repro.theory.lemmas import (
+    max_degree_after_prefix,
+    longest_path_in_prefix,
+    internal_edge_count,
+    vertices_with_internal_edges,
+)
+from repro.theory.bounds import (
+    dependence_length_bound,
+    path_length_bound,
+    degree_reduction_prefix_size,
+)
+from repro.theory.scaling import ScalingFit, fit_power_law, dependence_scaling
+from repro.theory.montecarlo import (
+    FailureEstimate,
+    estimate_failure_rate,
+    degree_reduction_failure_rate,
+    path_length_failure_rate,
+)
+
+__all__ = [
+    "ScalingFit",
+    "fit_power_law",
+    "dependence_scaling",
+    "FailureEstimate",
+    "estimate_failure_rate",
+    "degree_reduction_failure_rate",
+    "path_length_failure_rate",
+    "max_degree_after_prefix",
+    "longest_path_in_prefix",
+    "internal_edge_count",
+    "vertices_with_internal_edges",
+    "dependence_length_bound",
+    "path_length_bound",
+    "degree_reduction_prefix_size",
+]

@@ -1,0 +1,57 @@
+"""Closed-form bounds from the paper, with explicit constants.
+
+The asymptotic statements are turned into checkable inequalities by fixing
+constants generous enough to hold at the scales the suites run (the paper's
+proofs give constants like ``4e`` for path lengths; we keep them visible so
+a failing test names the exact bound that broke).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "dependence_length_bound",
+    "path_length_bound",
+    "degree_reduction_prefix_size",
+]
+
+
+def _log2(x: float) -> float:
+    return math.log2(max(x, 2.0))
+
+
+def dependence_length_bound(n: int, max_degree: int, constant: float = 6.0) -> float:
+    """Theorem 3.5: dependence length ``<= c · log2(Δ+2) · log2(n)`` w.h.p.
+
+    The default ``c = 6`` is loose at small n (where additive terms
+    dominate) yet tight enough that a superlogarithmic dependence chain —
+    e.g. from an adversarial order — blows through it immediately.
+    """
+    if n <= 1:
+        return 1.0
+    return constant * _log2(max_degree + 2) * _log2(n)
+
+
+def path_length_bound(n: int, constant: float = 4 * math.e) -> float:
+    """Corollary 3.4: longest path in an ``O(log n / d)``-prefix.
+
+    The proof of Lemma 3.3 yields paths shorter than ``4e·l`` with
+    ``l = O(log n)``; we expose the ``4e`` constant directly.
+    """
+    if n <= 1:
+        return 1.0
+    return constant * _log2(n)
+
+
+def degree_reduction_prefix_size(n: int, d: int, ell: float) -> int:
+    """Lemma 3.1's prefix size: the ``(l/d)``-prefix has ``ceil(l·n/d)`` slots.
+
+    After greedily resolving a prefix of this size, all residual degrees
+    are at most *d* with probability ``>= 1 - n/e^l``.
+    """
+    if d < 1:
+        raise ValueError(f"degree bound d must be >= 1, got {d}")
+    if ell <= 0:
+        raise ValueError(f"ell must be positive, got {ell}")
+    return min(n, int(math.ceil(ell * n / d)))

@@ -1,0 +1,119 @@
+"""Monte-Carlo estimation of the lemmas' failure probabilities.
+
+The paper's lemmas are "with high probability" statements; the validators
+in :mod:`repro.theory.lemmas` check single draws.  This module estimates
+the actual failure *rates* over many random orders so the suites can
+compare them against the proofs' explicit bounds:
+
+* Lemma 3.1: residual degree exceeds ``d`` after an ``(l/d)``-prefix with
+  probability at most ``n / e^l``.
+* Lemma 3.3: a randomly ordered ``(r/d)``-prefix has a path of length
+  ``4e·l`` or longer with probability at most ``(r/l)^l``.
+
+Estimates come with a conservative one-sided confidence bound so tests
+can assert "observed rate is consistent with the proven bound" without
+flaking.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.orderings import random_priorities
+from repro.graphs.csr import CSRGraph
+from repro.theory.lemmas import longest_path_in_prefix, max_degree_after_prefix
+from repro.util.rng import SeedLike, spawn
+
+__all__ = [
+    "FailureEstimate",
+    "estimate_failure_rate",
+    "degree_reduction_failure_rate",
+    "path_length_failure_rate",
+]
+
+
+@dataclass(frozen=True)
+class FailureEstimate:
+    """Observed failure rate over Monte-Carlo trials.
+
+    ``upper_bound_95`` is the one-sided 95% Clopper–Pearson-style bound
+    computed from the rule of three when no failures are observed, and a
+    normal approximation otherwise — intentionally conservative, for
+    flake-free test assertions.
+    """
+
+    trials: int
+    failures: int
+
+    @property
+    def rate(self) -> float:
+        """Point estimate ``failures / trials``."""
+        return self.failures / self.trials
+
+    @property
+    def upper_bound_95(self) -> float:
+        """Conservative one-sided 95% upper confidence bound on the rate."""
+        if self.failures == 0:
+            return min(1.0, 3.0 / self.trials)  # rule of three
+        p = self.rate
+        half_width = 1.6449 * math.sqrt(p * (1.0 - p) / self.trials)
+        return min(1.0, p + half_width + 1.0 / self.trials)
+
+
+def estimate_failure_rate(
+    trial: Callable[[SeedLike], bool],
+    trials: int,
+    seed: SeedLike = 0,
+) -> FailureEstimate:
+    """Run ``trial(stream)`` *trials* times; count ``True`` returns as failures.
+
+    Each invocation receives an independent child generator, so the whole
+    estimate is reproducible from one seed.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    streams = spawn(seed, trials)
+    failures = sum(1 for s in streams if trial(s))
+    return FailureEstimate(trials=trials, failures=failures)
+
+
+def degree_reduction_failure_rate(
+    graph: CSRGraph,
+    d: int,
+    ell: float,
+    trials: int = 50,
+    seed: SeedLike = 0,
+) -> FailureEstimate:
+    """Lemma 3.1 failure rate: P[residual max degree > d] after an
+    ``(ell/d)``-prefix, estimated over random orders.
+
+    The proof bounds this by ``n / e^ell``.
+    """
+    n = graph.num_vertices
+    prefix = min(n, max(1, int(math.ceil(ell * n / d))))
+
+    def trial(stream) -> bool:
+        ranks = random_priorities(n, stream)
+        return max_degree_after_prefix(graph, ranks, prefix) > d
+
+    return estimate_failure_rate(trial, trials, seed)
+
+
+def path_length_failure_rate(
+    graph: CSRGraph,
+    prefix_size: int,
+    threshold: int,
+    trials: int = 50,
+    seed: SeedLike = 0,
+) -> FailureEstimate:
+    """Lemma 3.3 failure rate: P[longest prefix path >= threshold],
+    estimated over random orders."""
+    n = graph.num_vertices
+
+    def trial(stream) -> bool:
+        ranks = random_priorities(n, stream)
+        return longest_path_in_prefix(graph, ranks, prefix_size) >= threshold
+
+    return estimate_failure_rate(trial, trials, seed)

@@ -1,0 +1,91 @@
+"""Empirical scaling analysis — probing the paper's open question.
+
+Section 7: "An open question is whether the dependence length of our
+algorithms can be improved to O(log n)."  While a proof is out of scope,
+the question is measurable: fit the observed dependence length against
+``log n`` across a geometric size sweep and report the apparent exponent
+α in ``dep ≈ c · (log n)^α``.  Theorem 3.5 guarantees α ≤ 2; an observed
+α near 1 is (non-conclusive) evidence for the conjecture.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.dependence import dependence_length
+from repro.core.orderings import random_priorities
+from repro.graphs.csr import CSRGraph
+from repro.util.rng import SeedLike, spawn
+
+__all__ = ["ScalingFit", "fit_power_law", "dependence_scaling"]
+
+
+@dataclass(frozen=True)
+class ScalingFit:
+    """Least-squares fit of ``y ≈ c · x^alpha`` in log–log space."""
+
+    alpha: float
+    log_c: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        """Model value at *x*."""
+        return math.exp(self.log_c) * x ** self.alpha
+
+
+def fit_power_law(xs: Sequence[float], ys: Sequence[float]) -> ScalingFit:
+    """Fit ``y = c·x^alpha`` by least squares on ``(log x, log y)``.
+
+    Requires at least two strictly positive samples in each coordinate.
+    """
+    x = np.asarray(xs, dtype=np.float64)
+    y = np.asarray(ys, dtype=np.float64)
+    if x.size != y.size or x.size < 2:
+        raise ValueError(
+            f"need >= 2 paired samples, got {x.size} xs and {y.size} ys"
+        )
+    if (x <= 0).any() or (y <= 0).any():
+        raise ValueError("power-law fitting requires strictly positive data")
+    lx, ly = np.log(x), np.log(y)
+    alpha, log_c = np.polyfit(lx, ly, 1)
+    pred = alpha * lx + log_c
+    ss_res = float(((ly - pred) ** 2).sum())
+    ss_tot = float(((ly - ly.mean()) ** 2).sum())
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return ScalingFit(alpha=float(alpha), log_c=float(log_c), r_squared=r2)
+
+
+def dependence_scaling(
+    make_graph: Callable[[int], CSRGraph],
+    sizes: Sequence[int],
+    *,
+    seeds_per_size: int = 3,
+    seed: SeedLike = 0,
+) -> ScalingFit:
+    """Fit dependence length against ``log n`` over a size sweep.
+
+    For each ``n`` in *sizes*, builds ``make_graph(n)`` and measures the
+    maximum dependence length over *seeds_per_size* random orders; the
+    power law is fit with ``x = log n``, so ``alpha`` is the apparent
+    exponent of the polylog (the open question asks whether it is 1).
+    """
+    if len(sizes) < 2:
+        raise ValueError("need at least two sizes to fit a scaling exponent")
+    xs: List[float] = []
+    ys: List[float] = []
+    streams = spawn(seed, len(sizes) * seeds_per_size)
+    k = 0
+    for n in sizes:
+        g = make_graph(int(n))
+        deps = []
+        for _ in range(seeds_per_size):
+            ranks = random_priorities(g.num_vertices, streams[k])
+            k += 1
+            deps.append(dependence_length(g, ranks))
+        xs.append(math.log(max(g.num_vertices, 2)))
+        ys.append(max(deps))
+    return fit_power_law(xs, ys)

@@ -1,0 +1,29 @@
+"""Shared utilities: seeded RNG handling, validation, timing.
+
+These helpers are intentionally tiny and dependency-free (numpy only); every
+other subpackage builds on them.
+"""
+
+from repro.util.rng import as_generator, spawn, permutation
+from repro.util.validation import (
+    require,
+    check_int,
+    check_fraction,
+    check_positive_int,
+    check_index_array,
+)
+from repro.util.timing import Timer
+from repro.util.tables import format_table
+
+__all__ = [
+    "as_generator",
+    "spawn",
+    "permutation",
+    "require",
+    "check_int",
+    "check_fraction",
+    "check_positive_int",
+    "check_index_array",
+    "Timer",
+    "format_table",
+]

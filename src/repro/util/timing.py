@@ -1,0 +1,50 @@
+"""Minimal wall-clock timing helper used by examples and the bench harness.
+
+``pytest-benchmark`` handles the rigorous measurements; :class:`Timer` is
+for the human-readable harness tables, where a monotonic one-shot timer
+suffices.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+__all__ = ["Timer"]
+
+
+class Timer:
+    """Context-manager stopwatch with a cumulative mode.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+
+    A single instance can be re-entered; ``elapsed`` then accumulates, which
+    is convenient for timing only the algorithm portion of a sweep loop.
+    """
+
+    __slots__ = ("elapsed", "_started")
+
+    def __init__(self) -> None:
+        self.elapsed: float = 0.0
+        self._started: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._started = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._started is not None, "Timer.__exit__ without __enter__"
+        self.elapsed += time.perf_counter() - self._started
+        self._started = None
+
+    def reset(self) -> None:
+        """Zero the accumulated time (does not affect an open interval)."""
+        self.elapsed = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Timer(elapsed={self.elapsed:.6f}s)"

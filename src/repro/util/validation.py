@@ -1,0 +1,89 @@
+"""Argument validation helpers.
+
+The public API validates eagerly and raises with actionable messages; the
+inner numeric kernels assume validated inputs (per the HPC guides: validate
+at the boundary, keep hot loops branch-free).
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import ReproError
+
+__all__ = [
+    "require",
+    "check_int",
+    "check_positive_int",
+    "check_fraction",
+    "check_index_array",
+]
+
+
+def require(condition: bool, message: str, exc: type = ReproError) -> None:
+    """Raise ``exc(message)`` unless *condition* holds.
+
+    A readable one-liner for precondition checks::
+
+        require(n > 0, "graph must have at least one vertex")
+    """
+    if not condition:
+        raise exc(message)
+
+
+def check_int(value: Any, name: str) -> int:
+    """Coerce *value* to a Python ``int``; reject bools and non-integers.
+
+    ``bool`` is explicitly rejected even though it subclasses ``int``,
+    because a ``True`` prefix size is always a bug.
+    """
+    if isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got bool")
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+
+
+def check_positive_int(value: Any, name: str) -> int:
+    """Like :func:`check_int` but additionally requires ``value >= 1``."""
+    iv = check_int(value, name)
+    if iv < 1:
+        raise ValueError(f"{name} must be >= 1, got {iv}")
+    return iv
+
+
+def check_fraction(value: Any, name: str, *, inclusive_low: bool = False) -> float:
+    """Validate a fraction in ``(0, 1]`` (or ``[0, 1]`` if *inclusive_low*).
+
+    Used for the δ prefix fraction of Algorithm 3.
+    """
+    fv = float(value)
+    low_ok = fv >= 0.0 if inclusive_low else fv > 0.0
+    if not (low_ok and fv <= 1.0):
+        bounds = "[0, 1]" if inclusive_low else "(0, 1]"
+        raise ValueError(f"{name} must lie in {bounds}, got {value!r}")
+    return fv
+
+
+def check_index_array(arr: Any, n: int, name: str) -> np.ndarray:
+    """Validate that *arr* is a 1-D integer array with entries in ``[0, n)``.
+
+    Returns the array as contiguous ``int64`` (copying only if needed).
+    """
+    a = np.asarray(arr)
+    if a.ndim != 1:
+        raise ValueError(f"{name} must be one-dimensional, got shape {a.shape}")
+    if a.size and not np.issubdtype(a.dtype, np.integer):
+        raise TypeError(f"{name} must have an integer dtype, got {a.dtype}")
+    a = np.ascontiguousarray(a, dtype=np.int64)
+    if a.size:
+        lo, hi = int(a.min()), int(a.max())
+        if lo < 0 or hi >= n:
+            raise ValueError(
+                f"{name} entries must lie in [0, {n}), found range [{lo}, {hi}]"
+            )
+    return a

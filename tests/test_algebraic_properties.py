@@ -1,0 +1,131 @@
+"""Algebraic cross-checks: greedy results compose the way the theory says.
+
+These properties connect independent pieces of the library — transforms,
+orderings, engines — and would each catch a distinct class of bug that
+single-module tests cannot (wrong rank plumbing, id-remapping slips,
+asymmetric CSR handling).
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.matching import sequential_greedy_matching
+from repro.core.mis import sequential_greedy_mis
+from repro.core.orderings import (
+    random_priorities,
+    ranks_from_permutation,
+)
+from repro.core.dependence import dependence_length
+from repro.graphs.builders import from_edges
+from repro.graphs.generators import cycle_graph, uniform_random_graph
+from repro.graphs.transforms import disjoint_union, induced_subgraph, relabel
+from repro.pram.machine import null_machine
+
+from conftest import graph_with_ranks
+
+
+def _relative_ranks(ranks: np.ndarray) -> np.ndarray:
+    """Compress an arbitrary distinct-integer array into ranks 0..k-1."""
+    order = np.argsort(ranks)
+    out = np.empty_like(ranks)
+    out[order] = np.arange(ranks.size)
+    return out
+
+
+class TestDisjointUnionDecomposition:
+    @given(graph_with_ranks(max_vertices=12, max_extra_edges=24),
+           graph_with_ranks(max_vertices=12, max_extra_edges=24))
+    @settings(max_examples=25)
+    def test_mis_of_union_is_union_of_mis(self, gr_a, gr_b):
+        """Greedy is local to components: only relative order within each
+        part matters, so the union's MIS restricted to a part equals that
+        part's MIS under its induced relative order."""
+        ga, ranks_a = gr_a
+        gb, ranks_b = gr_b
+        na = ga.num_vertices
+        # Interleave the two parts into one global order: give part A the
+        # even global positions, part B the odd ones.
+        global_ranks = np.concatenate([2 * ranks_a, 2 * ranks_b + 1])
+        union = disjoint_union(ga, gb)
+        got = sequential_greedy_mis(
+            union, _relative_ranks(global_ranks), machine=null_machine()
+        ).in_set
+        want_a = sequential_greedy_mis(ga, ranks_a, machine=null_machine()).in_set
+        want_b = sequential_greedy_mis(gb, ranks_b, machine=null_machine()).in_set
+        assert np.array_equal(got[:na], want_a)
+        assert np.array_equal(got[na:], want_b)
+
+    @given(graph_with_ranks(max_vertices=12, max_extra_edges=24))
+    @settings(max_examples=20)
+    def test_dependence_length_of_union_is_max(self, gr):
+        g, ranks = gr
+        union = disjoint_union(g, g)
+        global_ranks = _relative_ranks(
+            np.concatenate([2 * ranks, 2 * ranks + 1])
+        )
+        assert dependence_length(union, global_ranks) == dependence_length(g, ranks)
+
+
+class TestRelabelInvariance:
+    @given(graph_with_ranks(max_vertices=14, max_extra_edges=28),
+           st.permutations(range(14)))
+    @settings(max_examples=25)
+    def test_mis_is_label_equivariant(self, gr, perm14):
+        g, ranks = gr
+        n = g.num_vertices
+        sigma = np.asarray(perm14[:n], dtype=np.int64)
+        sigma = _relative_ranks(sigma)  # a permutation of 0..n-1
+        h = relabel(g, sigma)
+        # Transport ranks along sigma: new vertex sigma[v] keeps v's rank.
+        h_ranks = np.empty(n, dtype=np.int64)
+        h_ranks[sigma] = ranks
+        a = sequential_greedy_mis(g, ranks, machine=null_machine()).in_set
+        b = sequential_greedy_mis(h, h_ranks, machine=null_machine()).in_set
+        assert np.array_equal(b[sigma], a)
+
+
+class TestRestriction:
+    @given(graph_with_ranks(max_vertices=14, max_extra_edges=28))
+    @settings(max_examples=25)
+    def test_prefix_restriction_consistency(self, gr):
+        """The first k processed vertices' fate depends only on the
+        subgraph they induce: running greedy on G[prefix] with the induced
+        order reproduces the full run's decisions on the prefix."""
+        g, ranks = gr
+        n = g.num_vertices
+        k = max(1, n // 2)
+        full = sequential_greedy_mis(g, ranks, machine=null_machine()).in_set
+        prefix_ids = np.argsort(ranks)[:k]
+        sub, kept = induced_subgraph(g, prefix_ids)
+        sub_ranks = _relative_ranks(ranks[kept])
+        sub_mis = sequential_greedy_mis(sub, sub_ranks, machine=null_machine()).in_set
+        assert np.array_equal(sub_mis, full[kept])
+
+
+class TestMatchingLocality:
+    def test_union_matching_decomposes(self):
+        ga = uniform_random_graph(40, 120, seed=0)
+        gb = cycle_graph(31)
+        union = disjoint_union(ga, gb)
+        el = union.edge_list()
+        ranks = random_priorities(el.num_edges, seed=1)
+        got = sequential_greedy_matching(el, ranks, machine=null_machine())
+        # Every matched edge lies within one part, and restricting the
+        # ranks to each part's edges reproduces the per-part matching.
+        na = ga.num_vertices
+        part = (el.u < na)  # canonical edges: u<v, so u<na => both <na
+        for mask_part, g_part in ((part, ga), (~part, gb)):
+            ids = np.nonzero(mask_part)[0]
+            sub_el = g_part.edge_list() if mask_part is part else None
+            # Build the part's edge list directly from the union's edges.
+            u = el.u[ids] - (0 if mask_part is part else na)
+            v = el.v[ids] - (0 if mask_part is part else na)
+            from repro.graphs.csr import EdgeList
+
+            sub = EdgeList(g_part.num_vertices, u, v)
+            sub_ranks = _relative_ranks(ranks[ids])
+            want = sequential_greedy_matching(
+                sub, sub_ranks, machine=null_machine()
+            ).matched
+            assert np.array_equal(got.matched[ids], want)

@@ -1,0 +1,90 @@
+"""Tests for the figure-regression comparison tool."""
+
+import json
+
+import pytest
+
+from repro.bench.figures import FigureData
+from repro.bench.regression import compare_figure_files, compare_payloads
+from repro.bench.reporting import save_figure_json
+
+
+def payload(fig_id="fig-x", ys=(1.0, 2.0, 3.0), name="s"):
+    return {
+        "figure_id": fig_id,
+        "series": {name: {"x": [1.0, 2.0, 3.0], "y": list(ys)}},
+    }
+
+
+class TestComparePayloads:
+    def test_identical_match(self):
+        report = compare_payloads(payload(), payload())
+        assert report.matched
+        assert "OK" in report.summary()
+
+    def test_small_drift_within_tolerance(self):
+        report = compare_payloads(payload(), payload(ys=(1.02, 2.0, 3.0)),
+                                  tolerance=0.05)
+        assert report.matched
+        assert report.drifts[0].max_rel_error == pytest.approx(0.02 / 1.02)
+
+    def test_large_drift_flagged(self):
+        report = compare_payloads(payload(), payload(ys=(1.0, 3.0, 3.0)),
+                                  tolerance=0.05)
+        assert not report.matched
+        assert "DRIFT" in report.summary()
+        worst = report.drifts[0]
+        assert worst.worst_x == 2.0
+        assert worst.baseline_y == 2.0
+        assert worst.candidate_y == 3.0
+
+    def test_figure_id_mismatch(self):
+        report = compare_payloads(payload("a"), payload("b"))
+        assert not report.matched
+        assert "STRUCTURAL" in report.summary()
+
+    def test_series_set_mismatch(self):
+        report = compare_payloads(payload(name="s1"), payload(name="s2"))
+        assert not report.matched
+
+    def test_x_grid_mismatch(self):
+        b = payload()
+        c = payload()
+        c["series"]["s"]["x"] = [1.0, 2.0]
+        c["series"]["s"]["y"] = [1.0, 2.0]
+        report = compare_payloads(b, c)
+        assert not report.matched
+        assert any("x grids" in e for e in report.structural_errors)
+
+    def test_zero_values_handled(self):
+        b = payload(ys=(0.0, 0.0, 0.0))
+        report = compare_payloads(b, b)
+        assert report.matched
+
+
+class TestCompareFiles:
+    def test_round_trip_through_save_figure_json(self, tmp_path):
+        fig = FigureData(
+            figure_id="demo", title="t", x_label="x", y_label="y",
+            series={"a": ([1.0, 2.0], [3.0, 4.0])},
+        )
+        p1 = tmp_path / "base.json"
+        p2 = tmp_path / "cand.json"
+        save_figure_json(fig, p1)
+        save_figure_json(fig, p2)
+        report = compare_figure_files(p1, p2)
+        assert report.matched
+
+    def test_detects_edited_candidate(self, tmp_path):
+        fig = FigureData(
+            figure_id="demo", title="t", x_label="x", y_label="y",
+            series={"a": ([1.0, 2.0], [3.0, 4.0])},
+        )
+        p1 = tmp_path / "base.json"
+        save_figure_json(fig, p1)
+        data = json.loads(p1.read_text())
+        data["series"]["a"]["y"][1] = 8.0
+        p2 = tmp_path / "cand.json"
+        p2.write_text(json.dumps(data))
+        report = compare_figure_files(p1, p2, tolerance=0.1)
+        assert not report.matched

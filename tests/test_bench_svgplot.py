@@ -1,0 +1,117 @@
+"""Tests for the SVG figure renderer."""
+
+import math
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.bench.figures import FigureData
+from repro.bench.svgplot import axis_ticks, render_svg, save_figure_svg
+
+SVG_NS = "{http://www.w3.org/2000/svg}"
+
+
+def demo_figure(series=None):
+    return FigureData(
+        figure_id="demo",
+        title="Demo & title",
+        x_label="x axis",
+        y_label="y axis",
+        series=series or {
+            "alpha": ([1.0, 10.0, 100.0], [0.5, 0.2, 0.05]),
+            "beta": ([1.0, 10.0, 100.0], [0.8, 0.6, 0.4]),
+        },
+    )
+
+
+class TestAxisTicks:
+    def test_log_decades(self):
+        assert axis_ticks(1.0, 1000.0, log=True) == [1.0, 10.0, 100.0, 1000.0]
+
+    def test_log_thinned(self):
+        ticks = axis_ticks(1e-9, 1.0, log=True, max_ticks=5)
+        assert len(ticks) <= 5
+        assert all(
+            abs(math.log10(b / a) - math.log10(ticks[1] / ticks[0])) < 1e-9
+            for a, b in zip(ticks, ticks[1:])
+        )
+
+    def test_linear_125_ladder(self):
+        ticks = axis_ticks(0.0, 10.0, log=False)
+        steps = {round(b - a, 9) for a, b in zip(ticks, ticks[1:])}
+        assert len(steps) == 1
+        step = steps.pop()
+        mant = step / 10 ** math.floor(math.log10(step))
+        assert round(mant, 6) in (1.0, 2.0, 5.0)
+
+    def test_degenerate_range(self):
+        assert axis_ticks(3.0, 3.0, log=False) == [3.0]
+
+    def test_log_requires_positive(self):
+        with pytest.raises(ValueError, match="positive"):
+            axis_ticks(0.0, 1.0, log=True)
+
+    def test_invalid_range(self):
+        with pytest.raises(ValueError, match="range"):
+            axis_ticks(2.0, 1.0, log=False)
+
+
+class TestRenderSvg:
+    def test_well_formed_xml(self):
+        root = ET.fromstring(render_svg(demo_figure()))
+        assert root.tag == f"{SVG_NS}svg"
+
+    def test_one_polyline_per_series(self):
+        root = ET.fromstring(render_svg(demo_figure()))
+        polylines = root.findall(f".//{SVG_NS}polyline")
+        assert len(polylines) == 2
+
+    def test_title_escaped(self):
+        svg = render_svg(demo_figure())
+        assert "Demo &amp; title" in svg
+
+    def test_legend_names_present(self):
+        svg = render_svg(demo_figure())
+        assert "alpha" in svg and "beta" in svg
+
+    def test_axis_labels_present(self):
+        svg = render_svg(demo_figure())
+        assert "x axis" in svg and "y axis" in svg
+
+    def test_log_falls_back_on_nonpositive_data(self):
+        fig = demo_figure({"s": ([0.0, 1.0], [-1.0, 2.0])})
+        root = ET.fromstring(render_svg(fig, log_x=True, log_y=True))
+        assert root is not None  # no exception: linear fallback
+
+    def test_empty_series_rejected(self):
+        fig = demo_figure({"s": ([], [])})
+        with pytest.raises(ValueError, match="no data"):
+            render_svg(fig)
+
+    def test_single_point_series(self):
+        fig = demo_figure({"s": ([2.0], [3.0])})
+        assert ET.fromstring(render_svg(fig)) is not None
+
+    def test_points_within_viewbox(self):
+        svg = render_svg(demo_figure(), width=640, height=420)
+        root = ET.fromstring(svg)
+        for c in root.findall(f".//{SVG_NS}circle"):
+            assert 0 <= float(c.get("cx")) <= 640
+            assert 0 <= float(c.get("cy")) <= 420
+
+
+class TestSaveFigureSvg:
+    def test_writes_file(self, tmp_path):
+        p = tmp_path / "fig.svg"
+        save_figure_svg(demo_figure(), p)
+        assert p.read_text().startswith("<svg")
+
+    def test_real_figure_pipeline(self, tmp_path):
+        from repro.bench.figures import figure3
+        from repro.bench.workloads import paper_random_graph
+
+        fig = figure3(paper_random_graph("tiny"), "random", threads=(1, 8, 32))
+        p = tmp_path / "fig3a.svg"
+        save_figure_svg(fig, p)
+        root = ET.fromstring(p.read_text())
+        assert len(root.findall(f".//{SVG_NS}polyline")) == 3

@@ -1,0 +1,173 @@
+"""Tests for the repro command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graphs.io import read_adjacency_graph
+
+
+@pytest.fixture
+def graph_file(tmp_path):
+    path = tmp_path / "g.adj"
+    assert main(["gen", str(path), "--kind", "random", "--n", "500",
+                 "--m", "2500", "--seed", "1"]) == 0
+    return path
+
+
+class TestGen:
+    def test_random(self, tmp_path, capsys):
+        out = tmp_path / "r.adj"
+        assert main(["gen", str(out), "--n", "100", "--m", "300"]) == 0
+        g = read_adjacency_graph(out)
+        assert g.num_vertices == 100
+        assert g.num_edges == 300
+        assert "wrote random graph" in capsys.readouterr().out
+
+    def test_rmat(self, tmp_path):
+        out = tmp_path / "r.adj"
+        assert main(["gen", str(out), "--kind", "rmat", "--scale", "8",
+                     "--m", "600"]) == 0
+        assert read_adjacency_graph(out).num_vertices == 256
+
+    @pytest.mark.parametrize("kind", ["grid", "cycle", "path", "star", "complete"])
+    def test_structured(self, tmp_path, kind):
+        out = tmp_path / f"{kind}.adj"
+        assert main(["gen", str(out), "--kind", kind, "--n", "25"]) == 0
+        g = read_adjacency_graph(out)
+        assert g.num_vertices >= 1
+
+    def test_reproducible(self, tmp_path):
+        a, b = tmp_path / "a.adj", tmp_path / "b.adj"
+        main(["gen", str(a), "--seed", "9", "--n", "50", "--m", "100"])
+        main(["gen", str(b), "--seed", "9", "--n", "50", "--m", "100"])
+        assert a.read_text() == b.read_text()
+
+
+class TestInfo:
+    def test_stats_printed(self, graph_file, capsys):
+        assert main(["info", str(graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert "vertices:    500" in out
+        assert "edges:       2500" in out
+        assert "max degree" in out
+
+
+class TestMis:
+    @pytest.mark.parametrize("method", ["sequential", "parallel", "prefix", "rootset", "luby"])
+    def test_methods(self, graph_file, capsys, method):
+        assert main(["mis", str(graph_file), "--method", method]) == 0
+        out = capsys.readouterr().out
+        assert "MIS size:" in out
+        assert f"mis/{method}" in out
+
+    def test_prefix_size_flag(self, graph_file, capsys):
+        assert main(["mis", str(graph_file), "--prefix-size", "25"]) == 0
+        assert "rounds:      20" in capsys.readouterr().out
+
+    def test_deterministic_across_methods(self, graph_file, capsys):
+        main(["mis", str(graph_file), "--method", "sequential", "--seed", "3"])
+        a = capsys.readouterr().out.splitlines()[0]
+        main(["mis", str(graph_file), "--method", "parallel", "--seed", "3"])
+        b = capsys.readouterr().out.splitlines()[0]
+        assert a == b  # identical "MIS size" line
+
+
+class TestMm:
+    @pytest.mark.parametrize("method", ["sequential", "parallel", "prefix", "rootset"])
+    def test_methods(self, graph_file, capsys, method):
+        assert main(["mm", str(graph_file), "--method", method]) == 0
+        out = capsys.readouterr().out
+        assert "matching size:" in out
+
+
+class TestDeps:
+    def test_mis_target(self, graph_file, capsys):
+        assert main(["deps", str(graph_file)]) == 0
+        out = capsys.readouterr().out
+        assert "MIS dependence length:" in out
+        assert "longest priority-DAG path:" in out
+
+    def test_mm_target(self, graph_file, capsys):
+        assert main(["deps", str(graph_file), "--target", "mm"]) == 0
+        assert "MM dependence length:" in capsys.readouterr().out
+
+
+class TestSweep:
+    def test_mis_sweep_table(self, graph_file, capsys):
+        assert main(["sweep", str(graph_file), "--points", "4",
+                     "--processors", "1,16"]) == 0
+        out = capsys.readouterr().out
+        assert "prefix" in out and "t(P=16)" in out
+        # Includes the full-input row.
+        assert "500" in out
+
+    def test_mm_sweep(self, graph_file, capsys):
+        assert main(["sweep", str(graph_file), "--target", "mm",
+                     "--points", "3"]) == 0
+        assert "rounds" in capsys.readouterr().out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fly"])
+
+    def test_mis_method_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["mis", "g.adj", "--method", "magic"])
+
+
+class TestFiguresCommand:
+    def test_figure3_prints_and_writes(self, graph_file, capsys, tmp_path):
+        out_dir = tmp_path / "figs"
+        assert main(["figures", str(graph_file), "--which", "3",
+                     "--out-dir", str(out_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "prefix-based MIS" in out
+        assert (out_dir / "fig3-custom.json").exists()
+        assert (out_dir / "fig3-custom.txt").exists()
+        assert (out_dir / "fig3-custom.svg").read_text().startswith("<svg")
+
+    def test_figure2_panels(self, graph_file, capsys):
+        assert main(["figures", str(graph_file), "--which", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "rounds" in out and "work" in out
+
+    def test_figure4(self, graph_file, capsys):
+        assert main(["figures", str(graph_file), "--which", "4",
+                     "--label", "random"]) == 0
+        assert "serial MM" in capsys.readouterr().out
+
+
+class TestCompareCommand:
+    def _write_figures(self, graph_file, out_dir):
+        main(["figures", str(graph_file), "--which", "3",
+              "--out-dir", str(out_dir)])
+
+    def test_identical_files_exit_zero(self, graph_file, tmp_path, capsys):
+        out_dir = tmp_path / "figs"
+        self._write_figures(graph_file, out_dir)
+        capsys.readouterr()
+        code = main(["compare", str(out_dir / "fig3-custom.json"),
+                     str(out_dir / "fig3-custom.json")])
+        assert code == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_drift_exits_nonzero(self, graph_file, tmp_path, capsys):
+        import json
+        out_dir = tmp_path / "figs"
+        self._write_figures(graph_file, out_dir)
+        base = out_dir / "fig3-custom.json"
+        data = json.loads(base.read_text())
+        name = next(iter(data["series"]))
+        data["series"][name]["y"][0] *= 10
+        cand = tmp_path / "drift.json"
+        cand.write_text(json.dumps(data))
+        capsys.readouterr()
+        assert main(["compare", str(base), str(cand)]) == 1
+        assert "DRIFT" in capsys.readouterr().out

@@ -1,0 +1,117 @@
+"""Tests for the lex-first maximal clique and the Cook complement reduction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.orderings import identity_priorities, random_priorities
+from repro.extensions.clique import (
+    complement_graph,
+    is_maximal_clique,
+    lexicographically_first_maximal_clique,
+    maximal_clique_via_complement,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    path_graph,
+    star_graph,
+    uniform_random_graph,
+)
+
+from conftest import graph_with_ranks
+
+
+class TestComplement:
+    def test_complement_of_complete_is_empty(self):
+        c = complement_graph(complete_graph(6))
+        assert c.num_edges == 0
+
+    def test_complement_of_empty_is_complete(self):
+        c = complement_graph(empty_graph(5))
+        assert c.num_edges == 10
+
+    def test_involution(self):
+        g = uniform_random_graph(30, 100, seed=0)
+        assert complement_graph(complement_graph(g)) == g
+
+    def test_edge_counts_sum(self):
+        g = cycle_graph(9)
+        c = complement_graph(g)
+        assert g.num_edges + c.num_edges == 9 * 8 // 2
+
+    def test_size_guard(self):
+        with pytest.raises(ValueError, match="oracle"):
+            complement_graph(empty_graph(5000))
+
+
+class TestGreedyClique:
+    def test_complete_graph_full(self):
+        mask = lexicographically_first_maximal_clique(
+            complete_graph(8), identity_priorities(8)
+        )
+        assert mask.all()
+
+    def test_edgeless_single_vertex(self):
+        mask = lexicographically_first_maximal_clique(
+            empty_graph(6), identity_priorities(6)
+        )
+        assert mask.tolist() == [True] + [False] * 5
+
+    def test_path_identity(self):
+        # Greedy on P4 with identity order: take 0, then 1 (adjacent),
+        # then 2 blocked (not adjacent to 0), 3 blocked.
+        mask = lexicographically_first_maximal_clique(
+            path_graph(4), identity_priorities(4)
+        )
+        assert mask.tolist() == [True, True, False, False]
+
+    def test_star_center_late(self):
+        from repro.core.orderings import ranks_from_permutation
+
+        # Leaves first: clique = {leaf_1, center} once center arrives?
+        # Greedy takes leaf 1 first; no other leaf is adjacent; center is
+        # adjacent to leaf 1 -> clique {1, 0}.
+        perm = np.array([1, 2, 3, 4, 0])
+        mask = lexicographically_first_maximal_clique(
+            star_graph(5), ranks_from_permutation(perm)
+        )
+        assert set(np.nonzero(mask)[0].tolist()) == {0, 1}
+
+    def test_valid_maximal(self, family_graph):
+        if family_graph.num_vertices > 3000:
+            pytest.skip("complement oracle bound")
+        ranks = random_priorities(family_graph.num_vertices, seed=2)
+        mask = lexicographically_first_maximal_clique(family_graph, ranks)
+        assert is_maximal_clique(family_graph, mask)
+
+
+class TestCookReduction:
+    @given(graph_with_ranks(max_vertices=16, max_extra_edges=40))
+    @settings(max_examples=30)
+    def test_direct_equals_complement_mis(self, gr):
+        """Footnote 1: lex-first maximal clique == MIS of the complement."""
+        g, ranks = gr
+        direct = lexicographically_first_maximal_clique(g, ranks)
+        reduced = maximal_clique_via_complement(g, ranks)
+        assert np.array_equal(direct, reduced)
+
+    def test_medium_instance(self):
+        g = uniform_random_graph(120, 2000, seed=7)
+        ranks = random_priorities(120, seed=8)
+        assert np.array_equal(
+            lexicographically_first_maximal_clique(g, ranks),
+            maximal_clique_via_complement(g, ranks),
+        )
+
+
+class TestIsMaximalClique:
+    def test_accepts_id_list(self):
+        assert is_maximal_clique(complete_graph(4), np.array([0, 1, 2, 3]))
+
+    def test_rejects_non_clique(self):
+        assert not is_maximal_clique(path_graph(3), np.array([0, 2]))
+
+    def test_rejects_extendable(self):
+        assert not is_maximal_clique(complete_graph(4), np.array([0, 1]))

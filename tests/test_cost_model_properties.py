@@ -1,0 +1,108 @@
+"""Property-based tests of the cost model and scheduler invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pram.cost_model import CostModel
+from repro.pram.machine import Machine, StepRecord
+from repro.pram.scheduler import simulate_time
+
+
+step_strategy = st.builds(
+    StepRecord,
+    work=st.integers(min_value=1, max_value=10**7),
+    depth=st.integers(min_value=1, max_value=64),
+    parallel=st.booleans(),
+    tag=st.sampled_from(["a", "b", ""]),
+)
+
+
+class TestStepTimeProperties:
+    @given(step_strategy, st.integers(min_value=1, max_value=512))
+    def test_positive(self, step, p):
+        assert CostModel().step_time(step, p) > 0.0
+
+    @given(step_strategy)
+    def test_monotone_nonincreasing_in_processors_away_from_grain(self, step):
+        # Near the grain cutoff the model is intentionally non-monotone:
+        # crossing into the parallel regime pays the launch overhead — the
+        # paper's documented "bump".  Away from the cutoff, more
+        # processors never hurt.
+        c = CostModel()
+        if c.grain < step.work <= 16 * c.grain:
+            return
+        times = [c.step_time(step, p) for p in (1, 2, 4, 8, 16, 32, 64, 128)]
+        for a, b in zip(times, times[1:]):
+            assert b <= a + 1e-15
+
+    def test_grain_bump_exists(self):
+        """The transition cost is a feature: a step just above the grain
+        is slower on 2 processors than on 1 (launch overhead dominates)."""
+        c = CostModel()
+        step = StepRecord(work=c.grain + 1, depth=4)
+        assert c.step_time(step, 2) > c.step_time(step, 1)
+
+    @given(step_strategy, st.integers(min_value=1, max_value=128))
+    def test_brent_lower_bound(self, step, p):
+        """Simulated time never beats perfect division of the work."""
+        c = CostModel()
+        assert c.step_time(step, p) >= step.work * c.sec_per_op / p - 1e-18
+
+    @given(step_strategy, st.integers(min_value=2, max_value=128))
+    def test_sequential_steps_ignore_p(self, step, p):
+        c = CostModel()
+        seq = StepRecord(work=step.work, depth=step.depth, parallel=False)
+        assert c.step_time(seq, p) == c.step_time(seq, 1)
+
+    @given(st.integers(min_value=1, max_value=10**6), st.integers(min_value=2, max_value=64))
+    def test_work_monotone_within_a_regime(self, work, p):
+        # More work costs more time, as long as doubling does not carry
+        # the step across the grain cutoff (crossing it can *reduce* time
+        # by unlocking the parallel regime — the same bump as above).
+        c = CostModel()
+        if work <= c.grain < 2 * work:
+            return
+        small = StepRecord(work=work, depth=4)
+        large = StepRecord(work=work * 2, depth=4)
+        assert c.step_time(large, p) >= c.step_time(small, p)
+
+
+class TestSimulateTimeProperties:
+    @given(st.lists(step_strategy, min_size=1, max_size=20),
+           st.integers(min_value=1, max_value=64))
+    def test_additive_over_steps(self, steps, p):
+        c = CostModel()
+        m = Machine()
+        for s in steps:
+            m.charge(s.work, s.depth, parallel=s.parallel, tag=s.tag)
+        total = simulate_time(m, p, c)
+        manual = sum(c.step_time(s, p) for s in m.steps)
+        assert total == pytest.approx(manual)
+
+    @given(st.lists(step_strategy, min_size=1, max_size=20))
+    def test_monotone_in_processors_beyond_one(self, steps):
+        # Once a step runs in the parallel regime (P >= 2), adding more
+        # processors never increases its time; only the 1 -> 2 transition
+        # can regress (the grain bump).
+        m = Machine()
+        for s in steps:
+            m.charge(s.work, s.depth, parallel=s.parallel, tag=s.tag)
+        c = CostModel()
+        times = [simulate_time(m, p, c) for p in (2, 4, 16, 64)]
+        for a, b in zip(times, times[1:]):
+            assert b <= a + 1e-15
+
+    @given(st.lists(step_strategy, min_size=1, max_size=10))
+    def test_scaling_sec_per_op(self, steps):
+        """Doubling the per-op cost at P=1 with zero overheads doubles time."""
+        m = Machine()
+        for s in steps:
+            m.charge(s.work, s.depth, parallel=s.parallel, tag=s.tag)
+        base = CostModel(sec_per_op=1e-9, sync_overhead=0.0,
+                         depth_factor=0.0, round_overhead=0.0)
+        double = CostModel(sec_per_op=2e-9, sync_overhead=0.0,
+                           depth_factor=0.0, round_overhead=0.0)
+        assert simulate_time(m, 1, double) == pytest.approx(
+            2 * simulate_time(m, 1, base)
+        )

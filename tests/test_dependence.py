@@ -1,0 +1,142 @@
+"""Tests for priority-DAG analysis: dependence length, longest path, steps."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.core.dependence import (
+    dependence_length,
+    longest_path_length,
+    matching_dependence_length,
+    matching_step_numbers,
+    mis_step_numbers,
+    priority_dag_arcs,
+)
+from repro.core.orderings import identity_priorities, random_priorities
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    path_graph,
+    star_graph,
+)
+from repro.theory.bounds import dependence_length_bound
+
+from conftest import graph_with_ranks
+
+
+class TestPriorityDagArcs:
+    def test_orientation(self):
+        g = path_graph(3)
+        ranks = identity_priorities(3)
+        src, dst = priority_dag_arcs(g, ranks)
+        assert np.all(ranks[src] < ranks[dst])
+        assert src.size == g.num_edges  # each edge once
+
+    @given(graph_with_ranks())
+    def test_each_edge_once(self, gr):
+        g, ranks = gr
+        src, dst = priority_dag_arcs(g, ranks)
+        assert src.size == g.num_edges
+
+
+class TestDependenceLength:
+    def test_empty_graph(self):
+        assert dependence_length(empty_graph(1), identity_priorities(1)) == 1
+
+    def test_path_identity_is_linear(self):
+        # Adversarial order: vertex 2k waits for 2k-2.
+        assert dependence_length(path_graph(40), identity_priorities(40)) == 20
+
+    def test_complete_graph_is_constant(self):
+        # The paper's flagship example: longest path n, dependence length 1.
+        g = complete_graph(60)
+        ranks = random_priorities(60, seed=0)
+        assert dependence_length(g, ranks) == 1
+        assert longest_path_length(g, ranks) == 60
+
+    def test_star_is_constant_any_order(self):
+        for s in range(4):
+            assert dependence_length(star_graph(40), random_priorities(40, seed=s)) <= 2
+
+    def test_random_order_on_path_is_polylog(self):
+        g = path_graph(4096)
+        lengths = [
+            dependence_length(g, random_priorities(4096, seed=s)) for s in range(3)
+        ]
+        bound = dependence_length_bound(4096, 2)
+        assert all(l <= bound for l in lengths)
+
+    def test_theorem_3_5_on_random_graph(self, medium_random_graph):
+        g = medium_random_graph
+        dep = dependence_length(g, random_priorities(g.num_vertices, seed=5))
+        assert dep <= dependence_length_bound(g.num_vertices, g.max_degree())
+
+    def test_theorem_3_5_on_rmat(self, medium_rmat_graph):
+        g = medium_rmat_graph
+        dep = dependence_length(g, random_priorities(g.num_vertices, seed=5))
+        assert dep <= dependence_length_bound(g.num_vertices, g.max_degree())
+
+
+class TestLongestPath:
+    def test_path_identity(self):
+        assert longest_path_length(path_graph(10), identity_priorities(10)) == 10
+
+    def test_path_reverse_identity(self):
+        from repro.core.orderings import ranks_from_permutation
+
+        perm = np.arange(10)[::-1].copy()
+        assert longest_path_length(path_graph(10), ranks_from_permutation(perm)) == 10
+
+    def test_edgeless(self):
+        assert longest_path_length(empty_graph(5), identity_priorities(5)) == 1
+
+    def test_zero_vertices(self):
+        assert longest_path_length(empty_graph(0), identity_priorities(0)) == 0
+
+    @given(graph_with_ranks())
+    def test_upper_bounds_dependence(self, gr):
+        g, ranks = gr
+        assert dependence_length(g, ranks) <= max(longest_path_length(g, ranks), 1)
+
+
+class TestStepNumbers:
+    def test_max_equals_dependence_length(self):
+        g = cycle_graph(50)
+        ranks = random_priorities(50, seed=1)
+        steps = mis_step_numbers(g, ranks)
+        assert int(steps.max()) == dependence_length(g, ranks)
+        assert int(steps.min()) >= 1
+
+    def test_highest_priority_vertex_in_step_one(self):
+        g = cycle_graph(30)
+        ranks = random_priorities(30, seed=2)
+        first = int(np.nonzero(ranks == 0)[0][0])
+        assert mis_step_numbers(g, ranks)[first] == 1
+
+    def test_matching_step_numbers_cover_all_edges(self):
+        el = cycle_graph(20).edge_list()
+        ranks = random_priorities(20, seed=3)
+        steps = matching_step_numbers(el, ranks)
+        assert int(steps.min()) >= 1
+        assert int(steps.max()) == matching_dependence_length(el, ranks)
+
+
+class TestMatchingDependence:
+    def test_path_identity_is_chain(self):
+        # Identity edge order on a path is the adversarial chain: one
+        # matched edge per step (see the MM engine tests).
+        el = path_graph(6).edge_list()
+        assert matching_dependence_length(el, identity_priorities(5)) == 3
+
+    def test_no_edges(self):
+        el = empty_graph(3).edge_list()
+        assert matching_dependence_length(el, identity_priorities(0)) == 0
+
+    def test_lemma_5_1_polylog(self, medium_random_graph):
+        el = medium_random_graph.edge_list()
+        dep = matching_dependence_length(
+            el, random_priorities(el.num_edges, seed=7)
+        )
+        # O(log^2 m) w.h.p.; in practice far below even 6 log m.
+        assert dep <= 6 * np.log2(el.num_edges)

@@ -1,0 +1,75 @@
+"""Smoke tests: every example script runs to completion at reduced size."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr}"
+    return proc.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py", "2000", "10000", "0")
+    assert "MIS:" in out
+    assert "determinism" in out
+
+
+def test_task_scheduling():
+    out = run_example("task_scheduling.py", "400", "150", "1")
+    assert "conflict-free batches" in out
+    assert "validation: partition" in out
+
+
+def test_prefix_tradeoff():
+    out = run_example("prefix_tradeoff.py", "5000", "25000", "0")
+    assert "optimal prefix at P=32" in out
+    assert "rounds" in out
+
+
+def test_determinism():
+    out = run_example("determinism.py", "1000", "5000", "0")
+    assert "identical: True" in out
+    assert "Luby" in out
+
+
+def test_network_pairing():
+    out = run_example("network_pairing.py", "10", "4000", "0")
+    assert "pairing:" in out
+    assert "monitoring cover" in out
+
+
+def test_register_coloring():
+    out = run_example("register_coloring.py", "1500", "9000", "0")
+    assert "registers used" in out
+    assert "dependence length" in out
+
+
+def test_trace_anatomy():
+    out = run_example("trace_anatomy.py", "3000", "15000", "0")
+    assert "parallelism profile" in out
+    assert "overhead/depth-bound" in out
+
+
+def test_luby_showdown():
+    out = run_example("luby_showdown.py", "4000", "20000", "0")
+    assert "Luby does" in out
+    assert "Determinism bonus" in out
+
+
+def test_paper_tour():
+    out = run_example("paper_tour.py", "3000", "15000", "0")
+    assert "tour complete" in out
+    assert "Theorem 3.5" in out
+    assert "MM == MIS(L(G)) is True" in out

@@ -1,0 +1,159 @@
+"""Tests for the coloring and spanning-forest extensions."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.core.dependence import longest_path_length
+from repro.core.orderings import identity_priorities, random_priorities
+from repro.extensions import (
+    is_proper_coloring,
+    is_spanning_forest,
+    parallel_greedy_coloring,
+    parallel_spanning_forest,
+    sequential_greedy_coloring,
+    sequential_spanning_forest,
+)
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    path_graph,
+    star_graph,
+    uniform_random_graph,
+)
+from repro.graphs.properties import num_connected_components
+
+from conftest import edgelist_with_ranks, graph_with_ranks
+
+
+class TestColoringCorrectness:
+    @given(graph_with_ranks())
+    def test_parallel_matches_sequential(self, gr):
+        g, ranks = gr
+        c1, _ = sequential_greedy_coloring(g, ranks)
+        c2, _ = parallel_greedy_coloring(g, ranks)
+        assert np.array_equal(c1, c2)
+
+    @given(graph_with_ranks())
+    def test_proper(self, gr):
+        g, ranks = gr
+        colors, _ = sequential_greedy_coloring(g, ranks)
+        assert is_proper_coloring(g, colors)
+
+    def test_first_fit_bound(self, family_graph):
+        colors, _ = sequential_greedy_coloring(
+            family_graph, random_priorities(family_graph.num_vertices, seed=3)
+        )
+        assert colors.max() + 1 <= family_graph.max_degree() + 1
+
+    def test_path_two_colors_identity(self):
+        colors, _ = sequential_greedy_coloring(path_graph(8), identity_priorities(8))
+        assert colors.max() + 1 == 2
+
+    def test_complete_needs_n_colors(self):
+        colors, _ = sequential_greedy_coloring(
+            complete_graph(7), random_priorities(7, seed=0)
+        )
+        assert colors.max() + 1 == 7
+
+    def test_edgeless_one_color(self):
+        colors, _ = sequential_greedy_coloring(empty_graph(5), identity_priorities(5))
+        assert set(colors.tolist()) == {0}
+
+
+class TestColoringSchedule:
+    def test_steps_equal_longest_path(self, family_graph):
+        ranks = random_priorities(family_graph.num_vertices, seed=1)
+        _, stats = parallel_greedy_coloring(family_graph, ranks)
+        assert stats.steps == longest_path_length(family_graph, ranks)
+
+    def test_coloring_steps_at_least_mis_dependence(self):
+        """Coloring needs *all* earlier neighbors decided, so its step
+        count dominates the MIS dependence length on the same order."""
+        from repro.core.dependence import dependence_length
+
+        g = complete_graph(25)
+        ranks = random_priorities(25, seed=0)
+        _, stats = parallel_greedy_coloring(g, ranks)
+        assert stats.steps >= dependence_length(g, ranks)
+        assert stats.steps == 25  # K_n peels one vertex per step
+
+    def test_is_proper_rejects_uncolored(self):
+        g = path_graph(3)
+        assert not is_proper_coloring(g, np.array([0, -1, 0]))
+
+    def test_is_proper_rejects_monochromatic_edge(self):
+        g = path_graph(3)
+        assert not is_proper_coloring(g, np.array([0, 0, 1]))
+
+
+class TestSpanningForestCorrectness:
+    @given(edgelist_with_ranks())
+    def test_parallel_matches_sequential(self, er):
+        el, ranks = er
+        f1, _ = sequential_spanning_forest(el, ranks)
+        f2, _ = parallel_spanning_forest(el, ranks)
+        assert np.array_equal(f1, f2)
+
+    @given(edgelist_with_ranks())
+    def test_valid_forest(self, er):
+        el, ranks = er
+        accepted, _ = sequential_spanning_forest(el, ranks)
+        assert is_spanning_forest(el, accepted)
+
+    def test_forest_size_formula(self, family_graph):
+        el = family_graph.edge_list()
+        accepted, _ = sequential_spanning_forest(
+            el, random_priorities(el.num_edges, seed=2)
+        )
+        expected = family_graph.num_vertices - num_connected_components(family_graph)
+        assert int(accepted.sum()) == expected
+
+    def test_tree_keeps_every_edge(self):
+        el = path_graph(10).edge_list()
+        accepted, _ = sequential_spanning_forest(el, random_priorities(9, seed=1))
+        assert accepted.all()
+
+    def test_cycle_drops_exactly_lowest_priority_edge(self):
+        el = cycle_graph(12).edge_list()
+        ranks = random_priorities(12, seed=3)
+        accepted, _ = sequential_spanning_forest(el, ranks)
+        dropped = np.nonzero(~accepted)[0]
+        assert dropped.size == 1
+        assert ranks[dropped[0]] == 11  # the last edge closes the cycle
+
+
+class TestSpanningForestSchedule:
+    def test_star_single_step(self):
+        el = star_graph(50).edge_list()
+        _, stats = parallel_spanning_forest(el, random_priorities(49, seed=0))
+        assert stats.steps == 1
+
+    def test_polylog_steps_random_graph(self):
+        g = uniform_random_graph(2000, 10000, seed=4)
+        el = g.edge_list()
+        _, stats = parallel_spanning_forest(
+            el, random_priorities(el.num_edges, seed=5)
+        )
+        assert stats.steps <= 6 * np.log2(el.num_edges)
+
+    def test_no_edges(self):
+        el = empty_graph(3).edge_list()
+        accepted, stats = parallel_spanning_forest(el, identity_priorities(0))
+        assert accepted.size == 0
+        assert stats.steps == 0
+
+
+class TestForestValidator:
+    def test_rejects_cycle(self):
+        el = cycle_graph(5).edge_list()
+        assert not is_spanning_forest(el, np.ones(5, dtype=bool))
+
+    def test_rejects_non_spanning(self):
+        el = path_graph(4).edge_list()
+        assert not is_spanning_forest(el, np.zeros(3, dtype=bool))
+
+    def test_wrong_shape(self):
+        el = path_graph(4).edge_list()
+        assert not is_spanning_forest(el, np.zeros(2, dtype=bool))

@@ -1,0 +1,71 @@
+"""Golden-baseline regression: fresh figure runs must match committed data.
+
+The whole pipeline — graph generation, priority draws, every engine, the
+cost model — is deterministic given seeds, so regenerating the tiny-scale
+figures must reproduce the committed JSON *exactly* (tolerance 1e-12, to
+absorb only floating-point serialization).  Any intentional change to an
+engine's accounting or to the cost-model constants must regenerate these
+files (see the header of each), which makes such changes visible in review.
+
+Baselines are regenerated with::
+
+    python - <<'PY'
+    from repro.bench.figures import figure1_panels, figure3
+    from repro.bench.reporting import save_figure_json
+    from repro.bench.workloads import paper_random_graph
+    g = paper_random_graph("tiny")
+    for fig in figure1_panels(g, "random", seed=1).values():
+        save_figure_json(fig, f"tests/baselines/{fig.figure_id}.json")
+    save_figure_json(figure3(g, "random", seed=1), "tests/baselines/fig3a.json")
+    PY
+"""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.bench.figures import figure1_panels, figure3
+from repro.bench.regression import compare_payloads
+from repro.bench.workloads import paper_random_graph
+
+BASELINES = pathlib.Path(__file__).resolve().parent / "baselines"
+
+
+def _payload(fig):
+    return {
+        "figure_id": fig.figure_id,
+        "series": {
+            name: {"x": list(map(float, xs)), "y": list(map(float, ys))}
+            for name, (xs, ys) in fig.series.items()
+        },
+    }
+
+
+@pytest.fixture(scope="module")
+def tiny_graph():
+    return paper_random_graph("tiny")
+
+
+@pytest.fixture(scope="module")
+def fresh_fig1(tiny_graph):
+    return figure1_panels(tiny_graph, "random", seed=1)
+
+
+class TestGoldenBaselines:
+    @pytest.mark.parametrize("panel", ["work", "rounds", "time"])
+    def test_figure1_panels_match(self, fresh_fig1, panel):
+        fig = fresh_fig1[panel]
+        baseline = json.loads((BASELINES / f"{fig.figure_id}.json").read_text())
+        report = compare_payloads(baseline, _payload(fig), tolerance=1e-12)
+        assert report.matched, report.summary()
+
+    def test_figure3_matches(self, tiny_graph):
+        fig = figure3(tiny_graph, "random", seed=1)
+        baseline = json.loads((BASELINES / "fig3a.json").read_text())
+        report = compare_payloads(baseline, _payload(fig), tolerance=1e-12)
+        assert report.matched, report.summary()
+
+    def test_baselines_carry_expected_series(self):
+        data = json.loads((BASELINES / "fig3a.json").read_text())
+        assert set(data["series"]) == {"prefix-based MIS", "Luby", "serial MIS"}

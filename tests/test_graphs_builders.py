@@ -1,0 +1,101 @@
+"""Tests for graph builders: canonicalization, symmetry, conversions."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.graphs.builders import (
+    canonical_edges,
+    from_adjacency_lists,
+    from_edges,
+    from_networkx,
+    to_networkx,
+)
+from repro.graphs.properties import is_simple_undirected
+
+from conftest import graph_strategy
+
+
+class TestCanonicalEdges:
+    def test_drops_self_loops(self):
+        u, v = canonical_edges(3, np.array([0, 1]), np.array([0, 2]))
+        assert u.tolist() == [1] and v.tolist() == [2]
+
+    def test_merges_duplicates_and_reverses(self):
+        u, v = canonical_edges(3, np.array([0, 1, 0]), np.array([1, 0, 1]))
+        assert u.tolist() == [0] and v.tolist() == [1]
+
+    def test_orients_low_high(self):
+        u, v = canonical_edges(5, np.array([4]), np.array([2]))
+        assert (u[0], v[0]) == (2, 4)
+
+    def test_empty(self):
+        u, v = canonical_edges(3, np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert u.size == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(Exception, match="equal length"):
+            canonical_edges(3, np.array([0]), np.array([1, 2]))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_edges(2, np.array([0]), np.array([5]))
+
+
+class TestFromEdges:
+    def test_docstring_example(self):
+        g = from_edges(3, np.array([0, 1, 1, 0]), np.array([1, 0, 2, 0]))
+        assert g.num_edges == 2
+
+    def test_neighbor_lists_sorted(self):
+        g = from_edges(4, np.array([3, 3, 3]), np.array([2, 0, 1]))
+        assert g.neighbors_of(3).tolist() == [0, 1, 2]
+
+    @given(graph_strategy())
+    def test_always_simple_undirected(self, g):
+        assert is_simple_undirected(g)
+
+    @given(graph_strategy())
+    def test_degree_sum_is_twice_edges(self, g):
+        assert int(g.degrees().sum()) == 2 * g.num_edges
+
+    def test_isolated_vertices_preserved(self):
+        g = from_edges(10, np.array([0]), np.array([1]))
+        assert g.num_vertices == 10
+        assert g.degree(9) == 0
+
+
+class TestFromAdjacencyLists:
+    def test_example(self):
+        g = from_adjacency_lists([[1, 2], [0], [0]])
+        assert g.num_edges == 2
+
+    def test_asymmetric_input_symmetrized(self):
+        g = from_adjacency_lists([[1], [], []])
+        assert g.has_edge(1, 0)
+
+    def test_empty_lists(self):
+        g = from_adjacency_lists([[], [], []])
+        assert g.num_vertices == 3
+        assert g.num_edges == 0
+
+
+class TestNetworkxRoundTrip:
+    def test_round_trip(self):
+        nx = pytest.importorskip("networkx")
+        g1 = from_edges(5, np.array([0, 1, 2]), np.array([1, 2, 3]))
+        nxg = to_networkx(g1)
+        assert nxg.number_of_edges() == 3
+        g2, index = from_networkx(nxg)
+        assert g1 == g2
+        assert index == {i: i for i in range(5)}
+
+    def test_from_networkx_arbitrary_labels(self):
+        nx = pytest.importorskip("networkx")
+        nxg = nx.Graph()
+        nxg.add_edge("a", "b")
+        nxg.add_edge("b", "c")
+        g, index = from_networkx(nxg)
+        assert g.num_vertices == 3
+        assert g.num_edges == 2
+        assert set(index) == {"a", "b", "c"}

@@ -1,0 +1,155 @@
+"""Tests for CSRGraph / EdgeList invariants and accessors."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.errors import InvalidGraphError
+from repro.graphs.builders import from_edges
+from repro.graphs.csr import CSRGraph, EdgeList, expand_offsets, gather_neighbors
+
+from conftest import graph_strategy
+
+
+def triangle():
+    return from_edges(3, np.array([0, 1, 2]), np.array([1, 2, 0]))
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = CSRGraph(np.zeros(1, dtype=np.int64), np.empty(0, dtype=np.int64))
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_triangle_counts(self):
+        g = triangle()
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+        assert g.num_arcs == 6
+
+    def test_nonzero_first_offset_rejected(self):
+        with pytest.raises(InvalidGraphError, match="offsets\\[0\\]"):
+            CSRGraph(np.array([1, 2]), np.array([0, 0]))
+
+    def test_final_offset_mismatch_rejected(self):
+        with pytest.raises(InvalidGraphError, match="offsets\\[-1\\]"):
+            CSRGraph(np.array([0, 3]), np.array([0, 0]))
+
+    def test_decreasing_offsets_rejected(self):
+        with pytest.raises(InvalidGraphError, match="non-decreasing"):
+            CSRGraph(np.array([0, 2, 1, 4]), np.array([0, 1, 2, 0]))
+
+    def test_neighbor_out_of_range_rejected(self):
+        with pytest.raises(InvalidGraphError, match="neighbor ids"):
+            CSRGraph(np.array([0, 1, 2]), np.array([0, 5]))
+
+    def test_odd_arc_count_rejected(self):
+        with pytest.raises(InvalidGraphError, match="even"):
+            CSRGraph(np.array([0, 1]), np.array([0]))
+
+
+class TestAccessors:
+    def test_degrees(self):
+        g = triangle()
+        assert g.degrees().tolist() == [2, 2, 2]
+        assert g.degree(0) == 2
+        assert g.max_degree() == 2
+
+    def test_neighbors_of(self):
+        g = triangle()
+        assert sorted(g.neighbors_of(0).tolist()) == [1, 2]
+
+    def test_has_edge(self):
+        g = triangle()
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+        g2 = from_edges(4, np.array([0]), np.array([1]))
+        assert not g2.has_edge(2, 3)
+
+    def test_arcs_cover_both_directions(self):
+        g = triangle()
+        src, dst = g.arcs()
+        pairs = set(zip(src.tolist(), dst.tolist()))
+        assert (0, 1) in pairs and (1, 0) in pairs
+
+    def test_equality_and_hash(self):
+        assert triangle() == triangle()
+        assert hash(triangle()) == hash(triangle())
+        assert triangle() != from_edges(3, np.array([0]), np.array([1]))
+
+
+class TestExpandOffsets:
+    def test_example(self):
+        out = expand_offsets(np.array([0, 2, 2, 5]))
+        assert out.tolist() == [0, 0, 2, 2, 2]
+
+    def test_empty(self):
+        assert expand_offsets(np.array([0])).size == 0
+
+
+class TestGather:
+    def test_gather_subset(self):
+        g = triangle()
+        src, dst = g.gather(np.array([1]))
+        assert np.all(src == 1)
+        assert sorted(dst.tolist()) == [0, 2]
+
+    def test_gather_empty_subset(self):
+        src, dst = triangle().gather(np.empty(0, dtype=np.int64))
+        assert src.size == 0 and dst.size == 0
+
+    def test_gather_isolated_vertex(self):
+        g = from_edges(3, np.array([0]), np.array([1]))
+        src, dst = g.gather(np.array([2]))
+        assert src.size == 0
+
+    @given(graph_strategy())
+    def test_gather_all_matches_arcs(self, g):
+        src_a, dst_a = g.arcs()
+        src_b, dst_b = gather_neighbors(
+            g.offsets, g.neighbors, np.arange(g.num_vertices)
+        )
+        assert np.array_equal(src_a, src_b)
+        assert np.array_equal(dst_a, dst_b)
+
+
+class TestEdgeList:
+    def test_canonical_order(self):
+        el = triangle().edge_list()
+        assert el.num_edges == 3
+        assert np.all(el.u < el.v)
+
+    def test_cached(self):
+        g = triangle()
+        assert g.edge_list() is g.edge_list()
+
+    def test_noncanonical_rejected(self):
+        with pytest.raises(InvalidGraphError, match="canonical"):
+            EdgeList(3, np.array([2]), np.array([1]))
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(InvalidGraphError, match="endpoints"):
+            EdgeList(2, np.array([0]), np.array([5]))
+
+    def test_incidence_structure(self):
+        el = triangle().edge_list()
+        offs, eids = el.incidence()
+        assert offs.tolist()[0] == 0
+        assert offs[-1] == 2 * el.num_edges
+        # Every vertex of a triangle touches exactly 2 edges.
+        assert np.diff(offs).tolist() == [2, 2, 2]
+        # Each edge id appears exactly twice.
+        assert np.bincount(eids, minlength=3).tolist() == [2, 2, 2]
+
+    def test_endpoints_and_iter(self):
+        el = from_edges(3, np.array([0, 1]), np.array([1, 2])).edge_list()
+        assert el.endpoints(0) == (0, 1)
+        assert list(el) == [(0, 1), (1, 2)]
+
+    @given(graph_strategy())
+    def test_incidence_consistent_with_endpoints(self, g):
+        el = g.edge_list()
+        offs, eids = el.incidence()
+        for w in range(el.num_vertices):
+            for e in eids[offs[w]:offs[w + 1]].tolist():
+                assert w in el.endpoints(e)

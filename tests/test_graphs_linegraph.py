@@ -1,0 +1,78 @@
+"""Tests for line-graph construction (the MM -> MIS reduction)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+
+from repro.graphs.builders import from_edges
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.linegraph import line_graph
+from repro.graphs.properties import is_simple_undirected
+
+from conftest import graph_strategy
+
+
+class TestKnownLineGraphs:
+    def test_path_line_graph_is_shorter_path(self):
+        # L(P_n) = P_{n-1}
+        lg, _ = line_graph(path_graph(5))
+        assert lg.num_vertices == 4
+        assert lg.num_edges == 3
+        assert lg.max_degree() == 2
+
+    def test_cycle_line_graph_is_cycle(self):
+        lg, _ = line_graph(cycle_graph(7))
+        assert lg.num_vertices == 7
+        assert lg.num_edges == 7
+        assert set(lg.degrees().tolist()) == {2}
+
+    def test_star_line_graph_is_complete(self):
+        # All edges of a star share the center: L(K_{1,k}) = K_k.
+        lg, _ = line_graph(star_graph(6))
+        assert lg.num_vertices == 5
+        assert lg.num_edges == 10
+
+    def test_triangle_line_graph_is_triangle(self):
+        lg, _ = line_graph(complete_graph(3))
+        assert lg.num_vertices == 3
+        assert lg.num_edges == 3
+
+    def test_edgeless(self):
+        lg, el = line_graph(empty_graph(4))
+        assert lg.num_vertices == 0
+        assert el.num_edges == 0
+
+
+class TestLineGraphInvariants:
+    @given(graph_strategy(max_vertices=12, max_extra_edges=24))
+    @settings(max_examples=25)
+    def test_vertex_count_and_edge_count(self, g):
+        lg, el = line_graph(g)
+        assert lg.num_vertices == g.num_edges
+        # |E(L(G))| = sum_v C(deg(v), 2)
+        degs = g.degrees()
+        expected = int((degs * (degs - 1) // 2).sum())
+        assert lg.num_edges == expected
+
+    @given(graph_strategy(max_vertices=12, max_extra_edges=24))
+    @settings(max_examples=25)
+    def test_adjacency_iff_shared_endpoint(self, g):
+        lg, el = line_graph(g)
+        for e in range(el.num_edges):
+            for f in range(e + 1, el.num_edges):
+                shares = bool(
+                    set(el.endpoints(e)) & set(el.endpoints(f))
+                )
+                assert lg.has_edge(e, f) == shares
+
+    @given(graph_strategy(max_vertices=10, max_extra_edges=18))
+    @settings(max_examples=20)
+    def test_simple(self, g):
+        lg, _ = line_graph(g)
+        assert is_simple_undirected(lg)

@@ -1,0 +1,97 @@
+"""Tests for structural predicates and statistics."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.graphs.builders import from_edges
+from repro.graphs.csr import CSRGraph
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    path_graph,
+    star_graph,
+)
+from repro.graphs.properties import (
+    connected_components,
+    degree_histogram,
+    has_parallel_edges,
+    has_self_loops,
+    is_simple_undirected,
+    is_symmetric,
+    num_connected_components,
+)
+
+from conftest import graph_strategy
+
+
+class TestSymmetry:
+    def test_builder_output_symmetric(self):
+        g = from_edges(4, np.array([0, 1]), np.array([1, 2]))
+        assert is_symmetric(g)
+
+    def test_handcrafted_asymmetric_detected(self):
+        # 0 -> 1 arc present, 1 -> 0 missing; pad with arcs between 2 and 3
+        # to satisfy the even arc-count invariant.
+        g = CSRGraph(np.array([0, 1, 1, 3, 4]), np.array([1, 3, 3, 2]))
+        assert not is_symmetric(g)
+
+    def test_empty_symmetric(self):
+        assert is_symmetric(empty_graph(3))
+
+
+class TestLoopsAndMultiEdges:
+    def test_self_loop_detected(self):
+        g = CSRGraph(np.array([0, 2]), np.array([0, 0]))
+        assert has_self_loops(g)
+
+    def test_parallel_edge_detected(self):
+        g = CSRGraph(np.array([0, 2, 4]), np.array([1, 1, 0, 0]))
+        assert has_parallel_edges(g)
+
+    @given(graph_strategy())
+    def test_builder_graphs_clean(self, g):
+        assert not has_self_loops(g)
+        assert not has_parallel_edges(g)
+        assert is_simple_undirected(g)
+
+
+class TestDegreeHistogram:
+    def test_star(self):
+        h = degree_histogram(star_graph(5))
+        assert h == {1: 4, 4: 1}
+
+    def test_empty(self):
+        assert degree_histogram(empty_graph(0)) == {}
+
+    def test_counts_sum_to_n(self):
+        g = complete_graph(6)
+        assert sum(degree_histogram(g).values()) == 6
+
+
+class TestConnectedComponents:
+    def test_single_component(self):
+        assert num_connected_components(cycle_graph(8)) == 1
+
+    def test_disconnected(self):
+        g = from_edges(6, np.array([0, 2]), np.array([1, 3]))
+        # components: {0,1}, {2,3}, {4}, {5}
+        assert num_connected_components(g) == 4
+
+    def test_labels_are_component_minima(self):
+        g = from_edges(5, np.array([1, 3]), np.array([2, 4]))
+        labels = connected_components(g)
+        assert labels.tolist() == [0, 1, 1, 3, 3]
+
+    def test_empty_graph(self):
+        assert num_connected_components(empty_graph(0)) == 0
+
+    def test_path_connected(self):
+        assert num_connected_components(path_graph(30)) == 1
+
+    @given(graph_strategy())
+    def test_labels_constant_on_edges(self, g):
+        labels = connected_components(g)
+        src, dst = g.arcs()
+        assert np.all(labels[src] == labels[dst])

@@ -1,0 +1,160 @@
+"""Tests for graph transforms: induction, relabel, union, degree cap."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.mis import sequential_greedy_mis
+from repro.core.orderings import identity_priorities, ranks_from_permutation
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    path_graph,
+    star_graph,
+    uniform_random_graph,
+)
+from repro.graphs.properties import is_simple_undirected
+from repro.graphs.transforms import (
+    cap_degrees,
+    disjoint_union,
+    induced_subgraph,
+    relabel,
+    remove_vertices,
+)
+from repro.pram.machine import null_machine
+
+from conftest import graph_strategy, graph_with_ranks
+
+
+class TestInducedSubgraph:
+    def test_by_ids(self):
+        g = cycle_graph(6)
+        sub, kept = induced_subgraph(g, np.array([0, 1, 2]))
+        assert kept.tolist() == [0, 1, 2]
+        assert sub.num_vertices == 3
+        assert sub.num_edges == 2  # edges (0,1), (1,2); (2,3) cut
+
+    def test_by_mask(self):
+        g = complete_graph(5)
+        sub, kept = induced_subgraph(g, np.array([True, True, True, False, False]))
+        assert sub.num_edges == 3  # K3
+
+    def test_empty_selection(self):
+        sub, kept = induced_subgraph(cycle_graph(4), np.zeros(4, dtype=bool))
+        assert sub.num_vertices == 0
+
+    def test_full_selection_identity(self):
+        g = uniform_random_graph(50, 200, seed=0)
+        sub, kept = induced_subgraph(g, np.ones(50, dtype=bool))
+        assert sub == g
+
+    def test_bad_mask_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            induced_subgraph(cycle_graph(4), np.zeros(3, dtype=bool))
+
+    @given(graph_strategy())
+    def test_edge_subset_property(self, g):
+        half = np.arange(g.num_vertices) % 2 == 0
+        sub, kept = induced_subgraph(g, half)
+        assert sub.num_vertices == int(half.sum())
+        assert sub.num_edges <= g.num_edges
+        assert is_simple_undirected(sub)
+
+
+class TestRemoveVertices:
+    def test_complement_of_induce(self):
+        g = cycle_graph(6)
+        a, _ = induced_subgraph(g, np.array([0, 1, 2]))
+        b, _ = remove_vertices(g, np.array([3, 4, 5]))
+        assert a == b
+
+    def test_remove_none(self):
+        g = star_graph(5)
+        sub, _ = remove_vertices(g, np.zeros(5, dtype=bool))
+        assert sub == g
+
+
+class TestRelabel:
+    def test_structure_preserved(self):
+        g = path_graph(5)
+        perm = np.array([4, 3, 2, 1, 0])
+        h = relabel(g, perm)
+        assert h.num_edges == g.num_edges
+        assert h.has_edge(4, 3)  # old edge (0, 1)
+
+    def test_identity(self):
+        g = cycle_graph(7)
+        assert relabel(g, np.arange(7)) == g
+
+    @given(graph_with_ranks())
+    def test_relabel_commutes_with_greedy(self, gr):
+        """MIS under ranks == MIS of relabeled graph under relabeled ids."""
+        g, ranks = gr
+        # Relabel vertex v -> ranks[v]; then identity priorities on the
+        # relabeled graph correspond to `ranks` on the original.
+        h = relabel(g, ranks)
+        a = sequential_greedy_mis(g, ranks, machine=null_machine())
+        b = sequential_greedy_mis(
+            h, identity_priorities(g.num_vertices), machine=null_machine()
+        )
+        # Vertex v of g is vertex ranks[v] of h.
+        assert np.array_equal(a.in_set, b.in_set[ranks])
+
+    def test_non_permutation_rejected(self):
+        from repro.errors import InvalidOrderingError
+
+        with pytest.raises(InvalidOrderingError):
+            relabel(path_graph(3), np.array([0, 0, 2]))
+
+
+class TestDisjointUnion:
+    def test_counts(self):
+        u = disjoint_union(cycle_graph(4), path_graph(3))
+        assert u.num_vertices == 7
+        assert u.num_edges == 4 + 2
+
+    def test_no_cross_edges(self):
+        u = disjoint_union(complete_graph(3), complete_graph(3))
+        for a in range(3):
+            for b in range(3, 6):
+                assert not u.has_edge(a, b)
+
+    def test_second_block_shifted(self):
+        u = disjoint_union(path_graph(2), path_graph(2))
+        assert u.has_edge(2, 3)
+
+
+class TestCapDegrees:
+    def test_cap_enforced(self):
+        g = star_graph(20)
+        capped = cap_degrees(g, 3)
+        assert capped.max_degree() <= 3
+
+    def test_cap_zero_removes_everything(self):
+        g = cycle_graph(5)
+        assert cap_degrees(g, 0).num_edges == 0
+
+    def test_cap_above_max_is_identity(self):
+        g = cycle_graph(5)
+        assert cap_degrees(g, 10) == g
+
+    def test_deterministic_default(self):
+        g = uniform_random_graph(100, 600, seed=1)
+        assert cap_degrees(g, 4) == cap_degrees(g, 4)
+
+    def test_seeded_variation(self):
+        g = uniform_random_graph(100, 600, seed=1)
+        a = cap_degrees(g, 4, seed=0)
+        b = cap_degrees(g, 4, seed=1)
+        assert a.max_degree() <= 4 and b.max_degree() <= 4
+
+    def test_negative_cap_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            cap_degrees(cycle_graph(4), -1)
+
+    @given(graph_strategy(), st.integers(min_value=0, max_value=6))
+    def test_property(self, g, cap):
+        capped = cap_degrees(g, cap)
+        assert capped.max_degree() <= max(cap, 0)
+        assert capped.num_vertices == g.num_vertices
+        assert is_simple_undirected(capped)

@@ -1,0 +1,100 @@
+"""Integration stress: the full engine matrix on one mid-size instance.
+
+One uniform and one rMat graph at n ≈ 5·10^4 are pushed through every MIS
+and MM execution strategy, every result is cross-checked for bit equality
+and verified against the specification predicates, and the headline
+theorem bounds are asserted.  This is the closest thing to "run the whole
+paper" inside the unit-test budget (a few seconds).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dependence import (
+    dependence_length,
+    matching_dependence_length,
+)
+from repro.core.matching import (
+    assert_valid_matching,
+    maximal_matching,
+    MM_METHODS,
+)
+from repro.core.mis import (
+    assert_valid_mis,
+    maximal_independent_set,
+    MIS_METHODS,
+    theorem45_prefix_sizes,
+    prefix_greedy_mis,
+)
+from repro.core.orderings import random_priorities
+from repro.extensions.reservations import reservation_matching, reservation_mis
+from repro.graphs.generators import rmat_graph, uniform_random_graph
+from repro.pram.machine import null_machine
+from repro.theory.bounds import dependence_length_bound
+
+
+@pytest.fixture(
+    scope="module",
+    params=["uniform", "rmat"],
+)
+def instance(request):
+    if request.param == "uniform":
+        g = uniform_random_graph(50_000, 250_000, seed=123)
+    else:
+        g = rmat_graph(15, 200_000, seed=123)
+    ranks = random_priorities(g.num_vertices, seed=321)
+    return g, ranks
+
+
+class TestMISMatrix:
+    def test_every_strategy_identical_and_valid(self, instance):
+        g, ranks = instance
+        ref = maximal_independent_set(g, ranks, method="sequential")
+        assert_valid_mis(g, ref.in_set, ranks)
+        for method in ("parallel", "prefix", "rootset"):
+            res = maximal_independent_set(g, ranks, method=method)
+            assert np.array_equal(res.in_set, ref.in_set), method
+        for k in (97, 5_000):
+            res = maximal_independent_set(g, ranks, method="prefix", prefix_size=k)
+            assert np.array_equal(res.in_set, ref.in_set)
+        thm = prefix_greedy_mis(
+            g, ranks,
+            prefix_sizes=theorem45_prefix_sizes(g.num_vertices, g.max_degree()),
+            machine=null_machine(),
+        )
+        assert np.array_equal(thm.in_set, ref.in_set)
+        resv = reservation_mis(g, ranks, granularity=2_000, machine=null_machine())
+        assert np.array_equal(resv.in_set, ref.in_set)
+
+    def test_theorem_3_5_holds(self, instance):
+        g, ranks = instance
+        dep = dependence_length(g, ranks)
+        assert dep <= dependence_length_bound(g.num_vertices, g.max_degree())
+
+    def test_luby_valid_but_different(self, instance):
+        g, ranks = instance
+        ref = maximal_independent_set(g, ranks, method="sequential")
+        luby = maximal_independent_set(g, method="luby", seed=9)
+        assert_valid_mis(g, luby.in_set)
+        assert not np.array_equal(luby.in_set, ref.in_set)
+
+
+class TestMMMatrix:
+    def test_every_strategy_identical_and_valid(self, instance):
+        g, _ = instance
+        el = g.edge_list()
+        eranks = random_priorities(el.num_edges, seed=555)
+        ref = maximal_matching(el, eranks, method="sequential")
+        assert_valid_matching(el, ref.matched, eranks)
+        for method in MM_METHODS:
+            res = maximal_matching(el, eranks, method=method)
+            assert np.array_equal(res.matched, ref.matched), method
+        resv = reservation_matching(el, eranks, granularity=4_000, machine=null_machine())
+        assert np.array_equal(resv.matched, ref.matched)
+
+    def test_lemma_5_1_holds(self, instance):
+        g, _ = instance
+        el = g.edge_list()
+        eranks = random_priorities(el.num_edges, seed=777)
+        dep = matching_dependence_length(el, eranks)
+        assert dep <= 6 * np.log2(max(el.num_edges, 2))

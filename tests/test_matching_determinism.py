@@ -1,0 +1,85 @@
+"""MM determinism and the Lemma 5.1 line-graph reduction, property-based."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.matching import (
+    is_lexicographically_first_matching,
+    is_matching,
+    is_maximal_matching,
+    parallel_greedy_matching,
+    prefix_greedy_matching,
+    rootset_matching,
+    sequential_greedy_matching,
+)
+from repro.core.dependence import matching_dependence_length, dependence_length
+from repro.core.mis import parallel_greedy_mis
+from repro.core.orderings import random_priorities
+from repro.graphs.generators import uniform_random_graph
+from repro.graphs.linegraph import line_graph
+from repro.pram.machine import null_machine
+
+from conftest import edgelist_with_ranks, graph_strategy
+
+
+@given(edgelist_with_ranks())
+def test_all_engines_agree(er):
+    el, ranks = er
+    ref = sequential_greedy_matching(el, ranks, machine=null_machine())
+    for engine in (parallel_greedy_matching, rootset_matching):
+        assert np.array_equal(engine(el, ranks, machine=null_machine()).status, ref.status)
+
+
+@given(edgelist_with_ranks(), st.integers(min_value=1, max_value=20))
+def test_prefix_agrees_for_every_prefix_size(er, k):
+    el, ranks = er
+    ref = sequential_greedy_matching(el, ranks, machine=null_machine())
+    pre = prefix_greedy_matching(el, ranks, prefix_size=k, machine=null_machine())
+    assert np.array_equal(ref.status, pre.status)
+
+
+@given(edgelist_with_ranks())
+def test_result_valid_and_lex_first(er):
+    el, ranks = er
+    res = parallel_greedy_matching(el, ranks, machine=null_machine())
+    assert is_matching(el, res.matched)
+    assert is_maximal_matching(el, res.matched)
+    assert is_lexicographically_first_matching(el, ranks, res.matched)
+
+
+@given(graph_strategy(max_vertices=10, max_extra_edges=20))
+@settings(max_examples=25)
+def test_matching_is_mis_of_line_graph(g):
+    """Lemma 5.1's reduction, checked exactly: greedy MM on G under edge
+    order pi equals greedy MIS on L(G) under the same order — membership
+    AND step-by-step schedule."""
+    lg, el = line_graph(g)
+    m = el.num_edges
+    ranks = random_priorities(m, seed=17)
+    mm = parallel_greedy_matching(el, ranks, machine=null_machine())
+    mis = parallel_greedy_mis(lg, ranks, machine=null_machine())
+    assert np.array_equal(mm.matched, mis.in_set)
+    assert mm.stats.steps == mis.stats.steps
+
+
+@given(graph_strategy(max_vertices=10, max_extra_edges=20))
+@settings(max_examples=25)
+def test_matching_dependence_equals_linegraph_dependence(g):
+    lg, el = line_graph(g)
+    ranks = random_priorities(el.num_edges, seed=3)
+    assert matching_dependence_length(el, ranks) == dependence_length(lg, ranks)
+
+
+@settings(max_examples=8)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_medium_graph_cross_engine(seed):
+    g = uniform_random_graph(300, 1200, seed=seed)
+    el = g.edge_list()
+    ranks = random_priorities(el.num_edges, seed=seed ^ 0xABCDEF)
+    ref = sequential_greedy_matching(el, ranks, machine=null_machine())
+    for engine in (parallel_greedy_matching, rootset_matching):
+        assert np.array_equal(engine(el, ranks, machine=null_machine()).status, ref.status)
+    for k in (1, 11, 120, el.num_edges):
+        pre = prefix_greedy_matching(el, ranks, prefix_size=k, machine=null_machine())
+        assert np.array_equal(pre.status, ref.status)

@@ -1,0 +1,145 @@
+"""Per-engine maximal-matching tests: known answers, stats, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.core.matching import (
+    is_maximal_matching,
+    maximal_matching,
+    parallel_greedy_matching,
+    prefix_greedy_matching,
+    rootset_matching,
+    sequential_greedy_matching,
+    MM_METHODS,
+)
+from repro.core.orderings import identity_priorities, random_priorities
+from repro.errors import EngineError
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    path_graph,
+    star_graph,
+)
+
+ENGINES = [
+    sequential_greedy_matching,
+    parallel_greedy_matching,
+    prefix_greedy_matching,
+    rootset_matching,
+]
+
+
+@pytest.fixture(params=ENGINES, ids=lambda f: f.__name__)
+def engine(request):
+    return request.param
+
+
+class TestKnownAnswers:
+    def test_path_identity_order(self, engine):
+        # Edges of P4 in canonical order: (0,1), (1,2), (2,3).  Identity
+        # priorities match (0,1) first, killing (1,2), then (2,3).
+        el = path_graph(4).edge_list()
+        res = engine(el, identity_priorities(3))
+        assert res.edges.tolist() == [0, 2]
+        assert res.pairs.tolist() == [[0, 1], [2, 3]]
+
+    def test_star_single_edge(self, engine):
+        el = star_graph(9).edge_list()
+        res = engine(el, random_priorities(el.num_edges, seed=3))
+        assert res.size == 1
+        # The matched edge is the highest-priority one.
+        assert res.ranks[res.edges[0]] == 0
+
+    def test_perfect_matching_on_even_cycle(self, engine):
+        el = cycle_graph(8).edge_list()
+        res = engine(el, random_priorities(8, seed=0))
+        assert res.size in (3, 4)
+        assert is_maximal_matching(el, res.matched)
+
+    def test_no_edges(self, engine):
+        el = empty_graph(4).edge_list()
+        res = engine(el, random_priorities(0))
+        assert res.size == 0
+
+    def test_maximal(self, engine, family_graph):
+        el = family_graph.edge_list()
+        res = engine(el, random_priorities(el.num_edges, seed=6))
+        assert is_maximal_matching(el, res.matched)
+
+    def test_vertex_cover_covers_all_edges(self, engine):
+        el = complete_graph(9).edge_list()
+        res = engine(el, random_priorities(el.num_edges, seed=2))
+        cover = res.vertex_cover_mask()
+        assert np.all(cover[el.u] | cover[el.v])
+
+
+class TestStatsSemantics:
+    def test_parallel_steps_on_path_identity(self):
+        # Identity order on P6 edges is adversarial: edge (k, k+1) must
+        # wait for edge (k-2, k-1) to match, so the chain resolves one
+        # matched edge per step: (0,1), then (2,3), then (4,5).
+        el = path_graph(6).edge_list()
+        res = parallel_greedy_matching(el, identity_priorities(5))
+        assert res.stats.steps == 3
+        assert res.edges.tolist() == [0, 2, 4]
+
+    def test_rootset_steps_match_parallel(self, medium_random_graph):
+        el = medium_random_graph.edge_list()
+        ranks = random_priorities(el.num_edges, seed=8)
+        a = parallel_greedy_matching(el, ranks)
+        b = rootset_matching(el, ranks)
+        assert a.stats.steps == b.stats.steps
+
+    def test_rootset_linear_work(self, medium_random_graph):
+        el = medium_random_graph.edge_list()
+        ranks = random_priorities(el.num_edges, seed=9)
+        res = rootset_matching(el, ranks)
+        assert res.stats.work <= 10 * (el.num_vertices + 2 * el.num_edges)
+
+    def test_prefix_rounds(self):
+        el = cycle_graph(12).edge_list()  # 12 edges
+        res = prefix_greedy_matching(el, random_priorities(12, seed=0), prefix_size=5)
+        assert res.stats.rounds == 3  # ceil(12/5)
+
+    def test_prefix_size_one_rounds_equal_m(self):
+        el = cycle_graph(9).edge_list()
+        res = prefix_greedy_matching(el, random_priorities(9, seed=0), prefix_size=1)
+        assert res.stats.rounds == 9
+
+    def test_sequential_trace_not_parallel(self):
+        el = path_graph(5).edge_list()
+        res = sequential_greedy_matching(el, identity_priorities(4))
+        assert not res.machine.steps[0].parallel
+
+
+class TestApi:
+    def test_accepts_graph_directly(self):
+        g = cycle_graph(10)
+        res = maximal_matching(g, seed=0)
+        assert is_maximal_matching(g.edge_list(), res.matched)
+
+    def test_accepts_edge_list(self):
+        el = cycle_graph(10).edge_list()
+        res = maximal_matching(el, seed=0)
+        assert res.size >= 1
+
+    def test_rejects_other_types(self):
+        with pytest.raises(EngineError, match="CSRGraph or EdgeList"):
+            maximal_matching([[0, 1]])
+
+    @pytest.mark.parametrize("method", MM_METHODS)
+    def test_all_methods_agree(self, method):
+        g = cycle_graph(21)
+        ranks = random_priorities(21, seed=4)
+        ref = maximal_matching(g, ranks, method="sequential")
+        res = maximal_matching(g, ranks, method=method)
+        assert np.array_equal(res.matched, ref.matched)
+
+    def test_unknown_method(self):
+        with pytest.raises(EngineError, match="unknown matching method"):
+            maximal_matching(cycle_graph(5), method="magic")
+
+    def test_prefix_knob_rejected_elsewhere(self):
+        with pytest.raises(EngineError, match="only apply"):
+            maximal_matching(cycle_graph(5), method="parallel", prefix_size=3, seed=0)

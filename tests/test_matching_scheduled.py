@@ -1,0 +1,73 @@
+"""Arbitrary-schedule matching: any dependence-respecting order, one answer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.matching import (
+    prefix_greedy_matching,
+    randomly_scheduled_matching,
+    sequential_greedy_matching,
+)
+from repro.core.orderings import random_priorities
+from repro.errors import EngineError
+from repro.graphs.generators import cycle_graph, star_graph, uniform_random_graph
+from repro.pram.machine import null_machine
+
+from conftest import edgelist_with_ranks
+
+
+class TestRandomlyScheduledMatching:
+    @given(edgelist_with_ranks(max_vertices=12, max_extra_edges=24),
+           st.integers(min_value=0, max_value=8))
+    @settings(max_examples=25)
+    def test_any_schedule_same_answer(self, er, schedule_seed):
+        el, ranks = er
+        ref = sequential_greedy_matching(el, ranks, machine=null_machine())
+        res = randomly_scheduled_matching(
+            el, ranks, schedule_seed=schedule_seed, machine=null_machine()
+        )
+        assert np.array_equal(ref.matched, res.matched)
+
+    def test_medium_graph_several_schedules(self):
+        g = uniform_random_graph(80, 320, seed=0)
+        el = g.edge_list()
+        ranks = random_priorities(el.num_edges, seed=1)
+        ref = sequential_greedy_matching(el, ranks, machine=null_machine())
+        for s in range(4):
+            res = randomly_scheduled_matching(el, ranks, schedule_seed=s)
+            assert np.array_equal(ref.matched, res.matched)
+
+    def test_star_contention(self):
+        el = star_graph(25).edge_list()
+        ranks = random_priorities(el.num_edges, seed=2)
+        res = randomly_scheduled_matching(el, ranks, schedule_seed=9)
+        assert res.size == 1
+        assert res.ranks[res.edges[0]] == 0
+
+
+class TestMatchingPrefixSchedule:
+    def test_explicit_schedule_matches_sequential(self):
+        g = uniform_random_graph(200, 1000, seed=3)
+        el = g.edge_list()
+        ranks = random_priorities(el.num_edges, seed=4)
+        ref = sequential_greedy_matching(el, ranks, machine=null_machine())
+        res = prefix_greedy_matching(el, ranks, prefix_sizes=[10, 40, 200])
+        assert np.array_equal(ref.matched, res.matched)
+
+    def test_schedule_exhaustion_repeats_last(self):
+        el = cycle_graph(20).edge_list()  # 20 edges
+        res = prefix_greedy_matching(
+            el, random_priorities(20, seed=0), prefix_sizes=[4]
+        )
+        assert res.stats.rounds == 5
+
+    def test_mutual_exclusion(self):
+        el = cycle_graph(6).edge_list()
+        with pytest.raises(EngineError, match="mutually exclusive"):
+            prefix_greedy_matching(el, prefix_size=2, prefix_sizes=[2], seed=0)
+
+    def test_empty_schedule_rejected(self):
+        el = cycle_graph(6).edge_list()
+        with pytest.raises(EngineError, match="non-empty"):
+            prefix_greedy_matching(el, prefix_sizes=[], seed=0)

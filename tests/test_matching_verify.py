@@ -1,0 +1,133 @@
+"""Tests for the matching verification predicates."""
+
+import numpy as np
+import pytest
+
+from repro.core.matching.verify import (
+    assert_valid_matching,
+    is_matching,
+    is_maximal_matching,
+)
+from repro.core.orderings import identity_priorities
+from repro.errors import VerificationError
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+
+
+def p4_edges():
+    return path_graph(4).edge_list()  # edges (0,1), (1,2), (2,3)
+
+
+class TestIsMatching:
+    def test_disjoint_edges(self):
+        assert is_matching(p4_edges(), np.array([0, 2]))
+
+    def test_shared_endpoint_rejected(self):
+        assert not is_matching(p4_edges(), np.array([0, 1]))
+
+    def test_empty_ok(self):
+        assert is_matching(p4_edges(), np.zeros(3, dtype=bool))
+
+    def test_mask_shape_checked(self):
+        with pytest.raises(ValueError, match="shape"):
+            is_matching(p4_edges(), np.array([True]))
+
+
+class TestIsMaximalMatching:
+    def test_maximal(self):
+        assert is_maximal_matching(p4_edges(), np.array([0, 2]))
+
+    def test_not_maximal_middle_edge_addable(self):
+        # Empty matching leaves every edge addable.
+        assert not is_maximal_matching(p4_edges(), np.zeros(3, dtype=bool))
+
+    def test_single_middle_edge_is_maximal(self):
+        # Matching just (1,2) blocks both other edges of P4.
+        assert is_maximal_matching(p4_edges(), np.array([1]))
+
+    def test_invalid_matching_not_maximal(self):
+        assert not is_maximal_matching(p4_edges(), np.array([0, 1]))
+
+    def test_star_any_single_edge(self):
+        el = star_graph(7).edge_list()
+        for e in range(el.num_edges):
+            assert is_maximal_matching(el, np.array([e]))
+
+
+class TestAssertValid:
+    def test_passes(self):
+        assert_valid_matching(p4_edges(), np.array([0, 2]), identity_priorities(3))
+
+    def test_endpoint_clash_message(self):
+        with pytest.raises(VerificationError, match="not a matching"):
+            assert_valid_matching(p4_edges(), np.array([0, 1]))
+
+    def test_maximality_message(self):
+        with pytest.raises(VerificationError, match="both endpoints unmatched"):
+            assert_valid_matching(p4_edges(), np.zeros(3, dtype=bool))
+
+    def test_lex_first_message(self):
+        # (1,2) alone is maximal but not lex-first under identity order.
+        with pytest.raises(VerificationError, match="lexicographically-first"):
+            assert_valid_matching(p4_edges(), np.array([1]), identity_priorities(3))
+
+
+class TestLexFirstDirectVerifier:
+    """The O(m) fixed-point verifier must agree with re-running the
+    sequential engine, on true answers and on corruptions."""
+
+    def _definitional(self, el, ranks, mask):
+        from repro.core.matching.sequential import sequential_greedy_matching
+        from repro.pram.machine import null_machine
+
+        ref = sequential_greedy_matching(el, ranks, machine=null_machine())
+        return bool(np.array_equal(np.asarray(mask, dtype=bool), ref.matched))
+
+    def test_accepts_greedy_answer(self):
+        from repro.core.matching.sequential import sequential_greedy_matching
+        from repro.core.matching.verify import is_lexicographically_first_matching
+        from repro.core.orderings import random_priorities
+        from repro.graphs.generators import uniform_random_graph
+
+        g = uniform_random_graph(60, 200, seed=1)
+        el = g.edge_list()
+        ranks = random_priorities(el.num_edges, seed=2)
+        truth = sequential_greedy_matching(el, ranks).matched
+        assert is_lexicographically_first_matching(el, ranks, truth)
+        assert self._definitional(el, ranks, truth)
+
+    def test_rejects_other_maximal_matching(self):
+        from repro.core.matching.verify import is_lexicographically_first_matching
+        from repro.core.orderings import identity_priorities
+
+        el = p4_edges()
+        # {(1,2)} is maximal but not lex-first under identity order.
+        assert not is_lexicographically_first_matching(
+            el, identity_priorities(3), np.array([1])
+        )
+
+    def test_rejects_non_matching(self):
+        from repro.core.matching.verify import is_lexicographically_first_matching
+        from repro.core.orderings import identity_priorities
+
+        el = p4_edges()
+        assert not is_lexicographically_first_matching(
+            el, identity_priorities(3), np.array([0, 1])
+        )
+
+    def test_agreement_on_random_corruptions(self):
+        from repro.core.matching.sequential import sequential_greedy_matching
+        from repro.core.matching.verify import is_lexicographically_first_matching
+        from repro.core.orderings import random_priorities
+        from repro.graphs.generators import uniform_random_graph
+
+        rng = np.random.default_rng(3)
+        for trial in range(30):
+            g = uniform_random_graph(30, 80, seed=trial)
+            el = g.edge_list()
+            ranks = random_priorities(el.num_edges, seed=trial + 50)
+            truth = sequential_greedy_matching(el, ranks).matched
+            corrupted = truth.copy()
+            flip = rng.integers(0, el.num_edges)
+            corrupted[flip] = ~corrupted[flip]
+            assert is_lexicographically_first_matching(el, ranks, corrupted) == \
+                self._definitional(el, ranks, corrupted)

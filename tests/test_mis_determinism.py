@@ -1,0 +1,97 @@
+"""The paper's headline property: one order => one MIS under any schedule.
+
+Property-based: for random small graphs and random permutations, every
+deterministic engine (sequential, parallel, prefix at several sizes,
+root-set) returns a bit-identical result, and that result is the
+lexicographically-first MIS.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mis import (
+    is_independent_set,
+    is_lexicographically_first_mis,
+    is_maximal_independent_set,
+    parallel_greedy_mis,
+    prefix_greedy_mis,
+    rootset_mis,
+    sequential_greedy_mis,
+)
+from repro.core.dependence import dependence_length, longest_path_length
+from repro.core.orderings import random_priorities
+from repro.graphs.generators import uniform_random_graph
+from repro.pram.machine import null_machine
+
+from conftest import graph_with_ranks
+
+
+@given(graph_with_ranks())
+def test_all_engines_agree(gr):
+    g, ranks = gr
+    ref = sequential_greedy_mis(g, ranks, machine=null_machine())
+    par = parallel_greedy_mis(g, ranks, machine=null_machine())
+    root = rootset_mis(g, ranks, machine=null_machine())
+    assert np.array_equal(ref.status, par.status)
+    assert np.array_equal(ref.status, root.status)
+
+
+@given(graph_with_ranks(), st.integers(min_value=1, max_value=30))
+def test_prefix_agrees_for_every_prefix_size(gr, k):
+    g, ranks = gr
+    ref = sequential_greedy_mis(g, ranks, machine=null_machine())
+    pre = prefix_greedy_mis(g, ranks, prefix_size=k, machine=null_machine())
+    assert np.array_equal(ref.status, pre.status)
+
+
+@given(graph_with_ranks())
+def test_result_is_valid_and_lex_first(gr):
+    g, ranks = gr
+    res = parallel_greedy_mis(g, ranks, machine=null_machine())
+    assert is_independent_set(g, res.in_set)
+    assert is_maximal_independent_set(g, res.in_set)
+    assert is_lexicographically_first_mis(g, ranks, res.in_set)
+
+
+@given(graph_with_ranks())
+def test_dependence_length_bounded_by_longest_path(gr):
+    g, ranks = gr
+    dep = dependence_length(g, ranks)
+    lp = longest_path_length(g, ranks)
+    assert dep <= max(lp, 1)
+    if g.num_vertices:
+        assert dep >= 1
+
+
+@given(graph_with_ranks())
+def test_step_numbers_respect_dependences(gr):
+    """A vertex is decided no later than one step after its last relevant
+    earlier neighbor, and set members never share an edge."""
+    from repro.core.dependence import mis_step_numbers
+
+    g, ranks = gr
+    steps = mis_step_numbers(g, ranks)
+    res = sequential_greedy_mis(g, ranks, machine=null_machine())
+    src, dst = g.arcs()
+    # A knocked-out vertex is decided in the same step as some accepting
+    # earlier neighbor.
+    for v in np.nonzero(~res.in_set)[0].tolist():
+        nbrs = g.neighbors_of(v)
+        members = nbrs[res.in_set[nbrs]]
+        assert members.size
+        assert steps[v] == int(steps[members].min())
+
+
+@settings(max_examples=10)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_medium_graph_cross_engine(seed):
+    """Moderate-size randomized cross-check beyond tiny hypothesis graphs."""
+    g = uniform_random_graph(400, 1600, seed=seed)
+    ranks = random_priorities(400, seed=seed ^ 0xDEADBEEF)
+    ref = sequential_greedy_mis(g, ranks, machine=null_machine())
+    for engine in (parallel_greedy_mis, rootset_mis):
+        assert np.array_equal(engine(g, ranks, machine=null_machine()).status, ref.status)
+    for k in (1, 7, 50, 400):
+        pre = prefix_greedy_mis(g, ranks, prefix_size=k, machine=null_machine())
+        assert np.array_equal(pre.status, ref.status)

@@ -1,0 +1,208 @@
+"""Per-engine MIS tests: known answers, stats semantics, edge cases."""
+
+import numpy as np
+import pytest
+
+from repro.core.mis import (
+    is_maximal_independent_set,
+    luby_mis,
+    parallel_greedy_mis,
+    prefix_greedy_mis,
+    rootset_mis,
+    sequential_greedy_mis,
+)
+from repro.core.orderings import identity_priorities, random_priorities
+from repro.core.status import IN_SET, KNOCKED_OUT, UNDECIDED
+from repro.graphs.builders import from_edges
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    path_graph,
+    star_graph,
+)
+from repro.pram.machine import Machine
+
+ENGINES = [sequential_greedy_mis, parallel_greedy_mis, prefix_greedy_mis, rootset_mis]
+
+
+@pytest.fixture(params=ENGINES, ids=lambda f: f.__name__)
+def engine(request):
+    return request.param
+
+
+class TestKnownAnswers:
+    def test_path_identity_order(self, engine):
+        # Identity order on a path picks alternating vertices 0, 2, ...
+        res = engine(path_graph(6), identity_priorities(6))
+        assert res.vertices.tolist() == [0, 2, 4]
+
+    def test_star_center_first(self, engine):
+        g = star_graph(8)
+        ranks = identity_priorities(8)  # center has rank 0
+        res = engine(g, ranks)
+        assert res.vertices.tolist() == [0]
+
+    def test_star_center_last(self, engine):
+        g = star_graph(8)
+        perm = np.arange(8)[::-1].copy()  # center processed last
+        from repro.core.orderings import ranks_from_permutation
+
+        res = engine(g, ranks_from_permutation(perm))
+        assert res.vertices.tolist() == [1, 2, 3, 4, 5, 6, 7]
+
+    def test_complete_graph_singleton(self, engine):
+        res = engine(complete_graph(10), random_priorities(10, seed=3))
+        assert res.size == 1
+        # The member must be the highest-priority vertex.
+        assert res.ranks[res.vertices[0]] == 0
+
+    def test_edgeless_graph_everything(self, engine):
+        res = engine(empty_graph(7), random_priorities(7, seed=0))
+        assert res.size == 7
+
+    def test_no_undecided_remain(self, engine):
+        res = engine(cycle_graph(9), random_priorities(9, seed=1))
+        assert not np.any(res.status == UNDECIDED)
+        assert set(np.unique(res.status)) <= {IN_SET, KNOCKED_OUT}
+
+    def test_maximal(self, engine, family_graph):
+        res = engine(family_graph, random_priorities(family_graph.num_vertices, seed=5))
+        assert is_maximal_independent_set(family_graph, res.in_set)
+
+
+class TestSeedDefaults:
+    def test_seed_generates_order(self, engine):
+        g = cycle_graph(12)
+        a = engine(g, seed=7)
+        b = engine(g, seed=7)
+        assert np.array_equal(a.in_set, b.in_set)
+        assert np.array_equal(a.ranks, b.ranks)
+
+
+class TestStatsSemantics:
+    def test_sequential_work_formula(self):
+        g = path_graph(10)
+        res = sequential_greedy_mis(g, identity_priorities(10))
+        # n visits + degree of each accepted vertex (0,2,4,6,8).
+        accepted_deg = sum(g.degree(v) for v in (0, 2, 4, 6, 8))
+        assert res.stats.work == 10 + accepted_deg
+        assert res.stats.aux == {"slot_scans": 10, "item_examinations": 0}
+
+    def test_sequential_single_nonparallel_step(self):
+        res = sequential_greedy_mis(path_graph(5), identity_priorities(5))
+        assert res.machine.num_steps == 1
+        assert not res.machine.steps[0].parallel
+
+    def test_parallel_steps_is_dependence_length(self):
+        # Identity order on a path: vertex 2k waits for 2k-2 -> n/2 steps.
+        res = parallel_greedy_mis(path_graph(10), identity_priorities(10))
+        assert res.stats.steps == 5
+
+    def test_parallel_complete_graph_one_step(self):
+        res = parallel_greedy_mis(complete_graph(30), random_priorities(30, seed=2))
+        assert res.stats.steps == 1
+
+    def test_rootset_steps_match_parallel(self, medium_random_graph):
+        ranks = random_priorities(medium_random_graph.num_vertices, seed=11)
+        a = parallel_greedy_mis(medium_random_graph, ranks)
+        b = rootset_mis(medium_random_graph, ranks)
+        assert a.stats.steps == b.stats.steps
+
+    def test_rootset_linear_work(self, medium_random_graph):
+        # Lemma 4.1/4.2: charged work is O(n + m); assert a concrete
+        # constant that would break if the amortization regressed.
+        ranks = random_priorities(medium_random_graph.num_vertices, seed=12)
+        res = rootset_mis(medium_random_graph, ranks)
+        n = medium_random_graph.num_vertices
+        m = medium_random_graph.num_edges
+        assert res.stats.work <= 8 * (n + 2 * m)
+
+    def test_prefix_rounds_formula(self):
+        g = cycle_graph(10)
+        res = prefix_greedy_mis(g, random_priorities(10, seed=0), prefix_size=3)
+        assert res.stats.rounds == 4  # ceil(10 / 3)
+        assert res.stats.prefix_size == 3
+
+    def test_prefix_full_input_single_round(self):
+        g = cycle_graph(10)
+        res = prefix_greedy_mis(g, random_priorities(10, seed=0), prefix_size=10)
+        assert res.stats.rounds == 1
+
+    def test_prefix_size_one_matches_sequential_set(self):
+        g = cycle_graph(11)
+        ranks = random_priorities(11, seed=4)
+        a = prefix_greedy_mis(g, ranks, prefix_size=1)
+        b = sequential_greedy_mis(g, ranks)
+        assert np.array_equal(a.in_set, b.in_set)
+        assert a.stats.rounds == 11
+
+    def test_prefix_frac(self):
+        g = cycle_graph(20)
+        res = prefix_greedy_mis(g, random_priorities(20, seed=1), prefix_frac=0.25)
+        assert res.stats.prefix_size == 5
+
+    def test_prefix_work_monotone_in_prefix_size(self, medium_random_graph):
+        ranks = random_priorities(medium_random_graph.num_vertices, seed=13)
+        works = [
+            prefix_greedy_mis(medium_random_graph, ranks, prefix_size=k).stats.work
+            for k in (10, 300, 3000)
+        ]
+        assert works[0] < works[-1]
+
+
+class TestPrefixValidation:
+    def test_both_knobs_rejected(self):
+        from repro.errors import EngineError
+
+        with pytest.raises(EngineError, match="not both"):
+            prefix_greedy_mis(
+                cycle_graph(5), prefix_size=2, prefix_frac=0.5, seed=0
+            )
+
+    def test_zero_prefix_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            prefix_greedy_mis(cycle_graph(5), prefix_size=0, seed=0)
+
+    def test_oversized_prefix_clamped(self):
+        res = prefix_greedy_mis(cycle_graph(5), prefix_size=999, seed=0)
+        assert res.stats.prefix_size == 5
+
+    def test_bad_frac_rejected(self):
+        with pytest.raises(ValueError):
+            prefix_greedy_mis(cycle_graph(5), prefix_frac=1.5, seed=0)
+
+
+class TestLuby:
+    def test_valid_mis(self, family_graph):
+        res = luby_mis(family_graph, seed=9)
+        assert is_maximal_independent_set(family_graph, res.in_set)
+
+    def test_seed_reproducible(self):
+        g = cycle_graph(30)
+        assert np.array_equal(luby_mis(g, seed=1).in_set, luby_mis(g, seed=1).in_set)
+
+    def test_seed_can_change_result(self):
+        g = cycle_graph(101)
+        results = {tuple(luby_mis(g, seed=s).vertices.tolist()) for s in range(6)}
+        assert len(results) > 1
+
+    def test_rounds_logarithmic(self, medium_random_graph):
+        res = luby_mis(medium_random_graph, seed=2)
+        # Luby: O(log n) rounds w.h.p.; generous explicit cap.
+        assert res.stats.rounds <= 4 * np.log2(medium_random_graph.num_vertices)
+
+    def test_edgeless(self):
+        res = luby_mis(empty_graph(5), seed=0)
+        assert res.size == 5
+        assert res.stats.rounds == 1
+
+
+class TestMachineSharing:
+    def test_supplied_machine_accumulates(self):
+        g = cycle_graph(8)
+        m = Machine()
+        sequential_greedy_mis(g, identity_priorities(8), machine=m)
+        before = m.work
+        parallel_greedy_mis(g, identity_priorities(8), machine=m)
+        assert m.work > before

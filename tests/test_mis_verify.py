@@ -1,0 +1,93 @@
+"""Tests for the MIS verification predicates and assertions."""
+
+import numpy as np
+import pytest
+
+from repro.core.mis.verify import (
+    assert_valid_mis,
+    is_independent_set,
+    is_lexicographically_first_mis,
+    is_maximal_independent_set,
+)
+from repro.core.orderings import identity_priorities
+from repro.errors import VerificationError
+from repro.graphs.generators import cycle_graph, path_graph, star_graph
+
+
+class TestIsIndependent:
+    def test_true_case(self):
+        g = path_graph(4)
+        assert is_independent_set(g, np.array([True, False, True, False]))
+
+    def test_adjacent_members_false(self):
+        g = path_graph(4)
+        assert not is_independent_set(g, np.array([True, True, False, False]))
+
+    def test_accepts_id_list(self):
+        g = path_graph(4)
+        assert is_independent_set(g, np.array([0, 2]))
+
+    def test_empty_set_is_independent(self):
+        g = path_graph(4)
+        assert is_independent_set(g, np.zeros(4, dtype=bool))
+
+    def test_mask_shape_checked(self):
+        with pytest.raises(ValueError, match="shape"):
+            is_independent_set(path_graph(4), np.array([True, False]))
+
+
+class TestIsMaximal:
+    def test_maximal_case(self):
+        g = path_graph(5)
+        assert is_maximal_independent_set(g, np.array([0, 2, 4]))
+
+    def test_non_maximal(self):
+        g = path_graph(5)
+        # {0} leaves vertices 2..4 uncovered.
+        assert not is_maximal_independent_set(g, np.array([0]))
+
+    def test_dependent_set_rejected(self):
+        g = path_graph(3)
+        assert not is_maximal_independent_set(g, np.array([0, 1]))
+
+    def test_star_center(self):
+        assert is_maximal_independent_set(star_graph(6), np.array([0]))
+
+
+class TestLexFirst:
+    def test_true_for_greedy_result(self):
+        g = path_graph(6)
+        assert is_lexicographically_first_mis(
+            g, identity_priorities(6), np.array([0, 2, 4])
+        )
+
+    def test_false_for_other_mis(self):
+        g = path_graph(6)
+        # {1, 3, 5} is a valid MIS but not lex-first for identity order.
+        assert not is_lexicographically_first_mis(
+            g, identity_priorities(6), np.array([1, 3, 5])
+        )
+
+
+class TestAssertValid:
+    def test_passes_for_valid(self):
+        assert_valid_mis(path_graph(5), np.array([0, 2, 4]), identity_priorities(5))
+
+    def test_independence_violation_message(self):
+        with pytest.raises(VerificationError, match="not independent"):
+            assert_valid_mis(path_graph(3), np.array([0, 1]))
+
+    def test_maximality_violation_message(self):
+        with pytest.raises(VerificationError, match="not maximal"):
+            assert_valid_mis(path_graph(5), np.array([0]))
+
+    def test_lex_first_violation_message(self):
+        with pytest.raises(VerificationError, match="lexicographically-first"):
+            assert_valid_mis(
+                path_graph(6), np.array([1, 3, 5]), identity_priorities(6)
+            )
+
+    def test_ranks_optional(self):
+        # Without ranks only validity is required, so the non-lex-first
+        # MIS passes.
+        assert_valid_mis(path_graph(6), np.array([1, 3, 5]))

@@ -1,0 +1,79 @@
+"""Tests for the sort-based parallel random priority generator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.mis import sequential_greedy_mis
+from repro.core.orderings import parallel_random_priorities, validate_priorities
+from repro.errors import InvalidOrderingError
+from repro.graphs.generators import uniform_random_graph
+from repro.pram.machine import Machine, null_machine
+
+
+class TestParallelRandomPriorities:
+    @given(st.integers(min_value=0, max_value=500))
+    def test_is_permutation(self, n):
+        ranks = parallel_random_priorities(n, seed=3)
+        validate_priorities(ranks, n)
+
+    def test_reproducible(self):
+        a = parallel_random_priorities(200, seed=5)
+        b = parallel_random_priorities(200, seed=5)
+        assert np.array_equal(a, b)
+
+    def test_seed_matters(self):
+        a = parallel_random_priorities(200, seed=5)
+        b = parallel_random_priorities(200, seed=6)
+        assert not np.array_equal(a, b)
+
+    def test_negative_rejected(self):
+        with pytest.raises(InvalidOrderingError):
+            parallel_random_priorities(-1)
+
+    def test_machine_charged(self):
+        m = Machine()
+        parallel_random_priorities(100, seed=0, machine=m)
+        assert m.work == 200
+        assert m.steps[0].tag == "gen-priorities"
+
+    def test_roughly_uniform(self):
+        # Item 0's rank should spread over the range across seeds.
+        ranks0 = [int(parallel_random_priorities(16, seed=s)[0]) for s in range(64)]
+        assert len(set(ranks0)) >= 8
+
+    def test_usable_as_engine_order(self):
+        g = uniform_random_graph(300, 1500, seed=0)
+        ranks = parallel_random_priorities(300, seed=1)
+        res = sequential_greedy_mis(g, ranks, machine=null_machine())
+        assert res.size > 0
+
+    def test_collision_redraw_path(self):
+        # Tiny domain forcing collisions internally is not reachable via
+        # the public API (domain = n^2), but n=1..4 exercises small cases.
+        for n in range(1, 5):
+            validate_priorities(parallel_random_priorities(n, seed=n), n)
+
+
+class TestMatchingProfile:
+    def test_profile_sums_to_m(self):
+        from repro.core.dependence import (
+            matching_dependence_length,
+            matching_parallelism_profile,
+        )
+        from repro.core.orderings import random_priorities
+
+        g = uniform_random_graph(300, 1500, seed=2)
+        el = g.edge_list()
+        ranks = random_priorities(el.num_edges, seed=3)
+        profile = matching_parallelism_profile(el, ranks)
+        assert int(profile.sum()) == el.num_edges
+        assert profile.size == matching_dependence_length(el, ranks)
+        assert (profile > 0).all()
+
+    def test_empty(self):
+        from repro.core.dependence import matching_parallelism_profile
+        from repro.graphs.generators import empty_graph
+
+        el = empty_graph(4).edge_list()
+        assert matching_parallelism_profile(el, np.empty(0, dtype=np.int64)).size == 0

@@ -1,0 +1,65 @@
+"""Tests for the per-step parallelism profile of Algorithm 2."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.core.dependence import (
+    average_parallelism,
+    dependence_length,
+    parallelism_profile,
+)
+from repro.core.orderings import identity_priorities, random_priorities
+from repro.graphs.generators import (
+    complete_graph,
+    empty_graph,
+    path_graph,
+    uniform_random_graph,
+)
+
+from conftest import graph_with_ranks
+
+
+class TestProfile:
+    @given(graph_with_ranks())
+    def test_sums_to_n_and_length_is_dependence(self, gr):
+        g, ranks = gr
+        profile = parallelism_profile(g, ranks)
+        assert int(profile.sum()) == g.num_vertices
+        assert profile.size == dependence_length(g, ranks)
+        assert (profile > 0).all()
+
+    def test_complete_graph_single_burst(self):
+        profile = parallelism_profile(complete_graph(25), random_priorities(25, seed=0))
+        assert profile.tolist() == [25]
+
+    def test_edgeless_graph_single_burst(self):
+        profile = parallelism_profile(empty_graph(9), identity_priorities(9))
+        assert profile.tolist() == [9]
+
+    def test_path_identity_two_per_step(self):
+        # Identity order on a path decides exactly {2k, 2k+1} per step.
+        profile = parallelism_profile(path_graph(10), identity_priorities(10))
+        assert profile.tolist() == [2, 2, 2, 2, 2]
+
+    def test_front_loaded_on_random_inputs(self):
+        """The property the speedups rest on: early steps decide most of
+        the graph."""
+        g = uniform_random_graph(5000, 25000, seed=1)
+        profile = parallelism_profile(g, random_priorities(5000, seed=2))
+        assert profile[0] > profile[-1]
+        assert profile[: max(1, profile.size // 2)].sum() > 0.8 * 5000
+
+
+class TestAverageParallelism:
+    def test_formula(self):
+        g = uniform_random_graph(1000, 5000, seed=3)
+        ranks = random_priorities(1000, seed=4)
+        avg = average_parallelism(g, ranks)
+        assert avg == pytest.approx(1000 / dependence_length(g, ranks))
+
+    def test_sequential_worst_case(self):
+        assert average_parallelism(path_graph(8), identity_priorities(8)) == 2.0
+
+    def test_empty_graph(self):
+        assert average_parallelism(empty_graph(0), identity_priorities(0)) == 0.0

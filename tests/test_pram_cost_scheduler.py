@@ -1,0 +1,108 @@
+"""Tests for the cost model and the Brent-bound trace scheduler."""
+
+import pytest
+
+from repro.pram.cost_model import CostModel
+from repro.pram.machine import Machine, StepRecord, null_machine
+from repro.pram.scheduler import simulate_time, speedup_curve
+
+
+def _parallel_step(work, depth=1):
+    return StepRecord(work=work, depth=depth, parallel=True)
+
+
+class TestCostModel:
+    def test_sequential_step_ignores_processors(self):
+        c = CostModel()
+        s = StepRecord(work=1000, depth=1000, parallel=False)
+        assert c.step_time(s, 1) == c.step_time(s, 64) == 1000 * c.sec_per_op
+
+    def test_subgrain_step_runs_sequentially_plus_round_overhead(self):
+        c = CostModel(grain=256)
+        s = _parallel_step(100)
+        assert c.step_time(s, 32) == pytest.approx(
+            100 * c.sec_per_op + c.round_overhead
+        )
+
+    def test_large_step_scales_with_processors(self):
+        c = CostModel()
+        s = _parallel_step(10**6, depth=20)
+        t8 = c.step_time(s, 8)
+        t32 = c.step_time(s, 32)
+        assert t32 < t8
+
+    def test_brent_terms_present(self):
+        c = CostModel()
+        s = _parallel_step(10**6, depth=20)
+        expected = (
+            10**6 * c.sec_per_op / 32
+            + 20 * c.depth_factor
+            + c.sync_overhead
+            + c.round_overhead
+        )
+        assert c.step_time(s, 32) == pytest.approx(expected)
+
+    def test_one_processor_no_sync(self):
+        c = CostModel()
+        s = _parallel_step(10**6)
+        assert c.step_time(s, 1) == pytest.approx(
+            10**6 * c.sec_per_op + c.round_overhead
+        )
+
+    def test_invalid_processors(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            CostModel().step_time(_parallel_step(10), 0)
+
+    def test_frozen(self):
+        c = CostModel()
+        with pytest.raises((AttributeError, TypeError)):
+            c.grain = 1
+
+
+class TestSimulateTime:
+    def _machine(self):
+        m = Machine()
+        m.charge(10**5, 10)
+        m.charge(10**5, 10)
+        return m
+
+    def test_monotone_in_processors(self):
+        m = self._machine()
+        times = [simulate_time(m, p) for p in (1, 2, 4, 8, 16)]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_empty_machine_is_zero(self):
+        assert simulate_time(Machine(), 4) == 0.0
+
+    def test_null_machine_rejected(self):
+        m = null_machine()
+        m.charge(100)
+        with pytest.raises(ValueError, match="step trace"):
+            simulate_time(m, 2)
+
+    def test_invalid_processors(self):
+        with pytest.raises(ValueError):
+            simulate_time(Machine(), 0)
+
+    def test_custom_cost_model_respected(self):
+        m = self._machine()
+        fast = CostModel(sec_per_op=1e-12)
+        assert simulate_time(m, 1, fast) < simulate_time(m, 1)
+
+
+class TestSpeedupCurve:
+    def test_keys_and_ordering(self):
+        m = Machine()
+        m.charge(10**6, 12)
+        curve = speedup_curve(m, [1, 4, 16])
+        assert list(curve) == [1, 4, 16]
+        assert curve[16] < curve[1]
+
+    def test_amdahl_floor_from_overheads(self):
+        # With per-step overheads, speedup must saturate below work/P ideal.
+        m = Machine()
+        for _ in range(100):
+            m.charge(10**4, 8)
+        curve = speedup_curve(m, [1, 1024])
+        ideal = curve[1] / 1024
+        assert curve[1024] > ideal

@@ -1,0 +1,93 @@
+"""Tests for the work--depth Machine and its step records."""
+
+import pytest
+
+from repro.pram.machine import Machine, StepRecord, log2_depth, null_machine
+
+
+class TestLog2Depth:
+    @pytest.mark.parametrize("k,expected", [(0, 1), (1, 1), (2, 1), (3, 2), (4, 2), (5, 3), (1024, 10)])
+    def test_values(self, k, expected):
+        assert log2_depth(k) == expected
+
+
+class TestMachineCharging:
+    def test_accumulates_work_and_depth(self):
+        m = Machine()
+        m.charge(10, 3)
+        m.charge(5, 2)
+        assert m.work == 15
+        assert m.depth == 5
+        assert m.num_steps == 2
+
+    def test_zero_work_dropped(self):
+        m = Machine()
+        m.charge(0, 5)
+        assert m.num_steps == 0
+        assert m.work == 0
+
+    def test_negative_work_dropped(self):
+        m = Machine()
+        m.charge(-3)
+        assert m.work == 0
+
+    def test_depth_clamped_to_one(self):
+        m = Machine()
+        m.charge(4, 0)
+        assert m.steps[0].depth == 1
+
+    def test_tags_and_parallel_flag_recorded(self):
+        m = Machine()
+        m.charge(7, 1, parallel=False, tag="seq")
+        step = m.steps[0]
+        assert step.tag == "seq"
+        assert not step.parallel
+        assert step.work == 7
+
+
+class TestRounds:
+    def test_round_indices_attach_to_steps(self):
+        m = Machine()
+        r0 = m.begin_round()
+        m.charge(1)
+        r1 = m.begin_round()
+        m.charge(2)
+        m.charge(3)
+        assert (r0, r1) == (0, 1)
+        assert m.num_rounds == 2
+        assert [s.work for s in m.steps_in_round(1)] == [2, 3]
+
+    def test_steps_before_any_round_get_minus_one(self):
+        m = Machine()
+        m.charge(1)
+        assert m.steps[0].round_index == -1
+
+
+class TestWorkByTag:
+    def test_aggregation(self):
+        m = Machine()
+        m.charge(3, tag="a")
+        m.charge(4, tag="b")
+        m.charge(5, tag="a")
+        assert m.work_by_tag() == {"a": 8, "b": 4}
+
+
+class TestNullMachine:
+    def test_keeps_totals_without_trace(self):
+        m = null_machine()
+        m.charge(10, 2)
+        m.begin_round()
+        assert m.work == 10
+        assert m.depth == 2
+        assert m.steps == []
+        assert m.num_rounds == 1
+
+    def test_isinstance_machine(self):
+        assert isinstance(null_machine(), Machine)
+
+
+class TestStepRecord:
+    def test_frozen(self):
+        s = StepRecord(work=1)
+        with pytest.raises((AttributeError, TypeError)):
+            s.work = 2

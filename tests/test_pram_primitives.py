@@ -1,0 +1,161 @@
+"""Tests for the PRAM primitives: scan, pack, segmented min, bucket sort."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.pram.machine import Machine
+from repro.pram.primitives import (
+    bucket_sort_by_key,
+    min_scatter,
+    pack,
+    pack_index,
+    plus_scan,
+    remove_duplicates,
+    segmented_min,
+)
+
+
+class TestPlusScan:
+    def test_example(self):
+        assert plus_scan(np.array([3, 1, 4])).tolist() == [0, 3, 4]
+
+    def test_empty(self):
+        assert plus_scan(np.empty(0, dtype=np.int64)).size == 0
+
+    def test_single(self):
+        assert plus_scan(np.array([9])).tolist() == [0]
+
+    @given(st.lists(st.integers(-50, 50), max_size=64))
+    def test_matches_python_cumsum(self, xs):
+        arr = np.asarray(xs, dtype=np.int64)
+        out = plus_scan(arr)
+        acc = 0
+        for i, x in enumerate(xs):
+            assert out[i] == acc
+            acc += x
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            plus_scan(np.zeros((2, 2)))
+
+    def test_charges_machine(self):
+        m = Machine()
+        plus_scan(np.arange(8), m)
+        assert m.work == 8
+        assert m.steps[0].tag == "scan"
+
+
+class TestPack:
+    def test_basic(self):
+        vals = np.array([10, 20, 30, 40])
+        flags = np.array([True, False, True, False])
+        assert pack(vals, flags).tolist() == [10, 30]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="identical shapes"):
+            pack(np.arange(3), np.array([True]))
+
+    def test_pack_index(self):
+        flags = np.array([False, True, True, False, True])
+        assert pack_index(flags).tolist() == [1, 2, 4]
+
+    def test_pack_index_empty(self):
+        assert pack_index(np.zeros(0, dtype=bool)).size == 0
+
+    @given(st.lists(st.booleans(), max_size=50))
+    def test_pack_index_matches_nonzero(self, flags):
+        f = np.asarray(flags, dtype=bool)
+        assert np.array_equal(pack_index(f), np.nonzero(f)[0])
+
+
+class TestMinScatter:
+    def test_keeps_minimum(self):
+        target = np.full(3, 100, dtype=np.int64)
+        min_scatter(target, np.array([0, 0, 2]), np.array([5, 3, 7]))
+        assert target.tolist() == [3, 100, 7]
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="identical shapes"):
+            min_scatter(np.zeros(3), np.array([0]), np.array([1, 2]))
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 4), st.integers(-100, 100)), max_size=40
+        )
+    )
+    def test_matches_reference_loop(self, pairs):
+        target = np.full(5, 10**6, dtype=np.int64)
+        ref = target.copy()
+        if pairs:
+            idx = np.array([p[0] for p in pairs], dtype=np.int64)
+            val = np.array([p[1] for p in pairs], dtype=np.int64)
+            min_scatter(target, idx, val)
+            for i, v in pairs:
+                ref[i] = min(ref[i], v)
+        assert np.array_equal(target, ref)
+
+
+class TestSegmentedMin:
+    def test_basic(self):
+        vals = np.array([4, 2, 9, 1])
+        offs = np.array([0, 2, 2, 4])
+        out = segmented_min(vals, offs)
+        assert out[0] == 2
+        assert out[2] == 1
+        assert out[1] == np.iinfo(vals.dtype).max  # empty segment
+
+    def test_float_empty_segment_gives_inf(self):
+        out = segmented_min(np.array([1.5]), np.array([0, 0, 1]))
+        assert np.isinf(out[0])
+        assert out[1] == 1.5
+
+    def test_bad_offsets_rejected(self):
+        with pytest.raises(ValueError, match="monotone"):
+            segmented_min(np.arange(4), np.array([0, 3, 2, 4]))
+
+    def test_offsets_must_cover_values(self):
+        with pytest.raises(ValueError):
+            segmented_min(np.arange(4), np.array([0, 2]))
+
+
+class TestBucketSort:
+    def test_sorts(self):
+        keys = np.array([3, 1, 2, 1, 0])
+        order, offs = bucket_sort_by_key(keys, 4)
+        assert np.array_equal(keys[order], np.sort(keys))
+        assert offs.tolist() == [0, 1, 3, 4, 5]
+
+    def test_stability(self):
+        keys = np.array([1, 0, 1, 0])
+        order, _ = bucket_sort_by_key(keys, 2)
+        # Stable: the two zeros keep their original relative order (1, 3).
+        assert order.tolist()[:2] == [1, 3]
+
+    def test_key_out_of_range(self):
+        with pytest.raises(ValueError, match=r"\[0, 2\)"):
+            bucket_sort_by_key(np.array([0, 2]), 2)
+
+    def test_empty(self):
+        order, offs = bucket_sort_by_key(np.empty(0, dtype=np.int64), 3)
+        assert order.size == 0
+        assert offs.tolist() == [0, 0, 0, 0]
+
+    @given(st.lists(st.integers(0, 9), max_size=60))
+    def test_offsets_consistent(self, xs):
+        keys = np.asarray(xs, dtype=np.int64)
+        order, offs = bucket_sort_by_key(keys, 10)
+        for b in range(10):
+            segment = keys[order][offs[b]:offs[b + 1]]
+            assert np.all(segment == b)
+
+
+class TestRemoveDuplicates:
+    def test_dedups(self):
+        out = remove_duplicates(np.array([3, 1, 3, 2, 1]))
+        assert sorted(out.tolist()) == [1, 2, 3]
+
+    def test_charges(self):
+        m = Machine()
+        remove_duplicates(np.array([1, 1]), m)
+        assert m.work == 2

@@ -1,0 +1,100 @@
+"""Tests for trace analysis: round summaries, breakdowns, critical fraction."""
+
+import pytest
+
+from repro.core.mis import prefix_greedy_mis
+from repro.core.orderings import random_priorities
+from repro.graphs.generators import uniform_random_graph
+from repro.pram.cost_model import CostModel
+from repro.pram.machine import Machine
+from repro.pram.trace import (
+    critical_fraction,
+    format_trace,
+    round_summaries,
+    work_breakdown,
+)
+
+
+@pytest.fixture
+def traced_machine():
+    g = uniform_random_graph(600, 3000, seed=0)
+    ranks = random_priorities(600, seed=1)
+    m = Machine()
+    prefix_greedy_mis(g, ranks, prefix_size=60, machine=m)
+    return m
+
+
+class TestRoundSummaries:
+    def test_covers_all_rounds(self, traced_machine):
+        rounds = round_summaries(traced_machine)
+        assert len(rounds) == traced_machine.num_rounds
+        assert sum(r.work for r in rounds) == traced_machine.work
+        assert sum(r.steps for r in rounds) == traced_machine.num_steps
+
+    def test_handcrafted(self):
+        m = Machine()
+        m.begin_round()
+        m.charge(5)
+        m.charge(7)
+        m.begin_round()
+        m.charge(11)
+        rounds = round_summaries(m)
+        assert [(r.round_index, r.steps, r.work) for r in rounds] == [
+            (0, 2, 12), (1, 1, 11),
+        ]
+
+    def test_unrounded_steps_bucketed(self):
+        m = Machine()
+        m.charge(3)  # before any round
+        m.begin_round()
+        m.charge(4)
+        rounds = round_summaries(m)
+        assert rounds[0].round_index == -1
+        assert rounds[0].work == 3
+
+    def test_empty_machine(self):
+        assert round_summaries(Machine()) == []
+
+
+class TestWorkBreakdown:
+    def test_prefix_engine_tags(self, traced_machine):
+        breakdown = work_breakdown(traced_machine)
+        assert {"scan", "gather", "inner"} <= set(breakdown)
+        assert sum(v["work"] for v in breakdown.values()) == traced_machine.work
+        assert abs(sum(v["fraction"] for v in breakdown.values()) - 1.0) < 1e-9
+
+    def test_scan_work_equals_n(self, traced_machine):
+        # Every priority slot is scanned exactly once across all rounds.
+        assert work_breakdown(traced_machine)["scan"]["work"] == 600
+
+
+class TestFormatTrace:
+    def test_contains_sections(self, traced_machine):
+        text = format_trace(traced_machine, max_rounds=5)
+        assert "total work" in text
+        assert "scan" in text
+        assert "... " in text  # truncation marker (10 rounds > 5 shown)
+
+    def test_empty_machine(self):
+        text = format_trace(Machine())
+        assert "total work 0" in text
+
+
+class TestCriticalFraction:
+    def test_bounds(self, traced_machine):
+        for p in (1, 8, 64):
+            f = critical_fraction(traced_machine, p)
+            assert 0.0 <= f <= 1.0
+
+    def test_single_processor_is_zero(self, traced_machine):
+        # With P=1, sub-grain and sequential execution coincide; only the
+        # round overheads remain above the divisible term.
+        assert critical_fraction(traced_machine, 1) < 0.5
+
+    def test_grows_with_processors(self, traced_machine):
+        f8 = critical_fraction(traced_machine, 8)
+        f512 = critical_fraction(traced_machine, 512)
+        assert f512 >= f8
+
+    def test_empty_machine_zero(self):
+        assert critical_fraction(Machine(), 4) == 0.0

@@ -1,0 +1,130 @@
+"""Tests for the deterministic-reservations framework and instantiations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.matching import sequential_greedy_matching
+from repro.core.mis import sequential_greedy_mis
+from repro.core.orderings import random_priorities
+from repro.errors import EngineError
+from repro.extensions.reservations import (
+    reservation_matching,
+    reservation_mis,
+    speculative_for,
+)
+from repro.graphs.generators import cycle_graph, star_graph, uniform_random_graph
+from repro.pram.machine import Machine, null_machine
+
+from conftest import edgelist_with_ranks, graph_with_ranks
+
+
+class TestSpeculativeFor:
+    def test_all_commit_first_try(self):
+        done = []
+        rounds = speculative_for(
+            10, lambda i: True, lambda i: done.append(i) or True, granularity=3
+        )
+        assert sorted(done) == list(range(10))
+        assert rounds == 4  # ceil(10/3)
+
+    def test_settle_at_reserve(self):
+        # Items settling in reserve never reach commit.
+        committed = []
+        speculative_for(
+            6, lambda i: i % 2 == 0, lambda i: committed.append(i) or True,
+            granularity=6,
+        )
+        assert committed == [0, 2, 4]
+
+    def test_retry_until_predecessor_done(self):
+        # Item i can commit only after item i-1: forces pipelining.
+        done = [False] * 8
+
+        def commit(i):
+            if i == 0 or done[i - 1]:
+                done[i] = True
+                return True
+            return False
+
+        rounds = speculative_for(8, lambda i: True, commit, granularity=3)
+        assert all(done)
+        # Commits run in priority order within a round, so each window of
+        # 3 cascades fully: ceil(8/3) = 3 rounds.
+        assert rounds == 3
+
+    def test_never_committing_raises(self):
+        with pytest.raises(EngineError, match="never succeed"):
+            speculative_for(3, lambda i: True, lambda i: False,
+                            granularity=2, max_rounds=10)
+
+    def test_zero_items(self):
+        assert speculative_for(0, lambda i: True, lambda i: True, granularity=1) == 0
+
+    def test_granularity_validated(self):
+        with pytest.raises(ValueError):
+            speculative_for(3, lambda i: True, lambda i: True, granularity=0)
+
+    def test_machine_records_rounds(self):
+        m = Machine()
+        speculative_for(10, lambda i: True, lambda i: True, granularity=4, machine=m)
+        assert m.num_rounds == 3
+        assert "reserve" in m.work_by_tag()
+
+
+class TestReservationMIS:
+    @given(graph_with_ranks(), st.integers(min_value=1, max_value=20))
+    def test_matches_sequential(self, gr, granularity):
+        g, ranks = gr
+        ref = sequential_greedy_mis(g, ranks, machine=null_machine())
+        res = reservation_mis(g, ranks, granularity=granularity, machine=null_machine())
+        assert np.array_equal(ref.in_set, res.in_set)
+
+    def test_medium_graph(self):
+        g = uniform_random_graph(500, 2500, seed=0)
+        ranks = random_priorities(500, seed=1)
+        ref = sequential_greedy_mis(g, ranks, machine=null_machine())
+        res = reservation_mis(g, ranks, granularity=37)
+        assert np.array_equal(ref.in_set, res.in_set)
+        assert res.stats.algorithm == "mis/reservations"
+        assert res.stats.rounds >= 500 // 37
+
+    def test_default_granularity(self):
+        g = cycle_graph(100)
+        res = reservation_mis(g, seed=0)
+        assert res.stats.prefix_size == 2  # n // 50
+
+
+class TestReservationMatching:
+    @given(edgelist_with_ranks(), st.integers(min_value=1, max_value=20))
+    def test_matches_sequential(self, er, granularity):
+        el, ranks = er
+        ref = sequential_greedy_matching(el, ranks, machine=null_machine())
+        res = reservation_matching(
+            el, ranks, granularity=granularity, machine=null_machine()
+        )
+        assert np.array_equal(ref.matched, res.matched)
+
+    def test_medium_graph(self):
+        g = uniform_random_graph(400, 2000, seed=3)
+        el = g.edge_list()
+        ranks = random_priorities(el.num_edges, seed=4)
+        ref = sequential_greedy_matching(el, ranks, machine=null_machine())
+        res = reservation_matching(el, ranks, granularity=101)
+        assert np.array_equal(ref.matched, res.matched)
+
+    def test_star_contention(self):
+        # All edges fight over the center: reservations serialize them
+        # correctly and the highest-priority edge wins.
+        el = star_graph(40).edge_list()
+        ranks = random_priorities(el.num_edges, seed=5)
+        res = reservation_matching(el, ranks, granularity=39)
+        assert res.size == 1
+        assert res.ranks[res.edges[0]] == 0
+
+    def test_full_granularity_single_fill(self):
+        el = cycle_graph(30).edge_list()
+        ranks = random_priorities(30, seed=6)
+        ref = sequential_greedy_matching(el, ranks, machine=null_machine())
+        res = reservation_matching(el, ranks, granularity=30)
+        assert np.array_equal(ref.matched, res.matched)

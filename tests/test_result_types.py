@@ -1,0 +1,82 @@
+"""Tests for RunStats / MISResult / MatchingResult containers."""
+
+import numpy as np
+import pytest
+
+from repro.core.result import MatchingResult, MISResult, RunStats, stats_from_machine
+from repro.core.status import EDGE_DEAD, EDGE_MATCHED, IN_SET, KNOCKED_OUT
+from repro.pram.machine import Machine
+
+
+def make_stats(**kw):
+    base = dict(algorithm="x", n=4, m=3, work=10, depth=2, steps=1, rounds=1)
+    base.update(kw)
+    return RunStats(**base)
+
+
+class TestRunStats:
+    def test_normalized_work(self):
+        assert make_stats(work=30).normalized_work(10) == 3.0
+
+    def test_normalized_work_rejects_zero_baseline(self):
+        with pytest.raises(ValueError, match="positive"):
+            make_stats().normalized_work(0)
+
+    def test_frozen(self):
+        s = make_stats()
+        with pytest.raises((AttributeError, TypeError)):
+            s.work = 5
+
+    def test_from_machine(self):
+        m = Machine()
+        m.begin_round()
+        m.charge(7, 2)
+        s = stats_from_machine("alg", 3, 2, m, prefix_size=5, aux={"k": 1})
+        assert (s.work, s.depth, s.steps, s.rounds) == (7, 2, 1, 1)
+        assert s.prefix_size == 5
+        assert s.aux == {"k": 1}
+
+    def test_aux_defaults_empty(self):
+        assert make_stats().aux == {}
+
+
+class TestMISResult:
+    def _result(self):
+        status = np.array([IN_SET, KNOCKED_OUT, IN_SET, KNOCKED_OUT], dtype=np.int8)
+        return MISResult(status=status, ranks=np.arange(4), stats=make_stats())
+
+    def test_in_set_mask(self):
+        assert self._result().in_set.tolist() == [True, False, True, False]
+
+    def test_vertices_sorted(self):
+        assert self._result().vertices.tolist() == [0, 2]
+
+    def test_size(self):
+        assert self._result().size == 2
+
+
+class TestMatchingResult:
+    def _result(self):
+        status = np.array([EDGE_MATCHED, EDGE_DEAD, EDGE_MATCHED], dtype=np.int8)
+        return MatchingResult(
+            status=status,
+            edge_u=np.array([0, 1, 2]),
+            edge_v=np.array([1, 2, 3]),
+            ranks=np.arange(3),
+            stats=make_stats(),
+        )
+
+    def test_matched_mask(self):
+        assert self._result().matched.tolist() == [True, False, True]
+
+    def test_edges_and_pairs(self):
+        r = self._result()
+        assert r.edges.tolist() == [0, 2]
+        assert r.pairs.tolist() == [[0, 1], [2, 3]]
+
+    def test_size(self):
+        assert self._result().size == 2
+
+    def test_vertex_cover(self):
+        cover = self._result().vertex_cover_mask()
+        assert cover.tolist() == [True, True, True, True]

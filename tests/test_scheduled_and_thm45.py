@@ -1,0 +1,108 @@
+"""Tests for arbitrary-schedule MIS and the Theorem 4.5 prefix schedule."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.mis import (
+    prefix_greedy_mis,
+    randomly_scheduled_mis,
+    sequential_greedy_mis,
+    theorem45_prefix_sizes,
+)
+from repro.core.orderings import random_priorities
+from repro.errors import EngineError
+from repro.graphs.generators import cycle_graph, uniform_random_graph
+from repro.pram.machine import null_machine
+
+from conftest import graph_with_ranks
+
+
+class TestRandomlyScheduledMIS:
+    @given(graph_with_ranks(max_vertices=16, max_extra_edges=30),
+           st.integers(min_value=0, max_value=10))
+    @settings(max_examples=30)
+    def test_any_schedule_same_answer(self, gr, schedule_seed):
+        """Section 1: any dependence-respecting schedule gives the same MIS."""
+        g, ranks = gr
+        ref = sequential_greedy_mis(g, ranks, machine=null_machine())
+        res = randomly_scheduled_mis(
+            g, ranks, schedule_seed=schedule_seed, machine=null_machine()
+        )
+        assert np.array_equal(ref.in_set, res.in_set)
+
+    def test_medium_graph_several_schedules(self):
+        g = uniform_random_graph(150, 600, seed=0)
+        ranks = random_priorities(150, seed=1)
+        ref = sequential_greedy_mis(g, ranks, machine=null_machine())
+        for s in range(5):
+            res = randomly_scheduled_mis(g, ranks, schedule_seed=s)
+            assert np.array_equal(ref.in_set, res.in_set)
+
+    def test_algorithm_label(self):
+        res = randomly_scheduled_mis(cycle_graph(10), seed=0, schedule_seed=1)
+        assert res.stats.algorithm == "mis/scheduled"
+
+
+class TestTheorem45Schedule:
+    def test_covers_all_slots(self):
+        sizes = theorem45_prefix_sizes(10_000, 50)
+        assert sum(sizes) == 10_000
+
+    def test_geometric_growth(self):
+        sizes = theorem45_prefix_sizes(100_000, 1000)
+        assert len(sizes) >= 3
+        # Doubling schedule until saturation.
+        for a, b in zip(sizes, sizes[1:-1]):
+            assert b >= a
+
+    def test_round_count_logarithmic(self):
+        n, d = 1_000_000, 10_000
+        sizes = theorem45_prefix_sizes(n, d)
+        assert len(sizes) <= 4 * np.log2(d) + 8
+
+    def test_empty(self):
+        assert theorem45_prefix_sizes(0, 5) == []
+
+    def test_single_vertex(self):
+        assert theorem45_prefix_sizes(1, 1) == [1]
+
+    def test_prefix_engine_accepts_schedule(self):
+        g = uniform_random_graph(800, 4000, seed=2)
+        ranks = random_priorities(800, seed=3)
+        sizes = theorem45_prefix_sizes(800, g.max_degree())
+        ref = sequential_greedy_mis(g, ranks, machine=null_machine())
+        res = prefix_greedy_mis(g, ranks, prefix_sizes=sizes)
+        assert np.array_equal(ref.in_set, res.in_set)
+        assert res.stats.rounds == len(sizes)
+
+    def test_schedule_linear_work(self):
+        """Theorem 4.5's point: the adaptive schedule keeps work O(n+m)."""
+        g = uniform_random_graph(20_000, 100_000, seed=4)
+        ranks = random_priorities(20_000, seed=5)
+        sizes = theorem45_prefix_sizes(20_000, g.max_degree())
+        res = prefix_greedy_mis(g, ranks, prefix_sizes=sizes)
+        n, m = g.num_vertices, g.num_edges
+        assert res.stats.work <= 6 * (n + 2 * m)
+
+    def test_schedule_exhaustion_repeats_last(self):
+        g = cycle_graph(100)
+        ranks = random_priorities(100, seed=0)
+        # Schedule covers only 10 slots; last entry (5) repeats.
+        res = prefix_greedy_mis(g, ranks, prefix_sizes=[5, 5])
+        assert res.stats.rounds == 20
+
+    def test_mutual_exclusion(self):
+        g = cycle_graph(10)
+        with pytest.raises(EngineError, match="mutually exclusive"):
+            prefix_greedy_mis(g, prefix_size=2, prefix_sizes=[2, 2], seed=0)
+
+    def test_empty_schedule_rejected(self):
+        g = cycle_graph(10)
+        with pytest.raises(EngineError, match="non-empty"):
+            prefix_greedy_mis(g, prefix_sizes=[], seed=0)
+
+    def test_bad_entry_rejected(self):
+        g = cycle_graph(10)
+        with pytest.raises(ValueError):
+            prefix_greedy_mis(g, prefix_sizes=[3, 0], seed=0)

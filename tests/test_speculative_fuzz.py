@@ -1,0 +1,92 @@
+"""Fuzzing the deterministic-reservations framework with random protocols.
+
+`speculative_for` makes few assumptions about its callbacks; these
+properties pin the contract for arbitrary (randomized but deterministic-
+per-seed) reserve/commit behaviours:
+
+* every item is offered to `reserve` at least once;
+* an item leaves the system exactly once (settle-at-reserve XOR
+  commit-returns-True);
+* items never reserve after settling;
+* rounds are bounded by items when every window makes progress.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import EngineError
+from repro.extensions.reservations import speculative_for
+from repro.pram.machine import Machine
+
+
+class Protocol:
+    """A randomized-but-deterministic reserve/commit behaviour.
+
+    Each item settles at reserve with probability *p_settle*, otherwise
+    needs *delays[i]* failed commits before committing.
+    """
+
+    def __init__(self, n, seed, p_settle, max_delay):
+        rng = np.random.default_rng(seed)
+        self.settle = rng.random(n) < p_settle
+        self.delays = rng.integers(0, max_delay + 1, size=n)
+        self.reserve_calls = np.zeros(n, dtype=np.int64)
+        self.commit_calls = np.zeros(n, dtype=np.int64)
+        self.finished = np.zeros(n, dtype=bool)
+
+    def reserve(self, i):
+        assert not self.finished[i], f"item {i} reserved after settling"
+        self.reserve_calls[i] += 1
+        if self.settle[i]:
+            self.finished[i] = True
+            return False
+        return True
+
+    def commit(self, i):
+        assert not self.finished[i], f"item {i} committed after settling"
+        self.commit_calls[i] += 1
+        if self.commit_calls[i] > self.delays[i]:
+            self.finished[i] = True
+            return True
+        return False
+
+
+@given(
+    n=st.integers(min_value=0, max_value=60),
+    seed=st.integers(min_value=0, max_value=10**6),
+    p_settle=st.floats(min_value=0.0, max_value=1.0),
+    max_delay=st.integers(min_value=0, max_value=4),
+    granularity=st.integers(min_value=1, max_value=16),
+)
+@settings(max_examples=60)
+def test_every_item_settles_exactly_once(n, seed, p_settle, max_delay, granularity):
+    proto = Protocol(n, seed, p_settle, max_delay)
+    rounds = speculative_for(
+        n, proto.reserve, proto.commit, granularity=granularity
+    )
+    assert proto.finished.all() if n else True
+    assert (proto.reserve_calls[~proto.settle] >= 1).all() if n else True
+    # Settled-at-reserve items were never committed.
+    assert (proto.commit_calls[proto.settle] == 0).all() if n else True
+    # Items re-reserve once per round they are active.
+    if n:
+        assert (proto.reserve_calls >= 1).all()
+    # Progress bound: every round either advances some item's commit
+    # counter or settles one, so rounds are bounded by the total number
+    # of commit attempts the protocol can demand.
+    assert rounds <= n * (max_delay + 1) + 1
+
+
+def test_machine_round_accounting_matches_return():
+    proto = Protocol(30, seed=1, p_settle=0.3, max_delay=2)
+    m = Machine()
+    rounds = speculative_for(30, proto.reserve, proto.commit,
+                             granularity=7, machine=m)
+    assert m.num_rounds == rounds
+
+
+def test_stalled_protocol_hits_guard():
+    with pytest.raises(EngineError, match="never succeed"):
+        speculative_for(2, lambda i: True, lambda i: False,
+                        granularity=1, max_rounds=5)

@@ -1,0 +1,130 @@
+"""Empirical checks of the paper's lemmas via repro.theory."""
+
+import numpy as np
+import pytest
+
+from repro.core.orderings import random_priorities
+from repro.graphs.generators import (
+    complete_graph,
+    cycle_graph,
+    empty_graph,
+    uniform_random_graph,
+)
+from repro.theory import (
+    degree_reduction_prefix_size,
+    dependence_length_bound,
+    internal_edge_count,
+    longest_path_in_prefix,
+    max_degree_after_prefix,
+    path_length_bound,
+    vertices_with_internal_edges,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    # Degree-concentrated random graph: n=4000, m=20000 => mean degree 10.
+    return uniform_random_graph(4000, 20000, seed=100)
+
+
+class TestLemma31DegreeReduction:
+    def test_prefix_reduces_max_degree(self, graph):
+        """Lemma 3.1: after an (l/d)-prefix, residual degree <= d w.h.p."""
+        n = graph.num_vertices
+        d = graph.max_degree() // 2
+        k = degree_reduction_prefix_size(n, d, ell=np.log(n))
+        for seed in range(3):
+            ranks = random_priorities(n, seed=seed)
+            assert max_degree_after_prefix(graph, ranks, k) <= d
+
+    def test_full_prefix_leaves_nothing(self, graph):
+        n = graph.num_vertices
+        assert max_degree_after_prefix(graph, random_priorities(n, seed=0), n) == 0
+
+    def test_tiny_prefix_leaves_high_degree(self, graph):
+        n = graph.num_vertices
+        deg = max_degree_after_prefix(graph, random_priorities(n, seed=0), 1)
+        assert deg >= graph.max_degree() // 2
+
+    def test_monotone_in_prefix_size(self, graph):
+        n = graph.num_vertices
+        ranks = random_priorities(n, seed=1)
+        degs = [max_degree_after_prefix(graph, ranks, k) for k in (1, n // 10, n)]
+        assert degs[0] >= degs[1] >= degs[2]
+
+    def test_complete_graph_one_vertex_clears_all(self):
+        g = complete_graph(40)
+        assert max_degree_after_prefix(g, random_priorities(40, seed=0), 1) == 0
+
+
+class TestLemma33PathLength:
+    def test_small_prefix_short_paths(self, graph):
+        """Corollary 3.4: an O(log n / d)-prefix has O(log n) longest path."""
+        n = graph.num_vertices
+        d = graph.max_degree()
+        k = max(1, int(np.log2(n) / d * n))
+        bound = path_length_bound(n)
+        for seed in range(3):
+            ranks = random_priorities(n, seed=seed)
+            assert longest_path_in_prefix(graph, ranks, k) <= bound
+
+    def test_single_vertex_prefix(self, graph):
+        assert longest_path_in_prefix(graph, random_priorities(4000, seed=0), 1) == 1
+
+    def test_full_prefix_on_cycle_short(self):
+        # Even the full cycle has polylog longest decreasing path under a
+        # random order (expected max run ~ O(log n / log log n)).
+        g = cycle_graph(2048)
+        lp = longest_path_in_prefix(g, random_priorities(2048, seed=0), 2048)
+        assert lp <= path_length_bound(2048)
+
+
+class TestLemma43InternalEdges:
+    def test_small_prefix_sparse(self, graph):
+        """Lemma 4.3: delta < k/d prefix has O(k |P|) internal edges."""
+        n = graph.num_vertices
+        d = graph.max_degree()
+        k_factor = 0.5
+        size = max(1, int(k_factor / d * n))
+        for seed in range(3):
+            ranks = random_priorities(n, seed=seed)
+            internal = internal_edge_count(graph, ranks, size)
+            assert internal <= max(4 * k_factor * size, 8)
+
+    def test_full_prefix_counts_all_edges(self, graph):
+        n = graph.num_vertices
+        assert internal_edge_count(graph, random_priorities(n, seed=0), n) == graph.num_edges
+
+    def test_lemma_44_vertex_bound(self, graph):
+        """Lemma 4.4's proof inequality: X_V <= 2 X_E, exactly."""
+        n = graph.num_vertices
+        for size in (10, 100, 1000):
+            ranks = random_priorities(n, seed=size)
+            xv = vertices_with_internal_edges(graph, ranks, size)
+            xe = internal_edge_count(graph, ranks, size)
+            assert xv <= 2 * xe
+
+    def test_empty_graph(self):
+        g = empty_graph(10)
+        assert internal_edge_count(g, random_priorities(10, seed=0), 5) == 0
+        assert vertices_with_internal_edges(g, random_priorities(10, seed=0), 5) == 0
+
+
+class TestBounds:
+    def test_dependence_bound_monotone(self):
+        assert dependence_length_bound(10**6, 100) > dependence_length_bound(100, 100)
+        assert dependence_length_bound(1000, 1000) > dependence_length_bound(1000, 2)
+
+    def test_trivial_n(self):
+        assert dependence_length_bound(1, 5) == 1.0
+        assert path_length_bound(1) == 1.0
+
+    def test_prefix_size_formula(self):
+        assert degree_reduction_prefix_size(1000, 10, 5.0) == 500
+        assert degree_reduction_prefix_size(100, 1, 5.0) == 100  # clamped at n
+
+    def test_prefix_size_validation(self):
+        with pytest.raises(ValueError, match="d must be"):
+            degree_reduction_prefix_size(10, 0, 1.0)
+        with pytest.raises(ValueError, match="ell"):
+            degree_reduction_prefix_size(10, 2, 0.0)

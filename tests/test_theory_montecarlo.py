@@ -1,0 +1,91 @@
+"""Monte-Carlo tests of the lemmas' high-probability claims."""
+
+import math
+
+import pytest
+
+from repro.graphs.generators import uniform_random_graph
+from repro.theory.montecarlo import (
+    FailureEstimate,
+    degree_reduction_failure_rate,
+    estimate_failure_rate,
+    path_length_failure_rate,
+)
+from repro.theory.bounds import path_length_bound
+
+
+class TestFailureEstimate:
+    def test_rate(self):
+        assert FailureEstimate(trials=20, failures=5).rate == 0.25
+
+    def test_rule_of_three(self):
+        est = FailureEstimate(trials=100, failures=0)
+        assert est.upper_bound_95 == pytest.approx(0.03)
+
+    def test_upper_bound_above_rate(self):
+        est = FailureEstimate(trials=50, failures=10)
+        assert est.upper_bound_95 > est.rate
+
+    def test_upper_bound_capped(self):
+        assert FailureEstimate(trials=2, failures=2).upper_bound_95 == 1.0
+
+
+class TestEstimateFailureRate:
+    def test_always_failing(self):
+        est = estimate_failure_rate(lambda s: True, trials=10)
+        assert est.rate == 1.0
+
+    def test_never_failing(self):
+        est = estimate_failure_rate(lambda s: False, trials=10)
+        assert est.failures == 0
+
+    def test_reproducible(self):
+        def coin(stream):
+            return bool(stream.random() < 0.5)
+
+        a = estimate_failure_rate(coin, trials=30, seed=7)
+        b = estimate_failure_rate(coin, trials=30, seed=7)
+        assert a == b
+
+    def test_trials_validated(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            estimate_failure_rate(lambda s: True, trials=0)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return uniform_random_graph(2000, 10000, seed=0)
+
+
+class TestLemma31MonteCarlo:
+    def test_failure_rate_within_proven_bound(self, graph):
+        """Lemma 3.1: failure probability <= n/e^l.  With l = ln(4n) the
+        bound is 1/4; the observed rate must be consistent with it."""
+        n = graph.num_vertices
+        d = graph.max_degree() // 2
+        ell = math.log(4 * n)
+        est = degree_reduction_failure_rate(graph, d, ell, trials=30, seed=1)
+        assert est.rate <= n / math.exp(ell) + 0.15  # bound + sampling slack
+
+    def test_generous_prefix_never_fails(self, graph):
+        # Twice the lemma's prefix: failures should be absent outright.
+        n = graph.num_vertices
+        d = graph.max_degree() // 2
+        est = degree_reduction_failure_rate(
+            graph, d, 2 * math.log(4 * n), trials=20, seed=2
+        )
+        assert est.failures == 0
+
+
+class TestLemma33MonteCarlo:
+    def test_long_paths_are_rare(self, graph):
+        n = graph.num_vertices
+        d = graph.max_degree()
+        prefix = max(1, int(math.log2(n) / d * n))
+        threshold = int(path_length_bound(n))
+        est = path_length_failure_rate(graph, prefix, threshold, trials=25, seed=3)
+        assert est.failures == 0
+
+    def test_trivial_threshold_always_fails(self, graph):
+        est = path_length_failure_rate(graph, 200, threshold=1, trials=5, seed=4)
+        assert est.rate == 1.0

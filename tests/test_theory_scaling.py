@@ -1,0 +1,64 @@
+"""Tests for power-law fitting and the dependence-scaling probe."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.graphs.generators import uniform_random_graph
+from repro.theory import ScalingFit, dependence_scaling, fit_power_law
+
+
+class TestFitPowerLaw:
+    def test_exact_power_law_recovered(self):
+        xs = [1.0, 2.0, 4.0, 8.0]
+        ys = [3.0 * x ** 1.7 for x in xs]
+        fit = fit_power_law(xs, ys)
+        assert fit.alpha == pytest.approx(1.7, abs=1e-9)
+        assert math.exp(fit.log_c) == pytest.approx(3.0, rel=1e-9)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_constant_data_zero_alpha(self):
+        fit = fit_power_law([1, 2, 4, 8], [5, 5, 5, 5])
+        assert fit.alpha == pytest.approx(0.0, abs=1e-12)
+        assert fit.r_squared == pytest.approx(1.0)
+
+    def test_predict(self):
+        fit = fit_power_law([1.0, 10.0], [2.0, 20.0])
+        assert fit.predict(100.0) == pytest.approx(200.0, rel=1e-9)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError, match=">= 2"):
+            fit_power_law([1.0], [2.0])
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError, match="positive"):
+            fit_power_law([1.0, 0.0], [2.0, 3.0])
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            fit_power_law([1.0, 2.0], [1.0])
+
+
+class TestDependenceScaling:
+    def test_random_graph_exponent_below_theorem_bound(self):
+        """The §7 open-question probe: observed exponent alpha of
+        dep ~ (log n)^alpha must respect Theorem 3.5 (alpha <= 2 up to
+        noise), and empirically sits near 1 on uniform random graphs."""
+        fit = dependence_scaling(
+            lambda n: uniform_random_graph(n, 5 * n, seed=n),
+            sizes=[500, 2000, 8000, 32000],
+            seeds_per_size=2,
+            seed=0,
+        )
+        assert fit.alpha < 2.5  # theorem bound plus small-n noise margin
+
+    def test_requires_two_sizes(self):
+        with pytest.raises(ValueError, match="two sizes"):
+            dependence_scaling(lambda n: uniform_random_graph(n, n, seed=0), [100])
+
+    def test_deterministic(self):
+        make = lambda n: uniform_random_graph(n, 3 * n, seed=n)
+        a = dependence_scaling(make, [300, 1200], seed=4)
+        b = dependence_scaling(make, [300, 1200], seed=4)
+        assert a == b

@@ -1,0 +1,37 @@
+"""Tests for the Timer stopwatch."""
+
+import time
+
+import pytest
+
+from repro.util.timing import Timer
+
+
+def test_measures_nonnegative_time():
+    with Timer() as t:
+        pass
+    assert t.elapsed >= 0.0
+
+
+def test_measures_sleep_roughly():
+    with Timer() as t:
+        time.sleep(0.01)
+    assert t.elapsed >= 0.009
+
+
+def test_accumulates_across_reentries():
+    t = Timer()
+    with t:
+        time.sleep(0.002)
+    first = t.elapsed
+    with t:
+        time.sleep(0.002)
+    assert t.elapsed > first
+
+
+def test_reset_zeroes():
+    t = Timer()
+    with t:
+        time.sleep(0.001)
+    t.reset()
+    assert t.elapsed == 0.0

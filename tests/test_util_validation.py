@@ -1,0 +1,111 @@
+"""Tests for repro.util.validation argument checking."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ReproError
+from repro.util.validation import (
+    check_fraction,
+    check_index_array,
+    check_int,
+    check_positive_int,
+    require,
+)
+
+
+class TestRequire:
+    def test_passes_silently(self):
+        require(True, "never raised")
+
+    def test_raises_default(self):
+        with pytest.raises(ReproError, match="boom"):
+            require(False, "boom")
+
+    def test_raises_custom_exception(self):
+        with pytest.raises(ValueError, match="custom"):
+            require(False, "custom", ValueError)
+
+
+class TestCheckInt:
+    def test_int_passthrough(self):
+        assert check_int(7, "x") == 7
+
+    def test_numpy_integer(self):
+        assert check_int(np.int32(9), "x") == 9
+
+    def test_integral_float_accepted(self):
+        assert check_int(4.0, "x") == 4
+
+    def test_fractional_float_rejected(self):
+        with pytest.raises(TypeError, match="x must be an integer"):
+            check_int(4.5, "x")
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError, match="bool"):
+            check_int(True, "x")
+
+    def test_string_rejected(self):
+        with pytest.raises(TypeError):
+            check_int("3", "x")
+
+
+class TestCheckPositiveInt:
+    def test_one_is_ok(self):
+        assert check_positive_int(1, "k") == 1
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            check_positive_int(0, "k")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_positive_int(-3, "k")
+
+
+class TestCheckFraction:
+    def test_interior_value(self):
+        assert check_fraction(0.5, "d") == 0.5
+
+    def test_one_inclusive(self):
+        assert check_fraction(1.0, "d") == 1.0
+
+    def test_zero_excluded_by_default(self):
+        with pytest.raises(ValueError, match=r"\(0, 1\]"):
+            check_fraction(0.0, "d")
+
+    def test_zero_allowed_inclusive(self):
+        assert check_fraction(0.0, "d", inclusive_low=True) == 0.0
+
+    def test_above_one_rejected(self):
+        with pytest.raises(ValueError):
+            check_fraction(1.5, "d")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            check_fraction(-0.1, "d", inclusive_low=True)
+
+
+class TestCheckIndexArray:
+    def test_valid_passthrough(self):
+        out = check_index_array([0, 1, 2], 3, "ids")
+        assert out.dtype == np.int64
+        assert np.array_equal(out, [0, 1, 2])
+
+    def test_empty_ok(self):
+        assert check_index_array(np.empty(0, dtype=np.int64), 0, "ids").size == 0
+
+    def test_out_of_range_high(self):
+        with pytest.raises(ValueError, match=r"\[0, 3\)"):
+            check_index_array([0, 3], 3, "ids")
+
+    def test_out_of_range_negative(self):
+        with pytest.raises(ValueError):
+            check_index_array([-1, 0], 3, "ids")
+
+    def test_two_dimensional_rejected(self):
+        with pytest.raises(ValueError, match="one-dimensional"):
+            check_index_array(np.zeros((2, 2), dtype=np.int64), 4, "ids")
+
+    def test_float_dtype_rejected(self):
+        with pytest.raises(TypeError, match="integer dtype"):
+            check_index_array(np.array([0.5, 1.0]), 3, "ids")
