@@ -14,6 +14,7 @@ from repro.core.matching import (
     parallel_greedy_matching,
     prefix_greedy_matching,
     rootset_matching,
+    rootset_matching_vectorized,
     sequential_greedy_matching,
 )
 from repro.core.mis import (
@@ -21,10 +22,12 @@ from repro.core.mis import (
     parallel_greedy_mis,
     prefix_greedy_mis,
     rootset_mis,
+    rootset_mis_vectorized,
     sequential_greedy_mis,
 )
 from repro.core.orderings import random_priorities
 from repro.graphs.generators import uniform_random_graph
+from repro.kernels import clear_partition_caches
 from repro.pram.machine import Machine, null_machine
 
 N, M, SEED = 20_000, 100_000, 7
@@ -70,6 +73,19 @@ class TestMISEngines:
         )
         assert result.stats.work <= 8 * (N + 2 * M)
 
+    def test_rootset_vectorized_cold(self, benchmark, graph, ranks):
+        def run():
+            clear_partition_caches()
+            return rootset_mis_vectorized(graph, ranks)
+
+        result = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert result.stats.work <= 8 * (N + 2 * M)
+
+    def test_rootset_vectorized_warm(self, benchmark, graph, ranks):
+        rootset_mis_vectorized(graph, ranks)  # warm the partition cache
+        result = benchmark(lambda: rootset_mis_vectorized(graph, ranks))
+        assert result.stats.work <= 8 * (N + 2 * M)
+
     def test_luby(self, benchmark, graph):
         benchmark(lambda: luby_mis(graph, seed=SEED, machine=null_machine()))
 
@@ -96,4 +112,17 @@ class TestMMEngines:
         result = benchmark.pedantic(
             lambda: rootset_matching(edges, edge_ranks), rounds=1, iterations=1
         )
+        assert result.stats.work <= 10 * (N + 2 * M)
+
+    def test_rootset_vectorized_cold(self, benchmark, edges, edge_ranks):
+        def run():
+            clear_partition_caches()
+            return rootset_matching_vectorized(edges, edge_ranks)
+
+        result = benchmark.pedantic(run, rounds=3, iterations=1)
+        assert result.stats.work <= 10 * (N + 2 * M)
+
+    def test_rootset_vectorized_warm(self, benchmark, edges, edge_ranks):
+        rootset_matching_vectorized(edges, edge_ranks)  # warm the incidence cache
+        result = benchmark(lambda: rootset_matching_vectorized(edges, edge_ranks))
         assert result.stats.work <= 10 * (N + 2 * M)

@@ -1,0 +1,72 @@
+"""Pointer vs vectorized root-set engines on the paper workloads.
+
+The acceptance gate for the vectorized engines, runnable standalone:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_rootset_vectorized.py
+
+Asserts the two implementations of each root-set lemma agree on steps
+(dependence length) and stay within a small constant factor in charged
+work, and reports the wall-clock ratio.  The ``smoke`` tests run in well
+under a second at any scale; the ``slow`` speedup checks exercise the
+full configured workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.bench.sweeps import rootset_ablation_mis, rootset_ablation_mm
+from repro.core.mis import rootset_mis, rootset_mis_vectorized
+from repro.core.matching import rootset_matching, rootset_matching_vectorized
+from repro.core.orderings import random_priorities
+from repro.graphs.generators import uniform_random_graph
+from repro.pram.machine import null_machine
+
+SEED = 20120215
+
+
+@pytest.mark.smoke
+def test_smoke_engines_agree_small_input():
+    g = uniform_random_graph(300, 1500, seed=SEED)
+    ranks = random_priorities(300, seed=SEED)
+    a = rootset_mis(g, ranks, machine=null_machine())
+    b = rootset_mis_vectorized(g, ranks, machine=null_machine())
+    assert np.array_equal(a.status, b.status)
+    assert a.stats.steps == b.stats.steps
+    el = g.edge_list()
+    eranks = random_priorities(el.num_edges, seed=SEED + 1)
+    x = rootset_matching(el, eranks, machine=null_machine())
+    y = rootset_matching_vectorized(el, eranks, machine=null_machine())
+    assert np.array_equal(x.status, y.status)
+    assert x.stats.steps == y.stats.steps
+
+
+@pytest.mark.smoke
+def test_smoke_ablation_points_structurally_sound():
+    g = uniform_random_graph(200, 800, seed=SEED)
+    pts = rootset_ablation_mis(g, repeats=1, seed=SEED)
+    assert [p.engine for p in pts] == ["rootset", "rootset-vec"]
+    assert pts[0].steps == pts[1].steps
+    assert pts[0].set_size == pts[1].set_size
+
+
+@pytest.mark.slow
+def test_mis_speedup_on_paper_workloads(random_graph, rmat_graph_fx):
+    for g in (random_graph, rmat_graph_fx):
+        ptr, vec = rootset_ablation_mis(g, repeats=3, seed=SEED)
+        assert ptr.steps == vec.steps
+        # Both charge O(n + m); the vectorized engine may differ by a
+        # small constant factor (bulk steps touch whole frontiers).
+        assert vec.work <= 2 * max(ptr.work, 1) + 8 * g.num_vertices
+        assert vec.wall_time < ptr.wall_time
+
+
+@pytest.mark.slow
+def test_mm_speedup_on_paper_workloads(random_graph, rmat_graph_fx):
+    for g in (random_graph, rmat_graph_fx):
+        el = g.edge_list()
+        ptr, vec = rootset_ablation_mm(el, repeats=3, seed=SEED)
+        assert ptr.steps == vec.steps
+        assert vec.work <= 2 * max(ptr.work, 1) + 8 * el.num_vertices
+        assert vec.wall_time < ptr.wall_time

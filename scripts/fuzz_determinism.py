@@ -22,12 +22,14 @@ from repro.core.matching import (
     parallel_greedy_matching,
     prefix_greedy_matching,
     rootset_matching,
+    rootset_matching_vectorized,
     sequential_greedy_matching,
 )
 from repro.core.mis import (
     parallel_greedy_mis,
     prefix_greedy_mis,
     rootset_mis,
+    rootset_mis_vectorized,
     sequential_greedy_mis,
     theorem45_prefix_sizes,
 )
@@ -74,6 +76,9 @@ def check_instance(rng) -> None:
     variants = {
         "parallel": parallel_greedy_mis(g, ranks, machine=null_machine()).status,
         "rootset": rootset_mis(g, ranks, machine=null_machine()).status,
+        "rootset-vec": rootset_mis_vectorized(
+            g, ranks, machine=null_machine()
+        ).status,
         "prefix-k": prefix_greedy_mis(
             g, ranks, prefix_size=int(rng.integers(1, n + 1)),
             machine=null_machine(),
@@ -100,6 +105,9 @@ def check_instance(rng) -> None:
     mm_variants = {
         "parallel": parallel_greedy_matching(el, eranks, machine=null_machine()).status,
         "rootset": rootset_matching(el, eranks, machine=null_machine()).status,
+        "rootset-vec": rootset_matching_vectorized(
+            el, eranks, machine=null_machine()
+        ).status,
         "prefix-k": prefix_greedy_matching(
             el, eranks, prefix_size=int(rng.integers(1, m + 2)),
             machine=null_machine(),

@@ -9,7 +9,7 @@ Usage:
     python scripts/profile_engines.py [engine ...]
 
 where each engine is one of: mis-sequential mis-parallel mis-prefix
-mm-parallel mm-prefix luby (default: all).
+mm-parallel mm-prefix luby mis-rootset-vec mm-rootset-vec (default: all).
 """
 
 from __future__ import annotations
@@ -21,10 +21,12 @@ import sys
 
 from repro.bench.workloads import paper_random_graph
 from repro.core.matching.parallel import parallel_greedy_matching
+from repro.core.matching.rootset_vectorized import rootset_matching_vectorized
 from repro.core.matching.prefix import prefix_greedy_matching
 from repro.core.mis.luby import luby_mis
 from repro.core.mis.parallel import parallel_greedy_mis
 from repro.core.mis.prefix import prefix_greedy_mis
+from repro.core.mis.rootset_vectorized import rootset_mis_vectorized
 from repro.core.mis.sequential import sequential_greedy_mis
 from repro.core.orderings import random_priorities
 from repro.pram.machine import null_machine
@@ -42,8 +44,10 @@ def main(argv=None) -> int:
         "mis-sequential": lambda: sequential_greedy_mis(graph, ranks, machine=null_machine()),
         "mis-parallel": lambda: parallel_greedy_mis(graph, ranks, machine=null_machine()),
         "mis-prefix": lambda: prefix_greedy_mis(graph, ranks, prefix_frac=0.02, machine=null_machine()),
+        "mis-rootset-vec": lambda: rootset_mis_vectorized(graph, ranks, machine=null_machine()),
         "mm-parallel": lambda: parallel_greedy_matching(el, eranks, machine=null_machine()),
         "mm-prefix": lambda: prefix_greedy_matching(el, eranks, prefix_frac=0.02, machine=null_machine()),
+        "mm-rootset-vec": lambda: rootset_matching_vectorized(el, eranks, machine=null_machine()),
         "luby": lambda: luby_mis(graph, seed=3, machine=null_machine()),
     }
     wanted = (argv or sys.argv[1:]) or list(targets)

@@ -21,8 +21,11 @@ from repro.bench.workloads import (
     workload_pair,
 )
 from repro.bench.sweeps import (
+    EnginePoint,
     SweepPoint,
     default_prefix_sizes,
+    rootset_ablation_mis,
+    rootset_ablation_mm,
     prefix_sweep_mis,
     prefix_sweep_mm,
     thread_sweep_mis,
@@ -57,7 +60,10 @@ __all__ = [
     "bench_scale",
     "workload_pair",
     "SweepPoint",
+    "EnginePoint",
     "default_prefix_sizes",
+    "rootset_ablation_mis",
+    "rootset_ablation_mm",
     "prefix_sweep_mis",
     "prefix_sweep_mm",
     "thread_sweep_mis",

@@ -28,7 +28,10 @@ from repro.util.timing import Timer
 
 __all__ = [
     "SweepPoint",
+    "EnginePoint",
     "default_prefix_sizes",
+    "rootset_ablation_mis",
+    "rootset_ablation_mm",
     "prefix_sweep_mis",
     "prefix_sweep_mm",
     "thread_sweep_mis",
@@ -228,3 +231,96 @@ def thread_sweep_mm(
         "prefix": speedup_curve(mach_prefix, threads, cost),
         "serial": speedup_curve(mach_seq, threads, cost),
     }
+
+
+@dataclass(frozen=True)
+class EnginePoint:
+    """One engine's measurement in a root-set ablation.
+
+    ``wall_time`` is the best-of-*repeats* single-core wall clock;
+    ``work``/``depth``/``steps`` come from the charged trace of one run
+    (charging is deterministic, so any run serves).
+    """
+
+    engine: str
+    wall_time: float
+    work: int
+    depth: int
+    steps: int
+    set_size: int
+
+
+def _measure_engine(name: str, run, repeats: int) -> EnginePoint:
+    best = float("inf")
+    res = None
+    for _ in range(max(1, repeats)):
+        machine = Machine()
+        with Timer() as t:
+            res = run(machine)
+        best = min(best, t.elapsed)
+    return EnginePoint(
+        engine=name,
+        wall_time=best,
+        work=res.stats.work,
+        depth=res.stats.depth,
+        steps=res.stats.steps,
+        set_size=res.size,
+    )
+
+
+def rootset_ablation_mis(
+    graph: CSRGraph,
+    ranks: Optional[np.ndarray] = None,
+    *,
+    repeats: int = 3,
+    seed: SeedLike = 0,
+) -> List[EnginePoint]:
+    """Pointer-level vs vectorized root-set MIS on one input.
+
+    Both engines run the identical (graph, π): the points differ only in
+    execution strategy, so equal ``steps`` and near-equal ``work`` are the
+    expected (and asserted-by-tests) outcome; ``wall_time`` is the payoff
+    of the vectorized frontiers.  The first vectorized run warms the
+    memoized partition cache, so best-of-*repeats* reports the steady-state
+    sweep-rerun cost.
+    """
+    from repro.core.mis.rootset import rootset_mis
+    from repro.core.mis.rootset_vectorized import rootset_mis_vectorized
+
+    if ranks is None:
+        ranks = random_priorities(graph.num_vertices, seed)
+    return [
+        _measure_engine(
+            "rootset", lambda m: rootset_mis(graph, ranks, machine=m), repeats
+        ),
+        _measure_engine(
+            "rootset-vec",
+            lambda m: rootset_mis_vectorized(graph, ranks, machine=m),
+            repeats,
+        ),
+    ]
+
+
+def rootset_ablation_mm(
+    edges: EdgeList,
+    ranks: Optional[np.ndarray] = None,
+    *,
+    repeats: int = 3,
+    seed: SeedLike = 0,
+) -> List[EnginePoint]:
+    """Pointer-level vs vectorized root-set MM on one input."""
+    from repro.core.matching.rootset import rootset_matching
+    from repro.core.matching.rootset_vectorized import rootset_matching_vectorized
+
+    if ranks is None:
+        ranks = random_priorities(edges.num_edges, seed)
+    return [
+        _measure_engine(
+            "rootset", lambda m: rootset_matching(edges, ranks, machine=m), repeats
+        ),
+        _measure_engine(
+            "rootset-vec",
+            lambda m: rootset_matching_vectorized(edges, ranks, machine=m),
+            repeats,
+        ),
+    ]

@@ -9,6 +9,7 @@ import numpy as np
 from repro.core.matching.parallel import parallel_greedy_matching
 from repro.core.matching.prefix import prefix_greedy_matching
 from repro.core.matching.rootset import rootset_matching
+from repro.core.matching.rootset_vectorized import rootset_matching_vectorized
 from repro.core.matching.sequential import sequential_greedy_matching
 from repro.core.result import MatchingResult
 from repro.errors import EngineError
@@ -18,8 +19,10 @@ from repro.util.rng import SeedLike
 
 __all__ = ["maximal_matching", "MM_METHODS"]
 
-#: Engine names accepted by :func:`maximal_matching`.
-MM_METHODS = ("sequential", "parallel", "prefix", "rootset")
+#: Engine names accepted by :func:`maximal_matching`.  ``rootset-vec`` is
+#: the vectorized twin of ``rootset`` (same step structure, frontier-kernel
+#: execution).
+MM_METHODS = ("sequential", "parallel", "prefix", "rootset", "rootset-vec")
 
 
 def maximal_matching(
@@ -80,6 +83,8 @@ def maximal_matching(
         return parallel_greedy_matching(edges, ranks, seed=seed, machine=machine)
     if method == "rootset":
         return rootset_matching(edges, ranks, seed=seed, machine=machine)
+    if method == "rootset-vec":
+        return rootset_matching_vectorized(edges, ranks, seed=seed, machine=machine)
     return prefix_greedy_matching(
         edges,
         ranks,

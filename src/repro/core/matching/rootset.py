@@ -15,7 +15,10 @@ The faithful transcription of the paper's second linear-work construction:
 
 Like :mod:`repro.core.mis.rootset`, this engine is loop-level faithful
 rather than vectorized; its charged work must be ``O(n + m)``, asserted by
-the tests.
+the tests.  Its bulk-synchronous twin,
+:mod:`repro.core.matching.rootset_vectorized`, runs the identical step
+structure on the frontier kernels; both share the memoized incidence
+builder :func:`repro.kernels.rank_sorted_incidence`.
 """
 
 from __future__ import annotations
@@ -28,8 +31,8 @@ from repro.core.orderings import random_priorities, validate_priorities
 from repro.core.result import MatchingResult, stats_from_machine
 from repro.core.status import EDGE_DEAD, EDGE_LIVE, EDGE_MATCHED, new_edge_status
 from repro.graphs.csr import EdgeList
+from repro.kernels import rank_sorted_incidence
 from repro.pram.machine import Machine, log2_depth
-from repro.pram.primitives import bucket_sort_by_key
 from repro.util.rng import SeedLike
 
 __all__ = ["rootset_matching"]
@@ -54,22 +57,9 @@ def rootset_matching(
     if machine is None:
         machine = Machine()
 
-    # Per-vertex incidence lists ordered by edge priority: sort the 2m
-    # (vertex, rank, edge) triples by vertex then rank.  The rank sort is
-    # the bucket sort of the lemma; the vertex grouping is a counting sort.
-    endpoints = np.concatenate([edges.u, edges.v])
-    eids = np.concatenate(
-        [np.arange(m, dtype=np.int64), np.arange(m, dtype=np.int64)]
-    )
-    rank_order, _ = bucket_sort_by_key(ranks[eids], m if m else 1, machine, tag="mm-bucket-sort")
-    endpoints = endpoints[rank_order]
-    eids = eids[rank_order]
-    vert_order = np.argsort(endpoints, kind="stable")
-    inc_eids = eids[vert_order]
-    counts = np.bincount(endpoints, minlength=n).astype(np.int64, copy=False)
-    inc_off = np.zeros(n + 1, dtype=np.int64)
-    np.cumsum(counts, out=inc_off[1:])
-    machine.charge(2 * m + n, log2_depth(max(2 * m, 2)), tag="mm-incidence")
+    # Per-vertex incidence lists ordered by edge priority (the lemma's
+    # bucket sort), from the shared memoized builder.
+    inc_off, inc_eids = rank_sorted_incidence(edges, ranks, machine=machine)
 
     status = new_edge_status(m)
     status_l = [EDGE_LIVE] * m

@@ -1,6 +1,6 @@
 """Maximal independent set engines.
 
-Five interchangeable engines, all driven by the same priority array π:
+Six interchangeable engines, all driven by the same priority array π:
 
 ======================  ==========================================  =============
 engine                  paper reference                             result
@@ -9,10 +9,11 @@ engine                  paper reference                             result
 ``parallel``            Algorithm 2 (step-synchronous peeling)      lex-first MIS
 ``prefix``              Algorithm 3 (prefix-based, linear work)     lex-first MIS
 ``rootset``             Lemma 4.2 (root-set traversal, linear work) lex-first MIS
+``rootset-vec``         Lemma 4.2 on vectorized frontier kernels    lex-first MIS
 ``luby``                Luby's Algorithm A (baseline)               *a* MIS
 ======================  ==========================================  =============
 
-The first four return bit-identical results for the same π — the paper's
+All but ``luby`` return bit-identical results for the same π — the paper's
 determinism property; :func:`maximal_independent_set` is the front door.
 """
 
@@ -20,6 +21,7 @@ from repro.core.mis.sequential import sequential_greedy_mis
 from repro.core.mis.parallel import parallel_greedy_mis
 from repro.core.mis.prefix import prefix_greedy_mis, theorem45_prefix_sizes
 from repro.core.mis.rootset import rootset_mis
+from repro.core.mis.rootset_vectorized import rootset_mis_vectorized
 from repro.core.mis.luby import luby_mis
 from repro.core.mis.scheduled import randomly_scheduled_mis
 from repro.core.mis.api import maximal_independent_set, MIS_METHODS
@@ -36,6 +38,7 @@ __all__ = [
     "prefix_greedy_mis",
     "theorem45_prefix_sizes",
     "rootset_mis",
+    "rootset_mis_vectorized",
     "randomly_scheduled_mis",
     "luby_mis",
     "maximal_independent_set",

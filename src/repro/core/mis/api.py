@@ -14,6 +14,7 @@ from repro.core.mis.luby import luby_mis
 from repro.core.mis.parallel import parallel_greedy_mis
 from repro.core.mis.prefix import prefix_greedy_mis
 from repro.core.mis.rootset import rootset_mis
+from repro.core.mis.rootset_vectorized import rootset_mis_vectorized
 from repro.core.mis.sequential import sequential_greedy_mis
 from repro.core.result import MISResult
 from repro.errors import EngineError
@@ -25,8 +26,13 @@ __all__ = ["maximal_independent_set", "MIS_METHODS"]
 
 #: Engine names accepted by :func:`maximal_independent_set`.
 #: ``theorem45`` is the prefix engine driven by the adaptive schedule from
-#: the proof of Theorem 4.5 (geometric degree-halving prefixes).
-MIS_METHODS = ("sequential", "parallel", "prefix", "theorem45", "rootset", "luby")
+#: the proof of Theorem 4.5 (geometric degree-halving prefixes);
+#: ``rootset-vec`` is the vectorized twin of ``rootset`` (same step
+#: structure, frontier-kernel execution).
+MIS_METHODS = (
+    "sequential", "parallel", "prefix", "theorem45", "rootset",
+    "rootset-vec", "luby",
+)
 
 
 def maximal_independent_set(
@@ -51,9 +57,9 @@ def maximal_independent_set(
         re-randomizes internally.
     method:
         One of :data:`MIS_METHODS`.  ``"sequential"``, ``"parallel"``,
-        ``"prefix"`` and ``"rootset"`` all return the lexicographically
-        first MIS for *ranks* (the paper's determinism property);
-        ``"luby"`` returns a seed-dependent MIS.
+        ``"prefix"``, ``"rootset"`` and ``"rootset-vec"`` all return the
+        lexicographically first MIS for *ranks* (the paper's determinism
+        property); ``"luby"`` returns a seed-dependent MIS.
     prefix_size, prefix_frac:
         Prefix knobs, only meaningful for ``method="prefix"``.
     seed:
@@ -97,6 +103,8 @@ def maximal_independent_set(
         return parallel_greedy_mis(graph, ranks, seed=seed, machine=machine)
     if method == "rootset":
         return rootset_mis(graph, ranks, seed=seed, machine=machine)
+    if method == "rootset-vec":
+        return rootset_mis_vectorized(graph, ranks, seed=seed, machine=machine)
     if method == "luby":
         if ranks is not None:
             raise EngineError(

@@ -22,6 +22,7 @@ from repro.core.orderings import random_priorities, validate_priorities
 from repro.core.result import MISResult, stats_from_machine
 from repro.core.status import IN_SET, KNOCKED_OUT, UNDECIDED, new_vertex_status
 from repro.graphs.csr import CSRGraph
+from repro.kernels import sorted_segment_min
 from repro.pram.machine import Machine, log2_depth
 from repro.util.rng import SeedLike
 
@@ -63,7 +64,10 @@ def parallel_greedy_mis(
     machine.begin_round()
     while live.size:
         min_nb[live] = n
-        np.minimum.at(min_nb, src, ranks[dst])
+        # src stays sorted through compaction, so the concurrent-min
+        # scatter is a contiguous segmented reduction; the kernel picks
+        # the fastest formulation for the running numpy.
+        sorted_segment_min(src, ranks[dst], min_nb)
         roots = live[ranks[live] < min_nb[live]]
         status[roots] = IN_SET
         # Knock out every live neighbor of a root: arcs out of roots.

@@ -17,8 +17,12 @@ implementation:
 This engine is deliberately written with explicit Python loops — it is the
 specification-fidelity implementation, used at moderate scale and as the
 work-accounting gold standard (its charged work must be ``O(n + m)``, which
-the test suite asserts).  The vectorized engines above are the ones used on
-the large workloads.
+the test suite asserts).  Its bulk-synchronous twin,
+:mod:`repro.core.mis.rootset_vectorized`, executes the identical step
+structure on the frontier kernels of :mod:`repro.kernels` and is the one
+used on the large workloads.  The parent/child partition is the shared
+memoized builder :func:`repro.kernels.split_parents_children` (re-exported
+here for backward compatibility).
 """
 
 from __future__ import annotations
@@ -31,37 +35,11 @@ from repro.core.orderings import random_priorities, validate_priorities
 from repro.core.result import MISResult, stats_from_machine
 from repro.core.status import IN_SET, KNOCKED_OUT, UNDECIDED, new_vertex_status
 from repro.graphs.csr import CSRGraph
+from repro.kernels import split_parents_children
 from repro.pram.machine import Machine, log2_depth
 from repro.util.rng import SeedLike
 
 __all__ = ["rootset_mis", "split_parents_children"]
-
-
-def split_parents_children(graph: CSRGraph, ranks: np.ndarray):
-    """Partition every adjacency list by priority.
-
-    Returns ``(p_off, p_nbr, c_off, c_nbr)``: two CSR structures holding,
-    for each vertex, its earlier (parent) and later (child) neighbors.
-    Built vectorized; the per-vertex parent order is arbitrary, exactly as
-    Lemma 4.1 permits ("the pointers to parents are kept as an array in an
-    arbitrary order").
-    """
-    src, dst = graph.arcs()
-    n = graph.num_vertices
-    is_parent = ranks[dst] < ranks[src]
-    p_src, p_dst = src[is_parent], dst[is_parent]
-    c_src, c_dst = src[~is_parent], dst[~is_parent]
-
-    def build(s: np.ndarray, d: np.ndarray):
-        counts = np.bincount(s, minlength=n).astype(np.int64, copy=False)
-        off = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(counts, out=off[1:])
-        order = np.argsort(s, kind="stable")
-        return off, d[order]
-
-    p_off, p_nbr = build(p_src, p_dst)
-    c_off, c_nbr = build(c_src, c_dst)
-    return p_off, p_nbr, c_off, c_nbr
 
 
 def rootset_mis(
@@ -84,8 +62,7 @@ def rootset_mis(
     if machine is None:
         machine = Machine()
 
-    p_off, p_nbr, c_off, c_nbr = split_parents_children(graph, ranks)
-    machine.charge(n + graph.num_arcs, log2_depth(max(n, 2)), tag="partition")
+    p_off, p_nbr, c_off, c_nbr = split_parents_children(graph, ranks, machine=machine)
 
     status = new_vertex_status(n)
     ptr = p_off[:-1].copy()  # per-vertex cursor into the parent array

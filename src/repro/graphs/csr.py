@@ -65,11 +65,12 @@ def gather_neighbors(
     if total == 0:
         empty = np.empty(0, dtype=np.int64)
         return empty, empty
-    # Position of each output slot within its source vertex's list:
+    # Flat index of each output slot: output position plus the (constant
+    # per segment) offset between a segment's CSR start and its start in
+    # the output — one repeat instead of three.
     seg_starts = np.zeros(vertices.size, dtype=np.int64)
     np.cumsum(degrees[:-1], out=seg_starts[1:])
-    within = np.arange(total, dtype=np.int64) - np.repeat(seg_starts, degrees)
-    flat = np.repeat(starts, degrees) + within
+    flat = np.arange(total, dtype=np.int64) + np.repeat(starts - seg_starts, degrees)
     src = np.repeat(vertices, degrees)
     return src, neighbors[flat]
 
@@ -92,7 +93,7 @@ class CSRGraph:
     checks only what can be checked in ``O(n + m)`` without sorting.
     """
 
-    __slots__ = ("offsets", "neighbors", "_edge_list")
+    __slots__ = ("offsets", "neighbors", "_edge_list", "__weakref__")
 
     def __init__(self, offsets: np.ndarray, neighbors: np.ndarray) -> None:
         offsets = np.ascontiguousarray(offsets, dtype=np.int64)
@@ -218,7 +219,7 @@ class EdgeList:
     because only the matching engines need it.
     """
 
-    __slots__ = ("num_vertices", "u", "v", "_inc_offsets", "_inc_edges")
+    __slots__ = ("num_vertices", "u", "v", "_inc_offsets", "_inc_edges", "__weakref__")
 
     def __init__(self, num_vertices: int, u: np.ndarray, v: np.ndarray) -> None:
         u = np.ascontiguousarray(u, dtype=np.int64)

@@ -1,0 +1,42 @@
+"""Shared frontier-kernel layer for the linear-work engines.
+
+Sits between the substrate (:mod:`repro.graphs`, :mod:`repro.pram`) and
+the engines (:mod:`repro.core`): vectorized bulk-synchronous kernels over
+vertex/edge frontiers (:mod:`repro.kernels.frontier`) and memoized
+priority partitions of adjacency structure
+(:mod:`repro.kernels.partition`).  Every kernel charges its CRCW-PRAM
+(work, depth) cost to an optional :class:`~repro.pram.machine.Machine`,
+so engines composed from kernels inherit exact ``O(n + m)`` accounting.
+"""
+
+from repro.kernels.frontier import (
+    advance_cursors,
+    decrement_counts,
+    frontier_gather,
+    range_gather,
+    scatter_distinct,
+    sorted_segment_min,
+    stamp_dedup,
+)
+from repro.kernels.partition import (
+    clear_partition_caches,
+    grouped_csr,
+    partition_cache_stats,
+    rank_sorted_incidence,
+    split_parents_children,
+)
+
+__all__ = [
+    "frontier_gather",
+    "range_gather",
+    "stamp_dedup",
+    "scatter_distinct",
+    "decrement_counts",
+    "advance_cursors",
+    "sorted_segment_min",
+    "grouped_csr",
+    "split_parents_children",
+    "rank_sorted_incidence",
+    "clear_partition_caches",
+    "partition_cache_stats",
+]

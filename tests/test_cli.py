@@ -54,7 +54,10 @@ class TestInfo:
 
 
 class TestMis:
-    @pytest.mark.parametrize("method", ["sequential", "parallel", "prefix", "rootset", "luby"])
+    @pytest.mark.parametrize(
+        "method",
+        ["sequential", "parallel", "prefix", "rootset", "rootset-vec", "luby"],
+    )
     def test_methods(self, graph_file, capsys, method):
         assert main(["mis", str(graph_file), "--method", method]) == 0
         out = capsys.readouterr().out
@@ -74,7 +77,9 @@ class TestMis:
 
 
 class TestMm:
-    @pytest.mark.parametrize("method", ["sequential", "parallel", "prefix", "rootset"])
+    @pytest.mark.parametrize(
+        "method", ["sequential", "parallel", "prefix", "rootset", "rootset-vec"]
+    )
     def test_methods(self, graph_file, capsys, method):
         assert main(["mm", str(graph_file), "--method", method]) == 0
         out = capsys.readouterr().out

@@ -80,6 +80,8 @@ class TestLayering:
                   "repro.extensions", "repro.cli", "repro.graphs")),
         ("graphs", ("repro.bench", "repro.theory", "repro.extensions",
                     "repro.cli", "repro.pram")),
+        ("kernels", ("repro.core", "repro.bench", "repro.theory",
+                     "repro.extensions", "repro.cli")),
         ("core", ("repro.bench", "repro.theory", "repro.extensions",
                   "repro.cli")),
         ("theory", ("repro.bench", "repro.cli")),

@@ -11,6 +11,7 @@ from repro.core.matching import (
     parallel_greedy_matching,
     prefix_greedy_matching,
     rootset_matching,
+    rootset_matching_vectorized,
     sequential_greedy_matching,
 )
 from repro.core.dependence import matching_dependence_length, dependence_length
@@ -27,7 +28,11 @@ from conftest import edgelist_with_ranks, graph_strategy
 def test_all_engines_agree(er):
     el, ranks = er
     ref = sequential_greedy_matching(el, ranks, machine=null_machine())
-    for engine in (parallel_greedy_matching, rootset_matching):
+    for engine in (
+        parallel_greedy_matching,
+        rootset_matching,
+        rootset_matching_vectorized,
+    ):
         assert np.array_equal(engine(el, ranks, machine=null_machine()).status, ref.status)
 
 
@@ -78,7 +83,11 @@ def test_medium_graph_cross_engine(seed):
     el = g.edge_list()
     ranks = random_priorities(el.num_edges, seed=seed ^ 0xABCDEF)
     ref = sequential_greedy_matching(el, ranks, machine=null_machine())
-    for engine in (parallel_greedy_matching, rootset_matching):
+    for engine in (
+        parallel_greedy_matching,
+        rootset_matching,
+        rootset_matching_vectorized,
+    ):
         assert np.array_equal(engine(el, ranks, machine=null_machine()).status, ref.status)
     for k in (1, 11, 120, el.num_edges):
         pre = prefix_greedy_matching(el, ranks, prefix_size=k, machine=null_machine())

@@ -53,7 +53,8 @@ class TestDispatch:
 
     def test_methods_tuple_complete(self):
         assert set(MIS_METHODS) == {
-            "sequential", "parallel", "prefix", "theorem45", "rootset", "luby",
+            "sequential", "parallel", "prefix", "theorem45", "rootset",
+            "rootset-vec", "luby",
         }
 
     def test_theorem45_method(self):

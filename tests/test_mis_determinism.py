@@ -17,6 +17,7 @@ from repro.core.mis import (
     parallel_greedy_mis,
     prefix_greedy_mis,
     rootset_mis,
+    rootset_mis_vectorized,
     sequential_greedy_mis,
 )
 from repro.core.dependence import dependence_length, longest_path_length
@@ -33,8 +34,11 @@ def test_all_engines_agree(gr):
     ref = sequential_greedy_mis(g, ranks, machine=null_machine())
     par = parallel_greedy_mis(g, ranks, machine=null_machine())
     root = rootset_mis(g, ranks, machine=null_machine())
+    vec = rootset_mis_vectorized(g, ranks, machine=null_machine())
     assert np.array_equal(ref.status, par.status)
     assert np.array_equal(ref.status, root.status)
+    assert np.array_equal(ref.status, vec.status)
+    assert vec.stats.steps == root.stats.steps
 
 
 @given(graph_with_ranks(), st.integers(min_value=1, max_value=30))
@@ -90,7 +94,7 @@ def test_medium_graph_cross_engine(seed):
     g = uniform_random_graph(400, 1600, seed=seed)
     ranks = random_priorities(400, seed=seed ^ 0xDEADBEEF)
     ref = sequential_greedy_mis(g, ranks, machine=null_machine())
-    for engine in (parallel_greedy_mis, rootset_mis):
+    for engine in (parallel_greedy_mis, rootset_mis, rootset_mis_vectorized):
         assert np.array_equal(engine(g, ranks, machine=null_machine()).status, ref.status)
     for k in (1, 7, 50, 400):
         pre = prefix_greedy_mis(g, ranks, prefix_size=k, machine=null_machine())

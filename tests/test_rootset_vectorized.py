@@ -1,0 +1,174 @@
+"""The vectorized root-set engines: parity, work bounds, cache behavior.
+
+The vectorized engines must be indistinguishable from the pointer-level
+transcriptions of Lemmas 4.2 and 5.3 in everything but wall clock: same
+status vector as the sequential greedy reference, same ``stats.steps``
+(the dependence length), and charged work inside the same ``O(n + m)``
+constants the pointer engines are pinned to.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.matching import (
+    maximal_matching,
+    rootset_matching,
+    rootset_matching_vectorized,
+    sequential_greedy_matching,
+)
+from repro.core.mis import (
+    maximal_independent_set,
+    rootset_mis,
+    rootset_mis_vectorized,
+    sequential_greedy_mis,
+)
+from repro.core.orderings import random_priorities
+from repro.graphs.generators import (
+    cycle_graph,
+    empty_graph,
+    path_graph,
+    star_graph,
+    uniform_random_graph,
+)
+from repro.kernels import clear_partition_caches, partition_cache_stats
+from repro.pram.machine import Machine, null_machine
+
+from conftest import edgelist_with_ranks, graph_with_ranks
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_partition_caches()
+    yield
+    clear_partition_caches()
+
+
+class TestMISParity:
+    @given(graph_with_ranks())
+    def test_status_and_steps_match(self, gr):
+        g, ranks = gr
+        ref = sequential_greedy_mis(g, ranks, machine=null_machine())
+        ptr = rootset_mis(g, ranks, machine=null_machine())
+        vec = rootset_mis_vectorized(g, ranks, machine=null_machine())
+        assert np.array_equal(vec.status, ref.status)
+        assert vec.stats.steps == ptr.stats.steps
+
+    @pytest.mark.parametrize("g", [
+        empty_graph(0), empty_graph(7), cycle_graph(3), path_graph(9),
+        star_graph(12),
+    ])
+    def test_degenerate_graphs(self, g):
+        n = g.num_vertices
+        ranks = random_priorities(n, seed=1)
+        ref = sequential_greedy_mis(g, ranks, machine=null_machine())
+        vec = rootset_mis_vectorized(g, ranks, machine=null_machine())
+        assert np.array_equal(vec.status, ref.status)
+
+    def test_medium_random_graph(self):
+        g = uniform_random_graph(800, 4000, seed=5)
+        ranks = random_priorities(800, seed=6)
+        ref = sequential_greedy_mis(g, ranks, machine=null_machine())
+        vec = rootset_mis_vectorized(g, ranks, machine=null_machine())
+        assert np.array_equal(vec.status, ref.status)
+
+
+class TestMMParity:
+    @given(edgelist_with_ranks())
+    def test_status_and_steps_match(self, er):
+        el, ranks = er
+        ref = sequential_greedy_matching(el, ranks, machine=null_machine())
+        ptr = rootset_matching(el, ranks, machine=null_machine())
+        vec = rootset_matching_vectorized(el, ranks, machine=null_machine())
+        assert np.array_equal(vec.status, ref.status)
+        assert vec.stats.steps == ptr.stats.steps
+
+    def test_medium_random_graph(self):
+        el = uniform_random_graph(500, 2500, seed=7).edge_list()
+        ranks = random_priorities(el.num_edges, seed=8)
+        ref = sequential_greedy_matching(el, ranks, machine=null_machine())
+        vec = rootset_matching_vectorized(el, ranks, machine=null_machine())
+        assert np.array_equal(vec.status, ref.status)
+
+
+class TestLinearWork:
+    def test_mis_work_bound(self):
+        # Same shape of bound as the pointer engine's pinned constant:
+        # the bulk steps stay within a slightly larger constant of n + 2m.
+        g = uniform_random_graph(1000, 5000, seed=9)
+        ranks = random_priorities(1000, seed=10)
+        res = rootset_mis_vectorized(g, ranks)
+        assert res.stats.work <= 8 * (1000 + 2 * 5000)
+
+    def test_mis_work_bound_path_graph(self):
+        # Worst case for the step count (O(n) steps possible): the sparse
+        # decrement path must keep per-step cost proportional to the
+        # frontier, not the vertex count.
+        g = path_graph(2000)
+        ranks = random_priorities(2000, seed=11)
+        res = rootset_mis_vectorized(g, ranks)
+        assert res.stats.work <= 8 * (2000 + 2 * g.num_edges)
+
+    def test_mm_work_bound(self):
+        el = uniform_random_graph(1000, 5000, seed=12).edge_list()
+        ranks = random_priorities(el.num_edges, seed=13)
+        res = rootset_matching_vectorized(el, ranks)
+        assert res.stats.work <= 10 * (1000 + 2 * el.num_edges)
+
+    def test_charged_work_independent_of_cache(self):
+        g = uniform_random_graph(300, 1200, seed=14)
+        ranks = random_priorities(300, seed=15)
+        m_cold, m_warm, m_off = Machine(), Machine(), Machine()
+        rootset_mis_vectorized(g, ranks, machine=m_cold)
+        rootset_mis_vectorized(g, ranks, machine=m_warm)  # cache hit
+        rootset_mis_vectorized(g, ranks, machine=m_off, use_cache=False)
+        assert m_cold.work == m_warm.work == m_off.work
+
+
+class TestCacheBehavior:
+    def test_second_run_hits(self):
+        g = uniform_random_graph(200, 800, seed=16)
+        ranks = random_priorities(200, seed=17)
+        rootset_mis_vectorized(g, ranks)
+        assert partition_cache_stats()["misses"] >= 1
+        before = partition_cache_stats()["hits"]
+        rootset_mis_vectorized(g, ranks)
+        assert partition_cache_stats()["hits"] > before
+
+    def test_pointer_and_vectorized_share_cache(self):
+        g = uniform_random_graph(200, 800, seed=18)
+        ranks = random_priorities(200, seed=19)
+        rootset_mis(g, ranks)  # populates via the shared builder
+        before = partition_cache_stats()["hits"]
+        rootset_mis_vectorized(g, ranks)
+        assert partition_cache_stats()["hits"] > before
+
+
+class TestAPISurface:
+    def test_mis_method(self):
+        g = cycle_graph(12)
+        ref = maximal_independent_set(g, method="sequential", seed=3)
+        res = maximal_independent_set(g, method="rootset-vec", seed=3)
+        assert np.array_equal(res.status, ref.status)
+        assert "mis/rootset-vec" in repr(res)
+
+    def test_mm_method(self):
+        el = cycle_graph(12).edge_list()
+        ref = maximal_matching(el, method="sequential", seed=4)
+        res = maximal_matching(el, method="rootset-vec", seed=4)
+        assert np.array_equal(res.status, ref.status)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=2**32 - 1))
+def test_randomized_cross_check(seed):
+    g = uniform_random_graph(150, 600, seed=seed)
+    ranks = random_priorities(150, seed=seed ^ 0x5EED)
+    ref = sequential_greedy_mis(g, ranks, machine=null_machine())
+    vec = rootset_mis_vectorized(g, ranks, machine=null_machine())
+    assert np.array_equal(vec.status, ref.status)
+    el = g.edge_list()
+    eranks = random_priorities(el.num_edges, seed=seed ^ 0xFACE)
+    mref = sequential_greedy_matching(el, eranks, machine=null_machine())
+    mvec = rootset_matching_vectorized(el, eranks, machine=null_machine())
+    assert np.array_equal(mvec.status, mref.status)
