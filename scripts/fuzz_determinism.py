@@ -9,10 +9,20 @@ exits non-zero.
 
 Usage:
     python scripts/fuzz_determinism.py [trials] [master_seed]
+    python scripts/fuzz_determinism.py --faults [trials] [master_seed]
+
+``--faults`` switches to chaos mode: each trial injects one seeded fault —
+either into the frontier kernels mid-run (guards="full" watching) or into
+the graph/rank inputs (front-door validation watching) — and asserts the
+fault is *detected or harmless*: every run must end in a typed error or in
+a result bit-identical to the fault-free reference.  A run that completes
+with a different answer is a silent wrong answer, the one outcome the
+robustness layer exists to prevent.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
@@ -45,6 +55,21 @@ from repro.graphs.generators import (
     uniform_random_graph,
 )
 from repro.pram.machine import null_machine
+from repro.core.matching.api import maximal_matching
+from repro.core.mis.api import maximal_independent_set
+from repro.errors import (
+    InvalidGraphError,
+    InvalidOrderingError,
+    InvariantViolationError,
+)
+from repro.robustness import (
+    GRAPH_FAULTS,
+    RANK_FAULTS,
+    ChaosInjector,
+    FaultSpec,
+    corrupt_graph,
+    corrupt_ranks,
+)
 
 FAMILIES = {
     "uniform": lambda rng: (
@@ -124,24 +149,158 @@ def check_instance(rng) -> None:
             )
 
 
+# Kernel faults reaching each vectorized engine: advance_cursors only runs
+# in the matching scan, decrement_counts only in the MIS parent counts.
+_MIS_KERNEL_FAULTS = ("drop-frontier", "dup-frontier", "foreign-frontier",
+                      "count-extra")
+_MM_KERNEL_FAULTS = ("drop-frontier", "dup-frontier", "foreign-frontier",
+                     "cursor-skip")
+# Crash signatures a corrupted frontier may produce before a guard round
+# sees it — loud, typed, and therefore acceptable (not silent).
+_LOUD_CRASHES = (IndexError, ValueError, FloatingPointError, OverflowError)
+
+
+def _fault_graph(rng):
+    """A small non-trivial instance (chaos needs edges to corrupt)."""
+    for _ in range(20):
+        family = list(FAMILIES)[int(rng.integers(0, len(FAMILIES)))]
+        g = FAMILIES[family](rng)
+        if g.num_vertices >= 2 and g.num_edges >= 1:
+            return family, g
+    return "cycle", cycle_graph(8)
+
+
+def check_fault_instance(rng, tally) -> None:
+    """One chaos trial: inject a fault, demand detected-or-harmless."""
+    family, g = _fault_graph(rng)
+    alg = "mis" if rng.integers(0, 2) == 0 else "mm"
+    site = ("kernel", "rank", "graph")[int(rng.integers(0, 3))]
+    label = f"family={family} n={g.num_vertices} m={g.num_edges} alg={alg}"
+
+    if site == "kernel":
+        kinds = _MIS_KERNEL_FAULTS if alg == "mis" else _MM_KERNEL_FAULTS
+        spec = FaultSpec(
+            kind=kinds[int(rng.integers(0, len(kinds)))],
+            seed=int(rng.integers(0, 2**31)),
+            after=int(rng.integers(0, 6)),
+        )
+        if alg == "mis":
+            ranks = random_priorities(g.num_vertices, rng)
+            ref = sequential_greedy_mis(g, ranks, machine=null_machine()).status
+            run = lambda: rootset_mis_vectorized(
+                g, ranks, machine=null_machine(), guards="full",
+                use_cache=False,
+            ).status
+        else:
+            el = g.edge_list()
+            ranks = random_priorities(el.num_edges, rng)
+            ref = sequential_greedy_matching(
+                el, ranks, machine=null_machine()
+            ).status
+            run = lambda: rootset_matching_vectorized(
+                el, ranks, machine=null_machine(), guards="full",
+                use_cache=False,
+            ).status
+        try:
+            with ChaosInjector(spec) as chaos:
+                status = run()
+        except InvariantViolationError:
+            tally["detected"] += 1
+            return
+        except _LOUD_CRASHES:
+            tally["crashed"] += 1
+            return
+        if not chaos.fired:
+            tally["not-fired"] += 1
+            return
+        if np.array_equal(status, ref):
+            tally["harmless"] += 1
+            return
+        raise AssertionError(
+            f"SILENT WRONG ANSWER: {label} fault={spec.kind} "
+            f"after={spec.after} seed={spec.seed}"
+        )
+
+    if site == "rank":
+        kind = RANK_FAULTS[int(rng.integers(0, len(RANK_FAULTS)))]
+        if alg == "mis":
+            bad = corrupt_ranks(
+                random_priorities(g.num_vertices, rng), kind,
+                seed=int(rng.integers(0, 2**31)),
+            )
+            call = lambda: maximal_independent_set(g, bad, method="rootset-vec")
+        else:
+            el = g.edge_list()
+            bad = corrupt_ranks(
+                random_priorities(el.num_edges, rng), kind,
+                seed=int(rng.integers(0, 2**31)),
+            )
+            call = lambda: maximal_matching(el, bad, method="rootset-vec")
+        try:
+            call()
+        except InvalidOrderingError:
+            tally["detected"] += 1
+            return
+        raise AssertionError(
+            f"UNDETECTED INPUT FAULT: {label} fault={kind} "
+            "(front door accepted a corrupted ordering)"
+        )
+
+    kind = GRAPH_FAULTS[int(rng.integers(0, len(GRAPH_FAULTS)))]
+    bad = corrupt_graph(g, kind, seed=int(rng.integers(0, 2**31)))
+    call = (
+        (lambda: maximal_independent_set(bad, method="rootset-vec"))
+        if alg == "mis"
+        else (lambda: maximal_matching(bad, method="rootset-vec"))
+    )
+    try:
+        call()
+    except InvalidGraphError:
+        tally["detected"] += 1
+        return
+    raise AssertionError(
+        f"UNDETECTED INPUT FAULT: {label} fault={kind} "
+        "(front door accepted a corrupted graph)"
+    )
+
+
 def main(argv=None) -> int:
-    args = argv or sys.argv[1:]
-    trials = int(args[0]) if args else 100
-    master_seed = int(args[1]) if len(args) > 1 else 0
+    parser = argparse.ArgumentParser(
+        description="Differential determinism fuzzer (optionally with "
+        "fault injection)."
+    )
+    parser.add_argument("trials", nargs="?", type=int, default=100)
+    parser.add_argument("master_seed", nargs="?", type=int, default=0)
+    parser.add_argument(
+        "--faults", action="store_true",
+        help="chaos mode: inject one seeded fault per trial and assert "
+        "every fault is detected or harmless (no silent wrong answers)",
+    )
+    args = parser.parse_args(argv)
+    trials, master_seed = args.trials, args.master_seed
     t0 = time.time()
     master = np.random.default_rng(master_seed)
+    tally = {"detected": 0, "harmless": 0, "crashed": 0, "not-fired": 0}
     for trial in range(trials):
         rng = np.random.default_rng(master.integers(0, 2**63))
         try:
-            check_instance(rng)
+            if args.faults:
+                check_fault_instance(rng, tally)
+            else:
+                check_instance(rng)
         except AssertionError as exc:
             print(f"FAIL at trial {trial} (master seed {master_seed}): {exc}")
             return 1
         if (trial + 1) % 20 == 0:
             print(f"  {trial + 1}/{trials} instances ok "
                   f"({time.time() - t0:.1f}s)")
-    print(f"all {trials} instances deterministic across every engine "
-          f"({time.time() - t0:.1f}s)")
+    if args.faults:
+        print(f"all {trials} injected faults detected or harmless "
+              f"({time.time() - t0:.1f}s): " +
+              ", ".join(f"{k}={v}" for k, v in tally.items()))
+    else:
+        print(f"all {trials} instances deterministic across every engine "
+              f"({time.time() - t0:.1f}s)")
     return 0
 
 

@@ -30,7 +30,8 @@ from repro.core.orderings import (
 from repro.core.result import MISResult, MatchingResult, RunStats
 from repro.graphs import CSRGraph, EdgeList, generators, from_edges, line_graph
 from repro.pram import CostModel, Machine, simulate_time, speedup_curve
-from repro import errors
+from repro.robustness import Budget
+from repro import errors, robustness
 
 __version__ = "1.0.0"
 
@@ -56,6 +57,8 @@ __all__ = [
     "Machine",
     "simulate_time",
     "speedup_curve",
+    "Budget",
     "errors",
+    "robustness",
     "__version__",
 ]

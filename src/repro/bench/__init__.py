@@ -9,6 +9,8 @@ Layering:
 * :mod:`repro.bench.figures` — one driver per paper figure, returning
   :class:`~repro.bench.figures.FigureData` ready for printing/recording.
 * :mod:`repro.bench.reporting` — fixed-width tables and JSON persistence.
+* :mod:`repro.bench.checkpoint` — per-section checkpoint/resume and
+  failure isolation for long regenerations.
 
 The pytest-benchmark files under ``benchmarks/`` are thin wrappers over
 these drivers; everything here is importable for interactive use.
@@ -39,6 +41,7 @@ from repro.bench.figures import (
     figure4,
     luby_work_comparison,
 )
+from repro.bench.checkpoint import CheckpointStore, SectionResult, run_sections
 from repro.bench.reporting import format_table, render_figure, save_figure_json
 from repro.bench.svgplot import render_svg, save_figure_svg
 from repro.bench.regression import (
@@ -77,4 +80,7 @@ __all__ = [
     "format_table",
     "render_figure",
     "save_figure_json",
+    "CheckpointStore",
+    "SectionResult",
+    "run_sections",
 ]

@@ -1,0 +1,174 @@
+"""Per-section checkpoint/resume for long experiment regenerations.
+
+A regeneration (``scripts/run_experiments.py``) is a sequence of named
+*sections*, each producing a block of report lines plus side-effect files
+under ``results/``.  A :class:`CheckpointStore` persists every completed
+section's output to a JSON file with an atomic write, so a killed or
+crashed run restarts from the last completed section instead of from
+zero.  Because each section's lines are replayed verbatim from the
+checkpoint, a resumed run produces a report byte-identical to an
+uninterrupted one (the report itself must therefore be deterministic —
+no wall-clock timestamps in the text).
+
+The checkpoint records a ``meta`` dict (scale tier, seed, …); a stored
+file whose meta does not match the current run is discarded wholesale
+rather than mixing sections computed under different configurations.
+
+:func:`run_sections` adds failure isolation: a section that raises is
+logged, recorded as FAILED (with the traceback preserved in the
+checkpoint for post-mortem), and the remaining sections still run.  A
+failed section is *not* treated as completed — a resumed run retries it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import traceback
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+__all__ = ["SectionResult", "CheckpointStore", "run_sections"]
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class SectionResult:
+    """Outcome of one report section.
+
+    ``lines`` is the section's markdown block (empty when failed);
+    ``error`` is the formatted traceback for a failed section;
+    ``cached`` marks results replayed from a checkpoint rather than
+    recomputed.
+    """
+
+    name: str
+    ok: bool
+    lines: List[str] = field(default_factory=list)
+    error: Optional[str] = None
+    cached: bool = False
+
+
+class CheckpointStore:
+    """JSON-backed store of completed section outputs.
+
+    Writes are atomic (temp file + ``os.replace``), so a crash mid-save
+    leaves the previous checkpoint intact.  The store is keyed by section
+    name; only *successful* sections are persisted as resumable, while
+    failures are kept under a separate key purely for diagnostics.
+    """
+
+    def __init__(self, path: os.PathLike, meta: Mapping[str, object]):
+        self.path = pathlib.Path(path)
+        self.meta: Dict[str, object] = dict(meta)
+        self._sections: Dict[str, List[str]] = {}
+        self._failures: Dict[str, str] = {}
+
+    # -- persistence -----------------------------------------------------
+    def load(self) -> bool:
+        """Load the checkpoint file.  Returns True when prior sections
+        were recovered; a missing, corrupt, or meta-mismatched file is
+        treated as an empty checkpoint."""
+        try:
+            payload = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return False
+        if not isinstance(payload, dict):
+            return False
+        if payload.get("version") != _FORMAT_VERSION:
+            return False
+        if payload.get("meta") != self.meta:
+            return False
+        sections = payload.get("sections")
+        if not isinstance(sections, dict):
+            return False
+        self._sections = {
+            str(k): [str(x) for x in v]
+            for k, v in sections.items()
+            if isinstance(v, list)
+        }
+        self._failures = {
+            str(k): str(v)
+            for k, v in payload.get("failures", {}).items()
+        }
+        return bool(self._sections)
+
+    def save(self) -> None:
+        payload = {
+            "version": _FORMAT_VERSION,
+            "meta": self.meta,
+            "sections": self._sections,
+            "failures": self._failures,
+        }
+        tmp = self.path.with_name(self.path.name + ".tmp")
+        tmp.write_text(json.dumps(payload, indent=1))
+        os.replace(tmp, self.path)
+
+    def delete(self) -> None:
+        """Remove the checkpoint file (end of a fully successful run)."""
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    # -- section accounting ----------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._sections
+
+    def completed(self) -> List[str]:
+        return list(self._sections)
+
+    def get(self, name: str) -> List[str]:
+        return list(self._sections[name])
+
+    def record_success(self, name: str, lines: Sequence[str]) -> None:
+        self._sections[name] = [str(x) for x in lines]
+        self._failures.pop(name, None)
+        self.save()
+
+    def record_failure(self, name: str, error: str) -> None:
+        self._failures[name] = error
+        self.save()
+
+
+def run_sections(
+    sections: Sequence[Tuple[str, Callable[[], List[str]]]],
+    store: Optional[CheckpointStore] = None,
+    *,
+    log: Callable[[str], None] = print,
+) -> List[SectionResult]:
+    """Run named sections in order with checkpointing and failure isolation.
+
+    Each callable returns the section's report lines.  Sections already
+    present in *store* are replayed without recomputation; a section that
+    raises is recorded as failed and the run continues.  The caller
+    decides what a failure means for the overall exit status (see
+    ``scripts/run_experiments.py``, which renders failed sections as
+    FAILED blocks and exits non-zero).
+    """
+    results: List[SectionResult] = []
+    for name, fn in sections:
+        if store is not None and name in store:
+            log(f"[checkpoint] {name}: reusing completed section")
+            results.append(
+                SectionResult(name=name, ok=True, lines=store.get(name), cached=True)
+            )
+            continue
+        try:
+            lines = fn()
+        except BaseException as exc:  # noqa: BLE001 — isolation is the point
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            err = traceback.format_exc()
+            log(f"[FAILED] {name}: {type(exc).__name__}: {exc}")
+            if store is not None:
+                store.record_failure(name, err)
+            results.append(SectionResult(name=name, ok=False, error=err))
+            continue
+        if store is not None:
+            store.record_success(name, lines)
+        log(f"[done] {name}")
+        results.append(SectionResult(name=name, ok=True, lines=list(lines)))
+    return results

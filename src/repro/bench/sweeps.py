@@ -4,6 +4,13 @@ Every sweep runs each configuration once with a fresh tracing machine,
 records exact work/rounds/steps, and converts the trace to simulated time
 for the requested processor counts.  Wall-clock time of the (single-core,
 vectorized) run is recorded too, as a sanity channel for the work curves.
+
+Sweeps accept an optional shared :class:`~repro.robustness.Budget`: the
+same meter is handed to every engine run, so the budget bounds the *sweep*
+(first :meth:`~repro.robustness.Budget.start` arms the clock, steps
+accumulate across points) and exhaustion raises
+:class:`~repro.errors.BudgetExceededError` out of the sweep with all
+completed points' work already charged.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from repro.graphs.csr import CSRGraph, EdgeList
 from repro.pram.cost_model import CostModel
 from repro.pram.machine import Machine
 from repro.pram.scheduler import speedup_curve
+from repro.robustness.budget import Budget
 from repro.util.rng import SeedLike
 from repro.util.timing import Timer
 
@@ -85,6 +93,7 @@ def prefix_sweep_mis(
     processors: Sequence[int] = (32,),
     cost: Optional[CostModel] = None,
     seed: SeedLike = 0,
+    budget: Optional[Budget] = None,
 ) -> List[SweepPoint]:
     """Run the prefix-based MIS across prefix sizes (Figures 1a–1f).
 
@@ -101,7 +110,9 @@ def prefix_sweep_mis(
     for k in prefix_sizes:
         machine = Machine()
         with Timer() as t:
-            res = prefix_greedy_mis(graph, ranks, prefix_size=int(k), machine=machine)
+            res = prefix_greedy_mis(
+                graph, ranks, prefix_size=int(k), machine=machine, budget=budget
+            )
         aux = res.stats.aux
         points.append(
             SweepPoint(
@@ -127,6 +138,7 @@ def prefix_sweep_mm(
     processors: Sequence[int] = (32,),
     cost: Optional[CostModel] = None,
     seed: SeedLike = 0,
+    budget: Optional[Budget] = None,
 ) -> List[SweepPoint]:
     """Run the prefix-based MM across prefix sizes (Figures 2a–2f)."""
     m = edges.num_edges
@@ -139,7 +151,9 @@ def prefix_sweep_mm(
     for k in prefix_sizes:
         machine = Machine()
         with Timer() as t:
-            res = prefix_greedy_matching(edges, ranks, prefix_size=int(k), machine=machine)
+            res = prefix_greedy_matching(
+                edges, ranks, prefix_size=int(k), machine=machine, budget=budget
+            )
         aux = res.stats.aux
         points.append(
             SweepPoint(
@@ -171,6 +185,7 @@ def thread_sweep_mis(
     tune_at: int = 32,
     cost: Optional[CostModel] = None,
     seed: SeedLike = 0,
+    budget: Optional[Budget] = None,
 ) -> Dict[str, Dict[int, float]]:
     """Figure 3 data: simulated time vs threads for three MIS algorithms.
 
@@ -186,15 +201,18 @@ def thread_sweep_mis(
     threads = [int(p) for p in threads]
     if prefix_size is None:
         sweep = prefix_sweep_mis(
-            graph, ranks, processors=(tune_at,), cost=cost, seed=seed
+            graph, ranks, processors=(tune_at,), cost=cost, seed=seed,
+            budget=budget,
         )
         prefix_size = _best_prefix(sweep, tune_at).prefix_size
     mach_prefix = Machine()
-    prefix_greedy_mis(graph, ranks, prefix_size=prefix_size, machine=mach_prefix)
+    prefix_greedy_mis(
+        graph, ranks, prefix_size=prefix_size, machine=mach_prefix, budget=budget
+    )
     mach_luby = Machine()
-    luby_mis(graph, seed=seed, machine=mach_luby)
+    luby_mis(graph, seed=seed, machine=mach_luby, budget=budget)
     mach_seq = Machine()
-    sequential_greedy_mis(graph, ranks, machine=mach_seq)
+    sequential_greedy_mis(graph, ranks, machine=mach_seq, budget=budget)
     return {
         "prefix": speedup_curve(mach_prefix, threads, cost),
         "luby": speedup_curve(mach_luby, threads, cost),
@@ -211,6 +229,7 @@ def thread_sweep_mm(
     tune_at: int = 32,
     cost: Optional[CostModel] = None,
     seed: SeedLike = 0,
+    budget: Optional[Budget] = None,
 ) -> Dict[str, Dict[int, float]]:
     """Figure 4 data: simulated time vs threads for prefix vs serial MM."""
     m = edges.num_edges
@@ -220,13 +239,16 @@ def thread_sweep_mm(
     threads = [int(p) for p in threads]
     if prefix_size is None:
         sweep = prefix_sweep_mm(
-            edges, ranks, processors=(tune_at,), cost=cost, seed=seed
+            edges, ranks, processors=(tune_at,), cost=cost, seed=seed,
+            budget=budget,
         )
         prefix_size = _best_prefix(sweep, tune_at).prefix_size
     mach_prefix = Machine()
-    prefix_greedy_matching(edges, ranks, prefix_size=prefix_size, machine=mach_prefix)
+    prefix_greedy_matching(
+        edges, ranks, prefix_size=prefix_size, machine=mach_prefix, budget=budget
+    )
     mach_seq = Machine()
-    sequential_greedy_matching(edges, ranks, machine=mach_seq)
+    sequential_greedy_matching(edges, ranks, machine=mach_seq, budget=budget)
     return {
         "prefix": speedup_curve(mach_prefix, threads, cost),
         "serial": speedup_curve(mach_seq, threads, cost),

@@ -9,7 +9,9 @@ Installed as the ``repro`` console script (also usable as
     Print structural statistics of a graph file.
 ``mis`` / ``mm``
     Run an MIS / maximal-matching engine on a graph file, verify the
-    result, and report size + work/round/step accounting.
+    result, and report size + work/round/step accounting.  Robustness
+    knobs: ``--guards off|cheap|full``, ``--fallback``, and
+    ``--budget-seconds`` / ``--budget-steps``.
 ``deps``
     Report the dependence length and longest priority-DAG path for a
     random (or seeded) order.
@@ -84,6 +86,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--processors", type=int, default=32,
                        help="simulated processor count for the time estimate")
+        p.add_argument("--guards", default=None,
+                       choices=["off", "cheap", "full"],
+                       help="per-round invariant checks (default off)")
+        p.add_argument("--fallback", action="store_true",
+                       help="degrade down rootset-vec -> rootset -> "
+                       "sequential if the chosen engine fails")
+        p.add_argument("--budget-seconds", type=float, default=None,
+                       help="abort with BudgetExceededError past this "
+                       "wall-clock limit")
+        p.add_argument("--budget-steps", type=int, default=None,
+                       help="abort past this many synchronous steps")
 
     d = sub.add_parser("deps", help="dependence-length analysis")
     d.add_argument("graph")
@@ -119,6 +132,24 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("--tolerance", type=float, default=0.05,
                    help="max relative deviation per point")
     return parser
+
+
+def _make_budget(args):
+    """A Budget from --budget-seconds/--budget-steps, or None."""
+    if args.budget_seconds is None and args.budget_steps is None:
+        return None
+    from repro.robustness import Budget
+
+    return Budget(max_seconds=args.budget_seconds, max_steps=args.budget_steps)
+
+
+def _report_degradation(stats) -> None:
+    if stats.aux.get("degraded"):
+        attempts = stats.aux.get("fallback_attempts", [])
+        print(f"degraded:    fell back to {stats.aux.get('fallback_engine')} "
+              f"after {len(attempts)} failed engine(s)")
+        for a in attempts:
+            print(f"             {a['method']}: {a['error']}")
 
 
 def _cmd_gen(args) -> int:
@@ -168,10 +199,12 @@ def _cmd_mis(args) -> int:
         ranks = random_priorities(g.num_vertices, seed=args.seed)
     res = maximal_independent_set(
         g, ranks, method=args.method, prefix_size=args.prefix_size,
-        seed=args.seed,
+        seed=args.seed, guards=args.guards, budget=_make_budget(args),
+        fallback=args.fallback,
     )
     assert_valid_mis(g, res.in_set, ranks if args.method != "luby" else None)
     s = res.stats
+    _report_degradation(s)
     print(f"MIS size:    {res.size} / {g.num_vertices}")
     print(f"engine:      {s.algorithm}")
     print(f"rounds:      {s.rounds}   steps: {s.steps}")
@@ -189,9 +222,12 @@ def _cmd_mm(args) -> int:
     ranks = random_priorities(el.num_edges, seed=args.seed)
     res = maximal_matching(
         el, ranks, method=args.method, prefix_size=args.prefix_size,
+        guards=args.guards, budget=_make_budget(args),
+        fallback=args.fallback,
     )
     assert_valid_matching(el, res.matched, ranks)
     s = res.stats
+    _report_degradation(s)
     print(f"matching size: {res.size} / {el.num_edges} edges "
           f"({2 * res.size} vertices covered)")
     print(f"engine:        {s.algorithm}")
@@ -300,8 +336,14 @@ _COMMANDS = {
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.errors import BudgetExceededError
+
     args = build_parser().parse_args(argv)
-    return _COMMANDS[args.command](args)
+    try:
+        return _COMMANDS[args.command](args)
+    except BudgetExceededError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,4 +1,11 @@
-"""Front door for maximal matching: method dispatch over a graph or edge list."""
+"""Front door for maximal matching: method dispatch over a graph or edge list.
+
+Like the MIS front door, this is the validation boundary: graph / edge-list
+arrays are re-checked against their structural invariants and *ranks* must
+be a permutation of the edge ids before any engine dispatch.  ``guards``,
+``budget`` and ``fallback`` mirror
+:func:`repro.core.mis.api.maximal_independent_set`.
+"""
 
 from __future__ import annotations
 
@@ -12,9 +19,17 @@ from repro.core.matching.rootset import rootset_matching
 from repro.core.matching.rootset_vectorized import rootset_matching_vectorized
 from repro.core.matching.sequential import sequential_greedy_matching
 from repro.core.result import MatchingResult
-from repro.errors import EngineError
+from repro.errors import EngineError, InvariantViolationError
 from repro.graphs.csr import CSRGraph, EdgeList
 from repro.pram.machine import Machine
+from repro.robustness.budget import Budget
+from repro.robustness.guards import resolve_guard_mode
+from repro.robustness.validate import (
+    check_csr_graph,
+    check_csr_symmetric,
+    check_edge_list,
+    check_ranks,
+)
 from repro.util.rng import SeedLike
 
 __all__ = ["maximal_matching", "MM_METHODS"]
@@ -23,6 +38,62 @@ __all__ = ["maximal_matching", "MM_METHODS"]
 #: the vectorized twin of ``rootset`` (same step structure, frontier-kernel
 #: execution).
 MM_METHODS = ("sequential", "parallel", "prefix", "rootset", "rootset-vec")
+
+#: Degradation order for ``fallback=True``.
+FALLBACK_CHAIN = ("rootset-vec", "rootset", "sequential")
+
+# See the MIS front door: invariant violations and numeric-crash types are
+# retryable; configuration/input/budget errors are not.
+_FALLBACK_CATCH = (
+    InvariantViolationError,
+    IndexError,
+    ValueError,
+    FloatingPointError,
+    OverflowError,
+    ZeroDivisionError,
+)
+
+
+def _dispatch(
+    method: str,
+    edges: EdgeList,
+    ranks: Optional[np.ndarray],
+    *,
+    prefix_size: Optional[int],
+    prefix_frac: Optional[float],
+    seed: SeedLike,
+    machine: Optional[Machine],
+    guards: Optional[str],
+    budget: Optional[Budget],
+) -> MatchingResult:
+    if method == "sequential":
+        return sequential_greedy_matching(
+            edges, ranks, seed=seed, machine=machine, budget=budget
+        )
+    if method == "parallel":
+        return parallel_greedy_matching(
+            edges, ranks, seed=seed, machine=machine, budget=budget
+        )
+    if method == "rootset":
+        return rootset_matching(
+            edges, ranks, seed=seed, machine=machine,
+            guards=guards, budget=budget,
+        )
+    if method == "rootset-vec":
+        return rootset_matching_vectorized(
+            edges, ranks, seed=seed, machine=machine,
+            guards=guards, budget=budget,
+        )
+    return prefix_greedy_matching(
+        edges,
+        ranks,
+        prefix_size=prefix_size,
+        prefix_frac=prefix_frac,
+        seed=seed,
+        machine=machine,
+        guards=guards,
+        budget=budget,
+    )
 
 
 def maximal_matching(
@@ -34,6 +105,9 @@ def maximal_matching(
     prefix_frac: Optional[float] = None,
     seed: SeedLike = None,
     machine: Optional[Machine] = None,
+    guards: Optional[str] = None,
+    budget: Optional[Budget] = None,
+    fallback: bool = False,
 ) -> MatchingResult:
     """Compute a maximal matching.
 
@@ -42,10 +116,15 @@ def maximal_matching(
     graph_or_edges:
         A :class:`~repro.graphs.csr.CSRGraph` (its canonical edge list is
         used, so edge ids are reproducible) or an explicit
-        :class:`~repro.graphs.csr.EdgeList`.
+        :class:`~repro.graphs.csr.EdgeList`.  The arrays are re-validated
+        against their structural invariants here (CSR symmetry too, under
+        ``guards="full"``); corruption raises
+        :class:`~repro.errors.InvalidGraphError`.
     ranks:
         Edge priorities π (edge id → rank).  Random from *seed* when
-        omitted.
+        omitted.  Must be a permutation of ``0..m-1``; anything else
+        raises :class:`~repro.errors.InvalidOrderingError` before
+        dispatch.
     method:
         One of :data:`MM_METHODS`; every method returns the
         lexicographically-first matching for *ranks*.
@@ -53,6 +132,16 @@ def maximal_matching(
         Prefix knobs, only for ``method="prefix"``.
     seed, machine:
         As in :func:`repro.core.mis.maximal_independent_set`.
+    guards:
+        Invariant-check mode ``off|cheap|full`` (default off); applied by
+        the prefix and root-set engines.
+    budget:
+        Optional :class:`~repro.robustness.Budget` shared by the run and
+        any fallback retries.
+    fallback:
+        Retry a failed engine down ``rootset-vec → rootset → sequential``,
+        recording the degradation in ``result.stats.aux`` (keys
+        ``degraded``, ``fallback_engine``, ``fallback_attempts``).
 
     Examples
     --------
@@ -61,9 +150,14 @@ def maximal_matching(
     >>> res.size in (2, 3)
     True
     """
+    mode = resolve_guard_mode(guards)
     if isinstance(graph_or_edges, CSRGraph):
+        check_csr_graph(graph_or_edges)
+        if mode == "full":
+            check_csr_symmetric(graph_or_edges)
         edges = graph_or_edges.edge_list()
     elif isinstance(graph_or_edges, EdgeList):
+        check_edge_list(graph_or_edges)
         edges = graph_or_edges
     else:
         raise EngineError(
@@ -77,19 +171,36 @@ def maximal_matching(
         raise EngineError(
             f"prefix_size/prefix_frac only apply to method='prefix', not {method!r}"
         )
-    if method == "sequential":
-        return sequential_greedy_matching(edges, ranks, seed=seed, machine=machine)
-    if method == "parallel":
-        return parallel_greedy_matching(edges, ranks, seed=seed, machine=machine)
-    if method == "rootset":
-        return rootset_matching(edges, ranks, seed=seed, machine=machine)
-    if method == "rootset-vec":
-        return rootset_matching_vectorized(edges, ranks, seed=seed, machine=machine)
-    return prefix_greedy_matching(
-        edges,
-        ranks,
+    if ranks is not None:
+        ranks = check_ranks(ranks, edges.num_edges)
+
+    kwargs = dict(
         prefix_size=prefix_size,
         prefix_frac=prefix_frac,
         seed=seed,
         machine=machine,
+        guards=guards,
+        budget=budget,
+    )
+    if not fallback:
+        return _dispatch(method, edges, ranks, **kwargs)
+
+    attempts = []
+    chain = [method] + [m for m in FALLBACK_CHAIN if m != method]
+    retry_kwargs = kwargs
+    for m in chain:
+        try:
+            result = _dispatch(m, edges, ranks, **retry_kwargs)
+        except _FALLBACK_CATCH as exc:
+            attempts.append({"method": m, "error": f"{type(exc).__name__}: {exc}"})
+            retry_kwargs = dict(kwargs, prefix_size=None, prefix_frac=None)
+            continue
+        if attempts:
+            result.stats.aux["degraded"] = True
+            result.stats.aux["fallback_engine"] = m
+            result.stats.aux["fallback_attempts"] = attempts
+        return result
+    raise EngineError(
+        f"all fallback engines failed for method {method!r}: "
+        + "; ".join(f"{a['method']}: {a['error']}" for a in attempts)
     )

@@ -21,6 +21,7 @@ from repro.core.result import MatchingResult, stats_from_machine
 from repro.core.status import EDGE_DEAD, EDGE_LIVE, EDGE_MATCHED, new_edge_status
 from repro.graphs.csr import EdgeList
 from repro.pram.machine import Machine, log2_depth
+from repro.robustness.budget import Budget
 from repro.util.rng import SeedLike
 
 __all__ = ["parallel_greedy_matching"]
@@ -32,6 +33,7 @@ def parallel_greedy_matching(
     *,
     seed: SeedLike = None,
     machine: Optional[Machine] = None,
+    budget: Optional[Budget] = None,
 ) -> MatchingResult:
     """Run Algorithm 4; ``result.stats.steps`` is the dependence length.
 
@@ -43,6 +45,8 @@ def parallel_greedy_matching(
     if ranks is None:
         ranks = random_priorities(m, seed)
     ranks = validate_priorities(ranks, m)
+    if budget is not None:
+        budget.start()
     if machine is None:
         machine = Machine()
 
@@ -56,6 +60,8 @@ def parallel_greedy_matching(
     item_exams = 0
     machine.begin_round()
     while live.size:
+        if budget is not None:
+            budget.spend_steps()
         item_exams += int(live.size)
         lu = eu[live]
         lv = ev[live]

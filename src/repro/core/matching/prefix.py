@@ -29,6 +29,8 @@ from repro.core.result import MatchingResult, stats_from_machine
 from repro.core.status import EDGE_DEAD, EDGE_LIVE, EDGE_MATCHED, new_edge_status
 from repro.graphs.csr import EdgeList
 from repro.pram.machine import Machine, log2_depth
+from repro.robustness.budget import Budget
+from repro.robustness.guards import matching_guard
 from repro.util.rng import SeedLike
 
 __all__ = ["prefix_greedy_matching"]
@@ -43,6 +45,8 @@ def prefix_greedy_matching(
     prefix_sizes: Optional[list] = None,
     seed: SeedLike = None,
     machine: Optional[Machine] = None,
+    guards: Optional[str] = None,
+    budget: Optional[Budget] = None,
 ) -> MatchingResult:
     """Prefix-scheduled Algorithm 4; returns the lex-first matching.
 
@@ -59,6 +63,12 @@ def prefix_greedy_matching(
     prefix_sizes:
         Explicit per-round slot counts (last entry repeats); mutually
         exclusive with the other two knobs, mirroring the MIS engine.
+    guards:
+        Invariant-check mode (``off|cheap|full``); violations raise
+        :class:`~repro.errors.InvariantViolationError`.
+    budget:
+        Optional :class:`~repro.robustness.Budget`; one step is spent per
+        inner synchronous step.
     """
     from repro.errors import EngineError
     from repro.util.validation import check_positive_int
@@ -68,6 +78,9 @@ def prefix_greedy_matching(
     if ranks is None:
         ranks = random_priorities(m, seed)
     ranks = validate_priorities(ranks, m)
+    guard = matching_guard(guards, edges, ranks, "mm/prefix")
+    if budget is not None:
+        budget.start()
     if machine is None:
         machine = Machine()
     if prefix_sizes is not None:
@@ -112,7 +125,15 @@ def prefix_greedy_matching(
         status[undecided[stale]] = EDGE_DEAD
         live = undecided[~stale]
         machine.charge(undecided.size, log2_depth(max(int(undecided.size), 2)), tag="filter")
+        if guard is not None and np.any(stale):
+            # Lazily discovered kills from earlier rounds: account them so
+            # the guard's live-edge ledger stays exact.
+            guard.check_step(
+                status, np.empty(0, dtype=np.int64), undecided[stale]
+            )
         while live.size:
+            if budget is not None:
+                budget.spend_steps()
             item_exams += int(live.size)
             lu = eu[live]
             lv = ev[live]
@@ -122,6 +143,8 @@ def prefix_greedy_matching(
             np.minimum.at(min_at, lu, lr)
             np.minimum.at(min_at, lv, lr)
             winners = live[(min_at[lu] == lr) & (min_at[lv] == lr)]
+            if guard is not None:
+                guard.check_ready(status, winners, matched_v)
             status[winners] = EDGE_MATCHED
             matched_v[eu[winners]] = True
             matched_v[ev[winners]] = True
@@ -135,7 +158,11 @@ def prefix_greedy_matching(
             touched = matched_v[lu] | matched_v[lv]
             dead = live[alive_mask & touched]
             status[dead] = EDGE_DEAD
+            if guard is not None:
+                guard.check_step(status, winners, dead)
             live = live[alive_mask & ~touched]
+    if guard is not None:
+        guard.finalize(status)
     stats = stats_from_machine(
         "mm/prefix", n, m, machine, steps=steps, rounds=rounds, prefix_size=k,
         aux={"slot_scans": slot_scans, "item_examinations": item_exams},

@@ -33,6 +33,8 @@ from repro.core.status import EDGE_DEAD, EDGE_LIVE, EDGE_MATCHED, new_edge_statu
 from repro.graphs.csr import EdgeList
 from repro.kernels import rank_sorted_incidence
 from repro.pram.machine import Machine, log2_depth
+from repro.robustness.budget import Budget
+from repro.robustness.guards import matching_guard
 from repro.util.rng import SeedLike
 
 __all__ = ["rootset_matching"]
@@ -44,16 +46,25 @@ def rootset_matching(
     *,
     seed: SeedLike = None,
     machine: Optional[Machine] = None,
+    guards: Optional[str] = None,
+    budget: Optional[Budget] = None,
 ) -> MatchingResult:
     """Run the Lemma 5.3 algorithm; total charged work is ``O(n + m)``.
 
     ``result.stats.steps`` equals the dependence length of Algorithm 4.
+    ``guards`` enables per-round invariant checks (``off|cheap|full``; on
+    this pointer engine each check snapshots the list-typed status, adding
+    ``O(m)`` per round, so guards here are a debugging aid rather than a
+    production mode).  ``budget`` meters one step per frontier round.
     """
     m = edges.num_edges
     n = edges.num_vertices
     if ranks is None:
         ranks = random_priorities(m, seed)
     ranks = validate_priorities(ranks, m)
+    guard = matching_guard(guards, edges, ranks, "mm/rootset")
+    if budget is not None:
+        budget.start()
     if machine is None:
         machine = Machine()
 
@@ -115,7 +126,16 @@ def rootset_matching(
 
     steps = 0
     while ready:
+        if budget is not None:
+            budget.spend_steps()
+        if guard is not None:
+            guard.check_ready(
+                np.array(status_l, dtype=np.int8),
+                np.array(ready, dtype=np.int64),
+                np.array(v_matched, dtype=bool),
+            )
         candidates: List[int] = []
+        killed: List[int] = []
         for e in ready:
             a, b = eu_l[e], ev_l[e]
             status_l[e] = EDGE_MATCHED
@@ -130,6 +150,8 @@ def rootset_matching(
                     if status_l[f] != EDGE_LIVE:
                         continue
                     status_l[f] = EDGE_DEAD
+                    if guard is not None:
+                        killed.append(f)
                     far = ev_l[f] if eu_l[f] == endpoint else eu_l[f]
                     if not v_matched[far]:
                         candidates.append(far)
@@ -141,12 +163,20 @@ def rootset_matching(
                 next_ready.append(e)
         machine.charge(work_box[0], log2_depth(max(len(ready), 2)), tag="mm-step")
         work_box[0] = 0
+        if guard is not None:
+            guard.check_step(
+                np.array(status_l, dtype=np.int8),
+                np.array(ready, dtype=np.int64),
+                np.array(killed, dtype=np.int64),
+            )
         steps += 1
         ready = next_ready
 
     status = np.array(status_l, dtype=status.dtype)
     # Any edge never scanned ends dead (its endpoints matched elsewhere).
     status[status == EDGE_LIVE] = EDGE_DEAD
+    if guard is not None:
+        guard.finalize(status)
     stats = stats_from_machine(
         "mm/rootset", n, m, machine, steps=steps, rounds=1
     )

@@ -43,6 +43,8 @@ from repro.kernels import (
     stamp_dedup,
 )
 from repro.pram.machine import Machine, log2_depth
+from repro.robustness.budget import Budget
+from repro.robustness.guards import matching_guard
 from repro.util.rng import SeedLike
 
 __all__ = ["rootset_matching_vectorized"]
@@ -57,6 +59,8 @@ def rootset_matching_vectorized(
     seed: SeedLike = None,
     machine: Optional[Machine] = None,
     use_cache: bool = True,
+    guards: Optional[str] = None,
+    budget: Optional[Budget] = None,
 ) -> MatchingResult:
     """Run the Lemma 5.3 algorithm on vectorized frontiers.
 
@@ -64,13 +68,18 @@ def rootset_matching_vectorized(
     (same step structure as the pointer-level
     :func:`~repro.core.matching.rootset.rootset_matching`); total charged
     work is ``O(n + m)``.  Set ``use_cache=False`` to bypass the memoized
-    incidence index (accounting is identical either way).
+    incidence index (accounting is identical either way).  ``guards``
+    enables per-round invariant checks (``off|cheap|full``); ``budget``
+    meters one step per frontier round.
     """
     m = edges.num_edges
     n = edges.num_vertices
     if ranks is None:
         ranks = random_priorities(m, seed)
     ranks = validate_priorities(ranks, m)
+    guard = matching_guard(guards, edges, ranks, "mm/rootset-vec")
+    if budget is not None:
+        budget.start()
     if machine is None:
         machine = Machine()
 
@@ -127,6 +136,10 @@ def rootset_matching_vectorized(
 
     steps = 0
     while ready.size:
+        if budget is not None:
+            budget.spend_steps()
+        if guard is not None:
+            guard.check_ready(status, ready, v_matched)
         # Match the ready set (no two ready edges share an endpoint).
         status[ready] = EDGE_MATCHED
         a, b = eu[ready], ev[ready]
@@ -150,11 +163,17 @@ def rootset_matching_vectorized(
         # Each deleted edge nominates its far endpoint for mmcheck.
         far = euv[killed] - far_owner
         cand = scatter_distinct(far[~v_matched[far]], n)
+        if guard is not None:
+            # An edge incident on two same-step matches is scanned (and
+            # killed) once from each endpoint, so repeats are legitimate.
+            guard.check_step(status, ready, killed, killed_distinct=False)
         steps += 1
         ready = mmcheck(cand, steps)
 
     # Any edge never scanned ends dead (its endpoints matched elsewhere).
     status[status == EDGE_LIVE] = EDGE_DEAD
+    if guard is not None:
+        guard.finalize(status)
     stats = stats_from_machine(
         "mm/rootset-vec", n, m, machine, steps=steps, rounds=1
     )

@@ -21,9 +21,13 @@ from repro.core.result import MatchingResult, stats_from_machine
 from repro.core.status import EDGE_DEAD, EDGE_MATCHED, new_edge_status
 from repro.graphs.csr import EdgeList
 from repro.pram.machine import Machine
+from repro.robustness.budget import Budget
 from repro.util.rng import SeedLike
 
 __all__ = ["sequential_greedy_matching"]
+
+# Budget enforcement granularity for the per-edge hot loop.
+_BUDGET_CHUNK = 2048
 
 
 def sequential_greedy_matching(
@@ -32,6 +36,7 @@ def sequential_greedy_matching(
     *,
     seed: SeedLike = None,
     machine: Optional[Machine] = None,
+    budget: Optional[Budget] = None,
 ) -> MatchingResult:
     """Greedy matching over edges in increasing rank.
 
@@ -51,6 +56,8 @@ def sequential_greedy_matching(
     if ranks is None:
         ranks = random_priorities(m, seed)
     ranks = validate_priorities(ranks, m)
+    if budget is not None:
+        budget.start()
     if machine is None:
         machine = Machine()
 
@@ -60,9 +67,13 @@ def sequential_greedy_matching(
     eu = edges.u
     ev = edges.v
     work = 0
+    visited = 0
     machine.begin_round()
     for e in perm.tolist():
         work += 1
+        visited += 1
+        if budget is not None and visited % _BUDGET_CHUNK == 0:
+            budget.spend_steps(_BUDGET_CHUNK)
         a, b = eu[e], ev[e]
         if matched_v[a] or matched_v[b]:
             status[e] = EDGE_DEAD
@@ -71,6 +82,8 @@ def sequential_greedy_matching(
         matched_v[a] = True
         matched_v[b] = True
         work += 2
+    if budget is not None and visited % _BUDGET_CHUNK:
+        budget.spend_steps(visited % _BUDGET_CHUNK)
     machine.charge(work, depth=work, parallel=False, tag="sequential")
     stats = stats_from_machine(
         "mm/sequential", edges.num_vertices, m, machine, steps=m, rounds=m,

@@ -2,6 +2,15 @@
 
 Most users should call :func:`maximal_independent_set`; the per-engine
 functions remain available for code that needs engine-specific knobs.
+
+The front door is also the validation boundary (see
+:mod:`repro.robustness.validate`): graph arrays are re-checked against the
+CSR invariants and *ranks* must be a genuine permutation **before** any
+engine dispatch, so corrupted inputs fail loudly instead of producing a
+wrong-but-plausible set.  ``guards``/``budget`` thread through to the
+engines, and ``fallback=True`` adds graceful degradation: a failed engine
+is retried down the chain ``rootset-vec → rootset → sequential`` with the
+degradation recorded in ``result.stats.aux``.
 """
 
 from __future__ import annotations
@@ -17,9 +26,16 @@ from repro.core.mis.rootset import rootset_mis
 from repro.core.mis.rootset_vectorized import rootset_mis_vectorized
 from repro.core.mis.sequential import sequential_greedy_mis
 from repro.core.result import MISResult
-from repro.errors import EngineError
+from repro.errors import EngineError, InvariantViolationError
 from repro.graphs.csr import CSRGraph
 from repro.pram.machine import Machine
+from repro.robustness.budget import Budget
+from repro.robustness.guards import resolve_guard_mode
+from repro.robustness.validate import (
+    check_csr_graph,
+    check_csr_symmetric,
+    check_ranks,
+)
 from repro.util.rng import SeedLike
 
 __all__ = ["maximal_independent_set", "MIS_METHODS"]
@@ -34,6 +50,82 @@ MIS_METHODS = (
     "rootset-vec", "luby",
 )
 
+#: Degradation order for ``fallback=True``: fastest engine first, the
+#: always-correct sequential baseline last.
+FALLBACK_CHAIN = ("rootset-vec", "rootset", "sequential")
+
+# Exceptions a fallback retry may absorb: invariant violations and the
+# crash signatures of corrupted numeric state.  Configuration and input
+# errors (EngineError, InvalidGraphError, InvalidOrderingError,
+# BudgetExceededError) are NOT caught — they would fail identically on
+# every engine in the chain.
+_FALLBACK_CATCH = (
+    InvariantViolationError,
+    IndexError,
+    ValueError,
+    FloatingPointError,
+    OverflowError,
+    ZeroDivisionError,
+)
+
+
+def _dispatch(
+    method: str,
+    graph: CSRGraph,
+    ranks: Optional[np.ndarray],
+    *,
+    prefix_size: Optional[int],
+    prefix_frac: Optional[float],
+    seed: SeedLike,
+    machine: Optional[Machine],
+    guards: Optional[str],
+    budget: Optional[Budget],
+) -> MISResult:
+    """Run one engine.  ``guards`` reaches the engines that support it."""
+    if method == "theorem45":
+        from repro.core.mis.prefix import theorem45_prefix_sizes
+
+        if graph.num_vertices == 0:
+            return prefix_greedy_mis(
+                graph, ranks, seed=seed, machine=machine,
+                guards=guards, budget=budget,
+            )
+        sizes = theorem45_prefix_sizes(graph.num_vertices, graph.max_degree())
+        return prefix_greedy_mis(
+            graph, ranks, prefix_sizes=sizes, seed=seed, machine=machine,
+            guards=guards, budget=budget,
+        )
+    if method == "sequential":
+        return sequential_greedy_mis(
+            graph, ranks, seed=seed, machine=machine, budget=budget
+        )
+    if method == "parallel":
+        return parallel_greedy_mis(
+            graph, ranks, seed=seed, machine=machine, budget=budget
+        )
+    if method == "rootset":
+        return rootset_mis(
+            graph, ranks, seed=seed, machine=machine,
+            guards=guards, budget=budget,
+        )
+    if method == "rootset-vec":
+        return rootset_mis_vectorized(
+            graph, ranks, seed=seed, machine=machine,
+            guards=guards, budget=budget,
+        )
+    if method == "luby":
+        return luby_mis(graph, seed=seed, machine=machine, budget=budget)
+    return prefix_greedy_mis(
+        graph,
+        ranks,
+        prefix_size=prefix_size,
+        prefix_frac=prefix_frac,
+        seed=seed,
+        machine=machine,
+        guards=guards,
+        budget=budget,
+    )
+
 
 def maximal_independent_set(
     graph: CSRGraph,
@@ -44,17 +136,25 @@ def maximal_independent_set(
     prefix_frac: Optional[float] = None,
     seed: SeedLike = None,
     machine: Optional[Machine] = None,
+    guards: Optional[str] = None,
+    budget: Optional[Budget] = None,
+    fallback: bool = False,
 ) -> MISResult:
     """Compute a maximal independent set of *graph*.
 
     Parameters
     ----------
     graph:
-        Simple undirected :class:`~repro.graphs.csr.CSRGraph`.
+        Simple undirected :class:`~repro.graphs.csr.CSRGraph`.  Its arrays
+        are re-validated against the CSR invariants here (symmetry too,
+        under ``guards="full"``); corruption raises
+        :class:`~repro.errors.InvalidGraphError`.
     ranks:
         Priority array (vertex → rank; smaller = earlier).  Random from
-        *seed* when omitted.  Ignored by ``method="luby"``, which
-        re-randomizes internally.
+        *seed* when omitted.  Must be a permutation of ``0..n-1``;
+        anything else (wrong length, NaN, duplicates) raises
+        :class:`~repro.errors.InvalidOrderingError` before dispatch.
+        Ignored by ``method="luby"``, which re-randomizes internally.
     method:
         One of :data:`MIS_METHODS`.  ``"sequential"``, ``"parallel"``,
         ``"prefix"``, ``"rootset"`` and ``"rootset-vec"`` all return the
@@ -67,6 +167,24 @@ def maximal_independent_set(
     machine:
         Optional :class:`~repro.pram.machine.Machine` to charge; useful to
         share one trace across phases.
+    guards:
+        Invariant-check mode ``off|cheap|full`` (default off), applied by
+        the engines that support per-round guards (prefix, rootset,
+        rootset-vec); violations raise
+        :class:`~repro.errors.InvariantViolationError`.
+    budget:
+        Optional :class:`~repro.robustness.Budget` shared by the run (and
+        by fallback retries); exhaustion raises
+        :class:`~repro.errors.BudgetExceededError`, which ``fallback``
+        does **not** absorb.
+    fallback:
+        When true, an engine failing with an invariant violation or a
+        numeric crash is retried down ``rootset-vec → rootset →
+        sequential`` (skipping the method that failed).  The successful
+        result carries ``stats.aux["degraded"] = True``,
+        ``stats.aux["fallback_engine"]`` and
+        ``stats.aux["fallback_attempts"]`` (the per-engine error log).
+        Engine-specific prefix knobs are not forwarded to retries.
 
     Returns
     -------
@@ -88,35 +206,47 @@ def maximal_independent_set(
         raise EngineError(
             f"prefix_size/prefix_frac only apply to method='prefix', not {method!r}"
         )
-    if method == "theorem45":
-        from repro.core.mis.prefix import theorem45_prefix_sizes
-
-        if graph.num_vertices == 0:
-            return prefix_greedy_mis(graph, ranks, seed=seed, machine=machine)
-        sizes = theorem45_prefix_sizes(graph.num_vertices, graph.max_degree())
-        return prefix_greedy_mis(
-            graph, ranks, prefix_sizes=sizes, seed=seed, machine=machine
+    mode = resolve_guard_mode(guards)
+    check_csr_graph(graph)
+    if mode == "full":
+        check_csr_symmetric(graph)
+    if ranks is not None:
+        ranks = check_ranks(ranks, graph.num_vertices)
+    if method == "luby" and ranks is not None:
+        raise EngineError(
+            "method='luby' regenerates priorities every round and ignores ranks; "
+            "omit the ranks argument"
         )
-    if method == "sequential":
-        return sequential_greedy_mis(graph, ranks, seed=seed, machine=machine)
-    if method == "parallel":
-        return parallel_greedy_mis(graph, ranks, seed=seed, machine=machine)
-    if method == "rootset":
-        return rootset_mis(graph, ranks, seed=seed, machine=machine)
-    if method == "rootset-vec":
-        return rootset_mis_vectorized(graph, ranks, seed=seed, machine=machine)
-    if method == "luby":
-        if ranks is not None:
-            raise EngineError(
-                "method='luby' regenerates priorities every round and ignores ranks; "
-                "omit the ranks argument"
-            )
-        return luby_mis(graph, seed=seed, machine=machine)
-    return prefix_greedy_mis(
-        graph,
-        ranks,
+
+    kwargs = dict(
         prefix_size=prefix_size,
         prefix_frac=prefix_frac,
         seed=seed,
         machine=machine,
+        guards=guards,
+        budget=budget,
+    )
+    if not fallback:
+        return _dispatch(method, graph, ranks, **kwargs)
+
+    attempts = []
+    chain = [method] + [m for m in FALLBACK_CHAIN if m != method]
+    retry_kwargs = kwargs
+    for i, m in enumerate(chain):
+        try:
+            result = _dispatch(m, graph, ranks, **retry_kwargs)
+        except _FALLBACK_CATCH as exc:
+            attempts.append({"method": m, "error": f"{type(exc).__name__}: {exc}"})
+            # Retries drop engine-specific prefix knobs: the chain engines
+            # do not take them, and a bad knob should not poison the chain.
+            retry_kwargs = dict(kwargs, prefix_size=None, prefix_frac=None)
+            continue
+        if attempts:
+            result.stats.aux["degraded"] = True
+            result.stats.aux["fallback_engine"] = m
+            result.stats.aux["fallback_attempts"] = attempts
+        return result
+    raise EngineError(
+        f"all fallback engines failed for method {method!r}: "
+        + "; ".join(f"{a['method']}: {a['error']}" for a in attempts)
     )

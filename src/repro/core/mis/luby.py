@@ -26,6 +26,7 @@ from repro.core.result import MISResult, stats_from_machine
 from repro.core.status import IN_SET, KNOCKED_OUT, UNDECIDED, new_vertex_status
 from repro.graphs.csr import CSRGraph
 from repro.pram.machine import Machine, log2_depth
+from repro.robustness.budget import Budget
 from repro.util.rng import SeedLike, as_generator
 
 __all__ = ["luby_mis"]
@@ -36,6 +37,7 @@ def luby_mis(
     *,
     seed: SeedLike = None,
     machine: Optional[Machine] = None,
+    budget: Optional[Budget] = None,
 ) -> MISResult:
     """Run Luby's Algorithm A and return a (seed-dependent) MIS.
 
@@ -46,6 +48,8 @@ def luby_mis(
     """
     n = graph.num_vertices
     rng = as_generator(seed)
+    if budget is not None:
+        budget.start()
     if machine is None:
         machine = Machine()
 
@@ -57,6 +61,8 @@ def luby_mis(
     rounds = 0
     item_exams = 0
     while live.size:
+        if budget is not None:
+            budget.spend_steps()
         machine.begin_round()
         rounds += 1
         item_exams += int(live.size)

@@ -24,6 +24,7 @@ from repro.core.status import IN_SET, KNOCKED_OUT, UNDECIDED, new_vertex_status
 from repro.graphs.csr import CSRGraph
 from repro.kernels import sorted_segment_min
 from repro.pram.machine import Machine, log2_depth
+from repro.robustness.budget import Budget
 from repro.util.rng import SeedLike
 
 __all__ = ["parallel_greedy_mis"]
@@ -35,6 +36,7 @@ def parallel_greedy_mis(
     *,
     seed: SeedLike = None,
     machine: Optional[Machine] = None,
+    budget: Optional[Budget] = None,
 ) -> MISResult:
     """Run Algorithm 2; ``result.stats.steps`` is the dependence length.
 
@@ -50,6 +52,8 @@ def parallel_greedy_mis(
     if ranks is None:
         ranks = random_priorities(n, seed)
     ranks = validate_priorities(ranks, n)
+    if budget is not None:
+        budget.start()
     if machine is None:
         machine = Machine()
 
@@ -63,6 +67,8 @@ def parallel_greedy_mis(
     item_exams = 0
     machine.begin_round()
     while live.size:
+        if budget is not None:
+            budget.spend_steps()
         min_nb[live] = n
         # src stays sorted through compaction, so the concurrent-min
         # scatter is a contiguous segmented reduction; the kernel picks

@@ -34,6 +34,8 @@ from repro.core.status import IN_SET, KNOCKED_OUT, UNDECIDED, new_vertex_status
 from repro.errors import EngineError
 from repro.graphs.csr import CSRGraph
 from repro.pram.machine import Machine, log2_depth
+from repro.robustness.budget import Budget
+from repro.robustness.guards import mis_guard
 from repro.util.rng import SeedLike
 from repro.util.validation import check_fraction, check_positive_int
 
@@ -100,6 +102,8 @@ def prefix_greedy_mis(
     prefix_sizes: Optional[list] = None,
     seed: SeedLike = None,
     machine: Optional[Machine] = None,
+    guards: Optional[str] = None,
+    budget: Optional[Budget] = None,
 ) -> MISResult:
     """Run Algorithm 3 with the given prefix size (or size schedule).
 
@@ -120,11 +124,20 @@ def prefix_greedy_mis(
         :func:`theorem45_prefix_sizes`); the last entry repeats if the
         schedule runs out before the order is exhausted.  Mutually
         exclusive with the other two knobs.
+    guards:
+        Invariant-check mode (``off|cheap|full``); violations raise
+        :class:`~repro.errors.InvariantViolationError`.
+    budget:
+        Optional :class:`~repro.robustness.Budget`; one step is spent per
+        inner synchronous step.
     """
     n = graph.num_vertices
     if ranks is None:
         ranks = random_priorities(n, seed)
     ranks = validate_priorities(ranks, n)
+    guard = mis_guard(guards, graph, ranks, "mis/prefix")
+    if budget is not None:
+        budget.start()
     if machine is None:
         machine = Machine()
     if prefix_sizes is not None:
@@ -174,16 +187,24 @@ def prefix_greedy_mis(
         src, dst = g_src[internal], g_dst[internal]
         live = prefix
         while live.size:
+            if budget is not None:
+                budget.spend_steps()
             item_exams += int(live.size)
             min_nb[live] = n
             np.minimum.at(min_nb, src, ranks[dst])
             roots = live[ranks[live] < min_nb[live]]
+            if guard is not None:
+                guard.check_roots(status, roots)
             status[roots] = IN_SET
             # Knock out ALL graph neighbors of new set members, inside and
             # outside the prefix (the V' = V \ (P ∪ N(W)) update).
             r_src, r_dst = graph.gather(roots)
             victims = r_dst[status[r_dst] == UNDECIDED]
             status[victims] = KNOCKED_OUT
+            if guard is not None:
+                # The victim stream legitimately repeats vertices (several
+                # new members can share a neighbor).
+                guard.check_step(status, roots, victims, knocked_distinct=False)
             machine.charge(
                 live.size + 2 * src.size + roots.size + r_src.size,
                 log2_depth(max(int(live.size), 2)),
@@ -194,6 +215,8 @@ def prefix_greedy_mis(
             src, dst = src[keep], dst[keep]
             live = live[status[live] == UNDECIDED]
         in_prefix[prefix] = False
+    if guard is not None:
+        guard.finalize(status)
     stats = stats_from_machine(
         "mis/prefix",
         n,

@@ -37,6 +37,8 @@ from repro.core.status import IN_SET, KNOCKED_OUT, UNDECIDED, new_vertex_status
 from repro.graphs.csr import CSRGraph
 from repro.kernels import split_parents_children
 from repro.pram.machine import Machine, log2_depth
+from repro.robustness.budget import Budget
+from repro.robustness.guards import mis_guard
 from repro.util.rng import SeedLike
 
 __all__ = ["rootset_mis", "split_parents_children"]
@@ -48,17 +50,26 @@ def rootset_mis(
     *,
     seed: SeedLike = None,
     machine: Optional[Machine] = None,
+    guards: Optional[str] = None,
+    budget: Optional[Budget] = None,
 ) -> MISResult:
     """Run the Lemma 4.2 root-set algorithm; total work is ``O(n + m)``.
 
     ``result.stats.steps`` equals the dependence length (the same step
     structure as Algorithm 2: each step processes exactly the current
-    priority-DAG roots).
+    priority-DAG roots).  ``guards`` enables per-round invariant checks
+    (``off|cheap|full``; on this pointer engine each check snapshots the
+    list-typed status, adding ``O(n)`` per round, so guards here are a
+    debugging aid rather than a production mode).  ``budget`` meters one
+    step per frontier round.
     """
     n = graph.num_vertices
     if ranks is None:
         ranks = random_priorities(n, seed)
     ranks = validate_priorities(ranks, n)
+    guard = mis_guard(guards, graph, ranks, "mis/rootset")
+    if budget is not None:
+        budget.start()
     if machine is None:
         machine = Machine()
 
@@ -81,6 +92,12 @@ def rootset_mis(
 
     steps = 0
     while roots:
+        if budget is not None:
+            budget.spend_steps()
+        if guard is not None:
+            guard.check_roots(
+                np.array(status_l, dtype=np.int8), np.array(roots, dtype=np.int64)
+            )
         step_work = 0
         step_id = steps
         # Accept this step's roots.
@@ -117,10 +134,18 @@ def rootset_mis(
                 if p == end:
                     next_roots.append(w)
         machine.charge(step_work, log2_depth(max(len(roots), 2)), tag="rootset-step")
+        if guard is not None:
+            guard.check_step(
+                np.array(status_l, dtype=np.int8),
+                np.array(roots, dtype=np.int64),
+                np.array(knocked, dtype=np.int64),
+            )
         steps += 1
         roots = next_roots
 
     status = np.array(status_l, dtype=status.dtype)
+    if guard is not None:
+        guard.finalize(status)
     stats = stats_from_machine(
         "mis/rootset", n, graph.num_edges, machine, steps=steps, rounds=1
     )

@@ -44,6 +44,8 @@ from repro.kernels import (
     split_parents_children,
 )
 from repro.pram.machine import Machine, log2_depth
+from repro.robustness.budget import Budget
+from repro.robustness.guards import mis_guard
 from repro.util.rng import SeedLike
 
 __all__ = ["rootset_mis_vectorized"]
@@ -56,6 +58,8 @@ def rootset_mis_vectorized(
     seed: SeedLike = None,
     machine: Optional[Machine] = None,
     use_cache: bool = True,
+    guards: Optional[str] = None,
+    budget: Optional[Budget] = None,
 ) -> MISResult:
     """Run the Lemma 4.2 root-set algorithm on vectorized frontiers.
 
@@ -64,11 +68,16 @@ def rootset_mis_vectorized(
     :func:`~repro.core.mis.rootset.rootset_mis`); total charged work is
     ``O(n + m)``.  Set ``use_cache=False`` to bypass the memoized
     parent/child partition (accounting is identical either way).
+    ``guards`` enables per-round invariant checks (``off|cheap|full``);
+    ``budget`` meters one step per frontier round.
     """
     n = graph.num_vertices
     if ranks is None:
         ranks = random_priorities(n, seed)
     ranks = validate_priorities(ranks, n)
+    guard = mis_guard(guards, graph, ranks, "mis/rootset-vec")
+    if budget is not None:
+        budget.start()
     if machine is None:
         machine = Machine()
 
@@ -83,6 +92,10 @@ def rootset_mis_vectorized(
 
     steps = 0
     while roots.size:
+        if budget is not None:
+            budget.spend_steps()
+        if guard is not None:
+            guard.check_roots(status, roots)
         # Accept this step's roots.
         status[roots] = IN_SET
         machine.charge(roots.size, log2_depth(max(int(roots.size), 2)), tag="accept")
@@ -106,10 +119,15 @@ def rootset_mis_vectorized(
         _, targets = frontier_gather(
             c_off, c_nbr, knocked, machine, tag="mischeck-gather", need_owner=False
         )
-        roots = decrement_counts(pcount, targets, machine, tag="mischeck")
-        roots = roots[status[roots] == UNDECIDED]
+        next_roots = decrement_counts(pcount, targets, machine, tag="mischeck")
+        next_roots = next_roots[status[next_roots] == UNDECIDED]
+        if guard is not None:
+            guard.check_step(status, roots, knocked)
+        roots = next_roots
         steps += 1
 
+    if guard is not None:
+        guard.finalize(status)
     stats = stats_from_machine(
         "mis/rootset-vec", n, graph.num_edges, machine, steps=steps, rounds=1
     )

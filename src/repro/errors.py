@@ -15,6 +15,8 @@ __all__ = [
     "InvalidOrderingError",
     "EngineError",
     "VerificationError",
+    "InvariantViolationError",
+    "BudgetExceededError",
 ]
 
 
@@ -54,4 +56,26 @@ class VerificationError(ReproError):
 
     Raised by the ``verify`` helpers when asked to *assert* validity (as
     opposed to the boolean-returning predicates, which never raise).
+    """
+
+
+class InvariantViolationError(ReproError):
+    """A runtime invariant guard detected corrupted execution state.
+
+    Raised by the guard hooks of :mod:`repro.robustness.guards` when an
+    engine running with ``guards="cheap"`` or ``guards="full"`` observes a
+    state no correct execution can reach — a duplicated frontier vertex, a
+    root with an already-accepted neighbor, an undecided item surviving
+    termination.  Distinct from :class:`VerificationError` (post-hoc output
+    checking): this fires *during* the run, at the round that went wrong.
+    """
+
+
+class BudgetExceededError(ReproError):
+    """An engine or sweep ran past its wall-clock or step budget.
+
+    Raised by :class:`repro.robustness.Budget` checkpoints threaded through
+    the engines and :mod:`repro.bench.sweeps`.  The work performed before
+    the budget tripped is already charged to the machine, so callers can
+    inspect partial accounting.
     """

@@ -1,0 +1,129 @@
+"""Wall-clock and step budgets for engines and sweeps.
+
+A :class:`Budget` is a small stateful meter handed to an engine (every
+engine accepts ``budget=``) or to a sweep in :mod:`repro.bench.sweeps`.
+Engines call :meth:`Budget.spend_steps` once per synchronous step (the
+sequential baselines spend in chunks so the hot loop stays cheap); when
+either limit is crossed the meter raises
+:class:`~repro.errors.BudgetExceededError` and the run stops with all work
+so far already charged to its machine.
+
+One budget can be shared across several runs — the deadline is armed on
+the first :meth:`start` and step spending accumulates — which is exactly
+what a parameter sweep wants: the budget bounds the *sweep*, not each
+point.  Use :meth:`reset` to reuse the object for an unrelated run.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+from repro.errors import BudgetExceededError
+
+__all__ = ["Budget"]
+
+
+class Budget:
+    """A reusable wall-clock / step budget.
+
+    Parameters
+    ----------
+    max_seconds:
+        Wall-clock allowance, measured from the first :meth:`start` call.
+        ``None`` disables the time limit.
+    max_steps:
+        Total synchronous steps allowed across all runs charged to this
+        budget.  ``None`` disables the step limit.
+    clock:
+        Injectable time source (seconds as float); tests substitute a fake
+        clock to make deadline behavior deterministic.
+
+    Examples
+    --------
+    >>> b = Budget(max_steps=3)
+    >>> b.start().spend_steps(2)
+    >>> b.steps_used
+    2
+    """
+
+    __slots__ = ("max_seconds", "max_steps", "steps_used", "_clock", "_deadline")
+
+    def __init__(
+        self,
+        max_seconds: Optional[float] = None,
+        max_steps: Optional[int] = None,
+        *,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if max_seconds is None and max_steps is None:
+            raise ValueError("a Budget needs max_seconds and/or max_steps")
+        if max_seconds is not None and not max_seconds > 0:
+            raise ValueError(f"max_seconds must be positive, got {max_seconds!r}")
+        if max_steps is not None and not max_steps > 0:
+            raise ValueError(f"max_steps must be positive, got {max_steps!r}")
+        self.max_seconds = None if max_seconds is None else float(max_seconds)
+        self.max_steps = None if max_steps is None else int(max_steps)
+        self.steps_used = 0
+        self._clock = clock
+        self._deadline: Optional[float] = None
+
+    def start(self) -> "Budget":
+        """Arm the wall-clock deadline (idempotent); returns ``self``.
+
+        Engines call this on entry, so a budget shared across a sweep
+        starts ticking at the first engine, not at construction time.
+        """
+        if self._deadline is None and self.max_seconds is not None:
+            self._deadline = self._clock() + self.max_seconds
+        return self
+
+    def reset(self) -> "Budget":
+        """Clear accumulated state so the budget can meter a fresh run."""
+        self.steps_used = 0
+        self._deadline = None
+        return self
+
+    @property
+    def started(self) -> bool:
+        """Whether the wall-clock deadline has been armed."""
+        return self._deadline is not None or self.max_seconds is None
+
+    def remaining_seconds(self) -> Optional[float]:
+        """Seconds left before the deadline (``None`` if no time limit)."""
+        if self.max_seconds is None:
+            return None
+        if self._deadline is None:
+            return self.max_seconds
+        return self._deadline - self._clock()
+
+    def check(self) -> None:
+        """Raise :class:`BudgetExceededError` if either limit is crossed."""
+        if self.max_steps is not None and self.steps_used > self.max_steps:
+            raise BudgetExceededError(
+                f"step budget exceeded: {self.steps_used} steps used, "
+                f"limit {self.max_steps}"
+            )
+        if self._deadline is not None:
+            now = self._clock()
+            if now > self._deadline:
+                over = now - (self._deadline - self.max_seconds)
+                raise BudgetExceededError(
+                    f"wall-clock budget exceeded: {over:.3f}s elapsed, "
+                    f"limit {self.max_seconds:.3f}s"
+                )
+
+    def spend_steps(self, k: int = 1) -> None:
+        """Charge *k* synchronous steps and enforce both limits.
+
+        Engines with per-item loops spend in chunks (e.g. every 2048
+        items) so budget enforcement never dominates the hot loop.
+        """
+        self.steps_used += int(k)
+        self.check()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Budget(max_seconds={self.max_seconds}, max_steps={self.max_steps}, "
+            f"steps_used={self.steps_used})"
+        )

@@ -1,0 +1,135 @@
+"""Checkpoint store and section runner: resume, isolation, atomicity."""
+
+import json
+
+import pytest
+
+from repro.bench.checkpoint import CheckpointStore, SectionResult, run_sections
+
+META = {"scale": "tiny", "seed": 1}
+
+
+def _store(tmp_path, meta=META):
+    return CheckpointStore(tmp_path / "ckpt.json", meta)
+
+
+def test_roundtrip_and_resume(tmp_path):
+    s1 = _store(tmp_path)
+    assert not s1.load()
+    s1.record_success("alpha", ["line 1", "line 2"])
+    s1.record_success("beta", ["other"])
+
+    s2 = _store(tmp_path)
+    assert s2.load()
+    assert s2.completed() == ["alpha", "beta"]
+    assert s2.get("alpha") == ["line 1", "line 2"]
+    assert "alpha" in s2 and "gamma" not in s2
+
+
+def test_meta_mismatch_discards_checkpoint(tmp_path):
+    s1 = _store(tmp_path)
+    s1.record_success("alpha", ["x"])
+    s2 = _store(tmp_path, meta={"scale": "large", "seed": 1})
+    assert not s2.load()
+    assert s2.completed() == []
+
+
+def test_corrupt_file_is_an_empty_checkpoint(tmp_path):
+    path = tmp_path / "ckpt.json"
+    path.write_text("{not json")
+    s = CheckpointStore(path, META)
+    assert not s.load()
+
+
+def test_save_is_atomic_replace(tmp_path):
+    s = _store(tmp_path)
+    s.record_success("alpha", ["x"])
+    # No stray temp file is left behind, and the payload is valid JSON.
+    assert [p.name for p in tmp_path.iterdir()] == ["ckpt.json"]
+    payload = json.loads((tmp_path / "ckpt.json").read_text())
+    assert payload["meta"] == META and "alpha" in payload["sections"]
+
+
+def test_delete_is_idempotent(tmp_path):
+    s = _store(tmp_path)
+    s.record_success("alpha", ["x"])
+    s.delete()
+    s.delete()
+    assert not (tmp_path / "ckpt.json").exists()
+
+
+def test_run_sections_isolates_failures(tmp_path):
+    store = _store(tmp_path)
+    ran = []
+
+    def ok_section(name):
+        def fn():
+            ran.append(name)
+            return [f"{name} output"]
+        return fn
+
+    def boom():
+        raise RuntimeError("kaput")
+
+    results = run_sections(
+        [("a", ok_section("a")), ("b", boom), ("c", ok_section("c"))],
+        store, log=lambda _m: None,
+    )
+    assert [r.ok for r in results] == [True, False, True]
+    assert ran == ["a", "c"]  # the failure did not abort the run
+    assert "kaput" in results[1].error
+
+    # The failure is recorded for post-mortem but NOT resumable-as-done.
+    reload = _store(tmp_path)
+    assert reload.load()
+    assert reload.completed() == ["a", "c"]
+
+
+def test_run_sections_resumes_from_checkpoint(tmp_path):
+    store = _store(tmp_path)
+    store.record_success("a", ["cached a"])
+    calls = []
+
+    def fresh():
+        calls.append("b")
+        return ["fresh b"]
+
+    results = run_sections(
+        [("a", lambda: ["recomputed"]), ("b", fresh)],
+        store, log=lambda _m: None,
+    )
+    assert results[0].cached and results[0].lines == ["cached a"]
+    assert not results[1].cached and results[1].lines == ["fresh b"]
+    assert calls == ["b"]  # cached section was not recomputed
+
+
+def test_run_sections_retries_previously_failed_section(tmp_path):
+    store = _store(tmp_path)
+    store.record_failure("a", "Traceback: kaput")
+    results = run_sections(
+        [("a", lambda: ["healed"])], store, log=lambda _m: None,
+    )
+    assert results[0].ok and results[0].lines == ["healed"]
+    payload = json.loads((tmp_path / "ckpt.json").read_text())
+    assert payload["failures"] == {}  # success clears the stored failure
+
+
+def test_run_sections_without_store():
+    results = run_sections([("a", lambda: ["x"])], None, log=lambda _m: None)
+    assert results == [SectionResult(name="a", ok=True, lines=["x"])]
+
+
+def test_keyboard_interrupt_propagates(tmp_path):
+    store = _store(tmp_path)
+
+    def die():
+        raise KeyboardInterrupt
+
+    with pytest.raises(KeyboardInterrupt):
+        run_sections(
+            [("a", lambda: ["done"]), ("b", die)], store,
+            log=lambda _m: None,
+        )
+    # The completed prefix survived the interrupt.
+    reload = _store(tmp_path)
+    assert reload.load() and reload.completed() == ["a"]

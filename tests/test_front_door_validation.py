@@ -1,0 +1,102 @@
+"""Every front-door method rejects malformed graphs and orderings.
+
+The corruption helpers build CSR shells that bypass the constructor's own
+validation — exactly the scenario (mmap'd file, buggy transform, bit rot)
+the front-door re-checks exist for.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.matching.api import MM_METHODS, maximal_matching
+from repro.core.mis.api import MIS_METHODS, maximal_independent_set
+from repro.core.orderings import random_priorities
+from repro.errors import EngineError, InvalidGraphError, InvalidOrderingError
+from repro.graphs.csr import EdgeList
+from repro.graphs.generators import uniform_random_graph
+from repro.robustness import GRAPH_FAULTS, corrupt_graph, corrupt_ranks
+
+G = uniform_random_graph(120, 360, seed=9)
+
+
+@pytest.mark.parametrize("method", MIS_METHODS)
+@pytest.mark.parametrize("kind", GRAPH_FAULTS)
+def test_mis_methods_reject_malformed_csr(method, kind):
+    bad = corrupt_graph(G, kind, seed=2)
+    with pytest.raises(InvalidGraphError):
+        maximal_independent_set(bad, method=method)
+
+
+@pytest.mark.parametrize("method", MM_METHODS)
+@pytest.mark.parametrize("kind", GRAPH_FAULTS)
+def test_mm_methods_reject_malformed_csr(method, kind):
+    bad = corrupt_graph(G, kind, seed=2)
+    with pytest.raises(InvalidGraphError):
+        maximal_matching(bad, method=method)
+
+
+def _asymmetric_graph():
+    """Arcs 0->1 and 2->3 without their reverses: even arc count, monotone
+    offsets, in-range neighbors — only the symmetry check can see it."""
+    from repro.graphs.csr import CSRGraph
+
+    g = CSRGraph.__new__(CSRGraph)  # bypass constructor validation
+    g.offsets = np.array([0, 1, 1, 2, 2], dtype=np.int64)
+    g.neighbors = np.array([1, 3], dtype=np.int64)
+    g._edge_list = None
+    return g
+
+
+@pytest.mark.parametrize("method", MIS_METHODS)
+def test_mis_methods_reject_asymmetric_graph_under_full_guards(method):
+    with pytest.raises(InvalidGraphError):
+        maximal_independent_set(_asymmetric_graph(), method=method,
+                                guards="full")
+
+
+@pytest.mark.parametrize("method", MM_METHODS)
+def test_mm_methods_reject_asymmetric_graph_under_full_guards(method):
+    with pytest.raises(InvalidGraphError):
+        maximal_matching(_asymmetric_graph(), method=method, guards="full")
+
+
+@pytest.mark.parametrize("method", [m for m in MIS_METHODS if m != "luby"])
+def test_mis_methods_reject_bad_ranks(method):
+    bad = corrupt_ranks(random_priorities(G.num_vertices, seed=1), "rank-dup")
+    with pytest.raises(InvalidOrderingError):
+        maximal_independent_set(G, bad, method=method)
+
+
+@pytest.mark.parametrize("method", MM_METHODS)
+def test_mm_methods_reject_bad_ranks(method):
+    el = G.edge_list()
+    bad = corrupt_ranks(random_priorities(el.num_edges, seed=1), "rank-short")
+    with pytest.raises(InvalidOrderingError):
+        maximal_matching(el, bad, method=method)
+
+
+def test_luby_rank_corruption_still_detected_before_luby_check():
+    # Even for luby (which forbids ranks entirely) a corrupted array is
+    # reported as an ordering problem, not hidden behind the luby error.
+    bad = corrupt_ranks(random_priorities(G.num_vertices, seed=1), "rank-nan")
+    with pytest.raises(InvalidOrderingError):
+        maximal_independent_set(G, bad, method="luby")
+
+
+def test_mm_rejects_noncanonical_edge_list():
+    el = G.edge_list()
+    swapped = EdgeList.__new__(EdgeList)  # bypass constructor validation
+    swapped.u = el.v.copy()  # u > v breaks the canonical form
+    swapped.v = el.u.copy()
+    swapped.num_vertices = el.num_vertices
+    swapped._inc_offsets = None
+    swapped._inc_edges = None
+    with pytest.raises(InvalidGraphError):
+        maximal_matching(swapped, method="rootset-vec")
+
+
+def test_front_doors_reject_wrong_container_types():
+    with pytest.raises((EngineError, AttributeError, TypeError)):
+        maximal_matching([(0, 1), (1, 2)])
+    with pytest.raises((EngineError, AttributeError, TypeError)):
+        maximal_independent_set(np.zeros((3, 3)))

@@ -1,0 +1,100 @@
+"""Budget semantics: arming, metering, exhaustion, and engine threading."""
+
+import numpy as np
+import pytest
+
+from repro.bench.sweeps import prefix_sweep_mis
+from repro.core.matching.rootset_vectorized import rootset_matching_vectorized
+from repro.core.matching.sequential import sequential_greedy_matching
+from repro.core.mis.prefix import prefix_greedy_mis
+from repro.core.mis.rootset_vectorized import rootset_mis_vectorized
+from repro.core.mis.sequential import sequential_greedy_mis
+from repro.core.orderings import random_priorities
+from repro.errors import BudgetExceededError
+from repro.graphs.generators import uniform_random_graph
+from repro.robustness import Budget
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+def test_ctor_requires_a_limit():
+    with pytest.raises(ValueError):
+        Budget()
+    with pytest.raises(ValueError):
+        Budget(max_seconds=0)
+    with pytest.raises(ValueError):
+        Budget(max_steps=-1)
+
+
+def test_step_budget_meters_and_raises():
+    b = Budget(max_steps=3)
+    b.start()
+    b.spend_steps(2)
+    assert b.steps_used == 2
+    with pytest.raises(BudgetExceededError, match="step budget exceeded"):
+        b.spend_steps(2)
+
+
+def test_wall_budget_uses_injected_clock():
+    clk = FakeClock()
+    b = Budget(max_seconds=5.0, clock=clk)
+    b.start()
+    clk.now = 4.0
+    b.check()  # under the deadline
+    assert b.remaining_seconds() == pytest.approx(1.0)
+    clk.now = 6.0
+    with pytest.raises(BudgetExceededError, match="wall-clock budget exceeded"):
+        b.check()
+
+
+def test_start_is_idempotent_and_reset_rearms():
+    clk = FakeClock()
+    b = Budget(max_seconds=2.0, clock=clk)
+    assert not b.started
+    b.start()
+    clk.now = 1.5
+    b.start()  # must NOT move the deadline
+    clk.now = 2.5
+    with pytest.raises(BudgetExceededError):
+        b.check()
+    b.reset()
+    assert not b.started and b.steps_used == 0
+    b.start()  # deadline re-armed from now=2.5
+    clk.now = 4.0
+    b.check()
+
+
+@pytest.mark.parametrize("engine,is_mm", [
+    (sequential_greedy_mis, False),
+    (rootset_mis_vectorized, False),
+    (prefix_greedy_mis, False),
+    (sequential_greedy_matching, True),
+    (rootset_matching_vectorized, True),
+], ids=lambda x: getattr(x, "__name__", str(x)))
+def test_engines_respect_step_budget(engine, is_mm):
+    g = uniform_random_graph(4000, 12000, seed=7)
+    arg = g.edge_list() if is_mm else g
+    n = arg.num_edges if is_mm else arg.num_vertices
+    ranks = random_priorities(n, seed=1)
+    with pytest.raises(BudgetExceededError):
+        engine(arg, ranks, budget=Budget(max_steps=1))
+    # A generous budget changes nothing about the result.
+    res = engine(arg, ranks, budget=Budget(max_steps=10**9))
+    ref = engine(arg, ranks)
+    assert np.array_equal(res.status, ref.status)
+
+
+def test_budget_is_shared_across_a_sweep():
+    g = uniform_random_graph(400, 1200, seed=2)
+    b = Budget(max_steps=10**9)
+    pts = prefix_sweep_mis(g, seed=1, budget=b)
+    assert len(pts) > 1 and b.steps_used > 0
+    # A budget that covers only part of the sweep raises mid-sweep.
+    with pytest.raises(BudgetExceededError):
+        prefix_sweep_mis(g, seed=1, budget=Budget(max_steps=b.steps_used // 2))

@@ -1,0 +1,160 @@
+"""Chaos suite: injected faults must be detected or harmless — never silent.
+
+Kernel faults are injected into the frontier primitives mid-run with the
+full guard mode watching; input faults are thrown at the front doors.  The
+acceptance bar for every case: a typed error, or a result bit-identical to
+the fault-free reference.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.matching.api import maximal_matching
+from repro.core.matching.rootset_vectorized import rootset_matching_vectorized
+from repro.core.matching.sequential import sequential_greedy_matching
+from repro.core.mis.api import maximal_independent_set
+from repro.core.mis.rootset_vectorized import rootset_mis_vectorized
+from repro.core.mis.sequential import sequential_greedy_mis
+from repro.core.orderings import random_priorities
+from repro.errors import (
+    InvalidGraphError,
+    InvalidOrderingError,
+    InvariantViolationError,
+)
+from repro.graphs.generators import uniform_random_graph
+from repro.robustness import (
+    GRAPH_FAULTS,
+    KERNEL_FAULTS,
+    RANK_FAULTS,
+    ChaosInjector,
+    FaultSpec,
+    corrupt_graph,
+    corrupt_ranks,
+)
+
+pytestmark = pytest.mark.chaos
+
+MIS_KERNEL_FAULTS = ("drop-frontier", "dup-frontier", "foreign-frontier",
+                     "count-extra")
+MM_KERNEL_FAULTS = ("drop-frontier", "dup-frontier", "foreign-frontier",
+                    "cursor-skip")
+LOUD = (InvariantViolationError, IndexError, ValueError, FloatingPointError,
+        OverflowError)
+
+
+@pytest.fixture(scope="module")
+def instance():
+    g = uniform_random_graph(250, 750, seed=11)
+    el = g.edge_list()
+    vranks = random_priorities(g.num_vertices, seed=4)
+    eranks = random_priorities(el.num_edges, seed=4)
+    return {
+        "g": g,
+        "el": el,
+        "vranks": vranks,
+        "eranks": eranks,
+        "mis_ref": sequential_greedy_mis(g, vranks).status,
+        "mm_ref": sequential_greedy_matching(el, eranks).status,
+    }
+
+
+@pytest.mark.parametrize("kind", MIS_KERNEL_FAULTS)
+@pytest.mark.parametrize("after", [0, 1, 2, 3])
+def test_mis_kernel_faults_detected_or_harmless(instance, kind, after):
+    spec = FaultSpec(kind=kind, seed=99, after=after)
+    try:
+        with ChaosInjector(spec) as chaos:
+            status = rootset_mis_vectorized(
+                instance["g"], instance["vranks"], guards="full",
+                use_cache=False,
+            ).status
+    except LOUD:
+        return  # detected
+    if chaos.fired:
+        assert np.array_equal(status, instance["mis_ref"]), (
+            f"silent wrong answer: {kind} after={after}"
+        )
+
+
+@pytest.mark.parametrize("kind", MM_KERNEL_FAULTS)
+@pytest.mark.parametrize("after", [0, 1, 2, 3])
+def test_mm_kernel_faults_detected_or_harmless(instance, kind, after):
+    spec = FaultSpec(kind=kind, seed=99, after=after)
+    try:
+        with ChaosInjector(spec) as chaos:
+            status = rootset_matching_vectorized(
+                instance["el"], instance["eranks"], guards="full",
+                use_cache=False,
+            ).status
+    except LOUD:
+        return  # detected
+    if chaos.fired:
+        assert np.array_equal(status, instance["mm_ref"]), (
+            f"silent wrong answer: {kind} after={after}"
+        )
+
+
+def test_at_least_one_kernel_fault_is_caught_by_guards(instance):
+    """The matrix above tolerates harmless strikes; this pins down that the
+    guard layer actually fires for a blatant corruption."""
+    caught = 0
+    for after in range(4):
+        try:
+            with ChaosInjector(FaultSpec("drop-frontier", seed=1, after=after)):
+                rootset_mis_vectorized(
+                    instance["g"], instance["vranks"], guards="full",
+                    use_cache=False,
+                )
+        except InvariantViolationError:
+            caught += 1
+    assert caught > 0
+
+
+@pytest.mark.parametrize("kind", RANK_FAULTS)
+def test_rank_faults_rejected_at_mis_front_door(instance, kind):
+    bad = corrupt_ranks(instance["vranks"], kind, seed=1)
+    with pytest.raises(InvalidOrderingError):
+        maximal_independent_set(instance["g"], bad, method="rootset-vec")
+
+
+@pytest.mark.parametrize("kind", RANK_FAULTS)
+def test_rank_faults_rejected_at_mm_front_door(instance, kind):
+    bad = corrupt_ranks(instance["eranks"], kind, seed=1)
+    with pytest.raises(InvalidOrderingError):
+        maximal_matching(instance["el"], bad, method="rootset-vec")
+
+
+@pytest.mark.parametrize("kind", GRAPH_FAULTS)
+def test_graph_faults_rejected_at_both_front_doors(instance, kind):
+    bad = corrupt_graph(instance["g"], kind, seed=1)
+    with pytest.raises(InvalidGraphError):
+        maximal_independent_set(bad, method="rootset-vec")
+    with pytest.raises(InvalidGraphError):
+        maximal_matching(bad, method="rootset-vec")
+
+
+def test_injector_rejects_input_fault_kinds():
+    for kind in RANK_FAULTS + GRAPH_FAULTS:
+        with pytest.raises(ValueError):
+            ChaosInjector(FaultSpec(kind=kind))
+    with pytest.raises(ValueError):
+        FaultSpec(kind="not-a-fault")
+
+
+def test_fault_spec_covers_every_kernel_fault():
+    assert set(MIS_KERNEL_FAULTS) | set(MM_KERNEL_FAULTS) == set(KERNEL_FAULTS)
+
+
+def test_fallback_degrades_around_a_faulted_engine(instance):
+    g, vranks = instance["g"], instance["vranks"]
+    spec = FaultSpec(kind="count-extra", seed=7, after=0)
+    with ChaosInjector(spec) as chaos:
+        res = maximal_independent_set(
+            g, vranks, method="rootset-vec", guards="full", fallback=True,
+        )
+    if not chaos.fired:
+        pytest.skip("fault site never reached on this instance")
+    assert np.array_equal(res.status, instance["mis_ref"])
+    if res.stats.aux.get("degraded"):
+        assert res.stats.aux["fallback_engine"] in ("rootset", "sequential")
+        assert res.stats.aux["fallback_attempts"]

@@ -1,0 +1,113 @@
+"""Invariant guards: clean runs pass at every mode, violations raise."""
+
+import numpy as np
+import pytest
+
+from repro.core.matching.prefix import prefix_greedy_matching
+from repro.core.matching.rootset import rootset_matching
+from repro.core.matching.rootset_vectorized import rootset_matching_vectorized
+from repro.core.matching.sequential import sequential_greedy_matching
+from repro.core.mis.prefix import prefix_greedy_mis
+from repro.core.mis.rootset import rootset_mis
+from repro.core.mis.rootset_vectorized import rootset_mis_vectorized
+from repro.core.mis.sequential import sequential_greedy_mis
+from repro.core.orderings import random_priorities
+from repro.core.status import IN_SET, UNDECIDED, new_vertex_status
+from repro.errors import EngineError, InvariantViolationError
+from repro.graphs.generators import rmat_graph, uniform_random_graph
+from repro.robustness import (
+    GUARD_MODES,
+    MISInvariantGuard,
+    mis_guard,
+    matching_guard,
+    resolve_guard_mode,
+)
+
+MIS_GUARDED = [prefix_greedy_mis, rootset_mis, rootset_mis_vectorized]
+MM_GUARDED = [
+    prefix_greedy_matching, rootset_matching, rootset_matching_vectorized,
+]
+
+
+def test_resolve_guard_mode():
+    assert resolve_guard_mode(None) == "off"
+    for m in GUARD_MODES:
+        assert resolve_guard_mode(m) == m
+    with pytest.raises(EngineError):
+        resolve_guard_mode("paranoid")
+
+
+def test_off_mode_builds_no_guard():
+    g = uniform_random_graph(10, 20, seed=0)
+    ranks = random_priorities(10, seed=0)
+    assert mis_guard("off", g, ranks, "x") is None
+    assert mis_guard(None, g, ranks, "x") is None
+    el = g.edge_list()
+    eranks = random_priorities(el.num_edges, seed=0)
+    assert matching_guard("off", el, eranks, "x") is None
+
+
+@pytest.mark.parametrize("mode", ["cheap", "full"])
+@pytest.mark.parametrize("engine", MIS_GUARDED, ids=lambda f: f.__name__)
+@pytest.mark.parametrize("gen_seed", [0, 3])
+def test_guarded_mis_engines_stay_lex_first(engine, mode, gen_seed):
+    g = (uniform_random_graph(300, 900, seed=gen_seed) if gen_seed == 0
+         else rmat_graph(8, 700, seed=gen_seed))
+    ranks = random_priorities(g.num_vertices, seed=5)
+    ref = sequential_greedy_mis(g, ranks)
+    res = engine(g, ranks, guards=mode)
+    assert np.array_equal(res.status, ref.status)
+
+
+@pytest.mark.parametrize("mode", ["cheap", "full"])
+@pytest.mark.parametrize("engine", MM_GUARDED, ids=lambda f: f.__name__)
+@pytest.mark.parametrize("gen_seed", [0, 3])
+def test_guarded_mm_engines_stay_lex_first(engine, mode, gen_seed):
+    g = (uniform_random_graph(300, 900, seed=gen_seed) if gen_seed == 0
+         else rmat_graph(8, 700, seed=gen_seed))
+    el = g.edge_list()
+    ranks = random_priorities(el.num_edges, seed=5)
+    ref = sequential_greedy_matching(el, ranks)
+    res = engine(el, ranks, guards=mode)
+    assert np.array_equal(res.status, ref.status)
+
+
+def _mis_guard(mode="cheap"):
+    g = uniform_random_graph(50, 150, seed=1)
+    ranks = random_priorities(g.num_vertices, seed=1)
+    return g, ranks, MISInvariantGuard(g, ranks, mode, "test-engine")
+
+
+def test_guard_rejects_duplicate_roots():
+    g, ranks, guard = _mis_guard()
+    status = new_vertex_status(g.num_vertices)
+    with pytest.raises(InvariantViolationError, match="test-engine"):
+        guard.check_roots(status, np.array([3, 3], dtype=np.int64))
+
+
+def test_guard_rejects_decided_root():
+    g, ranks, guard = _mis_guard()
+    status = new_vertex_status(g.num_vertices)
+    status[7] = IN_SET
+    with pytest.raises(InvariantViolationError):
+        guard.check_roots(status, np.array([7], dtype=np.int64))
+
+
+def test_full_guard_rejects_non_minimal_root():
+    # A root with a higher-priority undecided neighbor is not lex-first.
+    g, ranks, guard = _mis_guard(mode="full")
+    status = new_vertex_status(g.num_vertices)
+    own, nb = g.gather(np.arange(g.num_vertices, dtype=np.int64))
+    # Pick any vertex that has a neighbor with a smaller rank.
+    bad = next(int(v) for v, w in zip(own.tolist(), nb.tolist())
+               if ranks[w] < ranks[v])
+    with pytest.raises(InvariantViolationError):
+        guard.check_roots(status, np.array([bad], dtype=np.int64))
+
+
+def test_guard_finalize_rejects_undecided_survivor():
+    g, ranks, guard = _mis_guard()
+    status = new_vertex_status(g.num_vertices)
+    assert (status == UNDECIDED).all()
+    with pytest.raises(InvariantViolationError):
+        guard.finalize(status)
