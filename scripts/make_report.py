@@ -6,7 +6,11 @@ add the ablation JSONs).  The report embeds the SVGs inline so the single
 HTML file is self-contained and viewable offline.
 
 Usage:
-    python scripts/make_report.py [results_dir]
+    python scripts/make_report.py [--with-trace] [results_dir]
+
+``--with-trace`` appends a per-round telemetry section: a fresh traced run
+of the vectorized root-set MIS on the small-tier rMat workload, rendered
+as a frontier-size table (round, frontier, decided, selected, work, depth).
 """
 
 from __future__ import annotations
@@ -43,8 +47,41 @@ ABLATIONS = [
 ]
 
 
+def trace_section() -> list:
+    """Per-round telemetry table for one representative rMat run."""
+    from repro.bench.workloads import paper_rmat_graph
+    from repro.core.mis.rootset_vectorized import rootset_mis_vectorized
+    from repro.core.orderings import random_priorities
+    from repro.observability import MemorySink, Tracer, round_records
+
+    g = paper_rmat_graph("small")
+    ranks = random_priorities(g.num_vertices, seed=1)
+    sink = MemorySink()
+    res = rootset_mis_vectorized(g, ranks, tracer=Tracer(sink))
+    parts = [
+        "<h2>Per-round telemetry — rootset-vec MIS, small rMat</h2>",
+        f"<p>n = {g.num_vertices:,}, m = {g.num_edges:,}; MIS size "
+        f"{res.size:,} in {res.stats.steps} rounds.  The collapsing frontier "
+        "column is the paper's mechanism: nearly all of the graph resolves "
+        "in the first few synchronous steps.</p>",
+        "<table border='1' cellpadding='4' cellspacing='0'>",
+        "<tr><th>round</th><th>frontier</th><th>decided</th>"
+        "<th>selected</th><th>work</th><th>depth</th></tr>",
+    ]
+    for r in round_records(sink.events):
+        parts.append(
+            f"<tr><td>{r.index}</td><td>{r.frontier:,}</td>"
+            f"<td>{r.decided:,}</td><td>{r.selected:,}</td>"
+            f"<td>{r.work:,}</td><td>{r.depth:,}</td></tr>"
+        )
+    parts.append("</table>")
+    return parts
+
+
 def main(argv=None) -> int:
-    args = argv or sys.argv[1:]
+    args = list(argv if argv is not None else sys.argv[1:])
+    with_trace = "--with-trace" in args
+    args = [a for a in args if a != "--with-trace"]
     results = pathlib.Path(args[0]) if args else (
         pathlib.Path(__file__).resolve().parent.parent / "results"
     )
@@ -87,6 +124,8 @@ def main(argv=None) -> int:
         payload = json.loads(p.read_text())
         parts.append(f"<h3>{html.escape(title)}</h3><pre>"
                      f"{html.escape(json.dumps(payload, indent=2))}</pre>")
+    if with_trace:
+        parts.extend(trace_section())
     parts.append("</body></html>")
     out = results / "report.html"
     out.write_text("\n".join(parts))

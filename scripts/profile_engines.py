@@ -6,10 +6,14 @@ prints the top functions by cumulative time, so optimization work targets
 measured bottlenecks rather than guesses.
 
 Usage:
-    python scripts/profile_engines.py [engine ...]
+    python scripts/profile_engines.py [--counters] [engine ...]
 
 where each engine is one of: mis-sequential mis-parallel mis-prefix
 mm-parallel mm-prefix luby mis-rootset-vec mm-rootset-vec (default: all).
+
+With ``--counters`` each engine instead runs under
+:class:`repro.observability.KernelCounters` and prints the per-kernel
+call/element/time table — the frontier-kernel view of the same workload.
 """
 
 from __future__ import annotations
@@ -50,13 +54,27 @@ def main(argv=None) -> int:
         "mm-rootset-vec": lambda: rootset_matching_vectorized(el, eranks, machine=null_machine()),
         "luby": lambda: luby_mis(graph, seed=3, machine=null_machine()),
     }
-    wanted = (argv or sys.argv[1:]) or list(targets)
+    args = list(argv if argv is not None else sys.argv[1:])
+    counters = "--counters" in args
+    wanted = [a for a in args if a != "--counters"] or list(targets)
     unknown = [w for w in wanted if w not in targets]
     if unknown:
         print(f"unknown engines: {unknown}; choose from {sorted(targets)}")
         return 2
     print(f"profiling on {graph!r}\n")
     for name in wanted:
+        print(f"=== {name} " + "=" * max(1, 60 - len(name)))
+        if counters:
+            from repro.observability import KernelCounters
+
+            with KernelCounters() as kc:
+                targets[name]()
+            if kc.total_calls:
+                print(kc.format())
+            else:
+                print("(no frontier-kernel calls — pointer/scalar engine)")
+            print()
+            continue
         profiler = cProfile.Profile()
         profiler.enable()
         targets[name]()
@@ -66,7 +84,6 @@ def main(argv=None) -> int:
         stats.sort_stats("cumulative").print_stats(TOP)
         lines = buf.getvalue().splitlines()
         # Keep header + top rows, drop the noise.
-        print(f"=== {name} " + "=" * max(1, 60 - len(name)))
         for line in lines[:TOP + 8]:
             print(line)
         print()

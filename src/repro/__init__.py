@@ -18,9 +18,10 @@ See README.md for the architecture overview and EXPERIMENTS.md for the
 paper-figure reproductions.
 """
 
-from repro.core.mis import maximal_independent_set
-from repro.core.matching import maximal_matching
-from repro.core import mis, matching, dependence
+from repro.core.mis import maximal_independent_set, MIS_METHODS
+from repro.core.matching import maximal_matching, MM_METHODS
+from repro.core.engines import solve
+from repro.core import engines, mis, matching, dependence
 from repro.core.orderings import (
     random_priorities,
     identity_priorities,
@@ -30,14 +31,19 @@ from repro.core.orderings import (
 from repro.core.result import MISResult, MatchingResult, RunStats
 from repro.graphs import CSRGraph, EdgeList, generators, from_edges, line_graph
 from repro.pram import CostModel, Machine, simulate_time, speedup_curve
+from repro.observability import JSONLSink, KernelCounters, MemorySink, NullSink, Tracer
 from repro.robustness import Budget
-from repro import errors, robustness
+from repro import errors, observability, robustness
 
 __version__ = "1.0.0"
 
 __all__ = [
     "maximal_independent_set",
     "maximal_matching",
+    "solve",
+    "MIS_METHODS",
+    "MM_METHODS",
+    "engines",
     "mis",
     "matching",
     "dependence",
@@ -57,8 +63,14 @@ __all__ = [
     "Machine",
     "simulate_time",
     "speedup_curve",
+    "Tracer",
+    "MemorySink",
+    "JSONLSink",
+    "NullSink",
+    "KernelCounters",
     "Budget",
     "errors",
+    "observability",
     "robustness",
     "__version__",
 ]

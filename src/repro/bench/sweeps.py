@@ -94,11 +94,14 @@ def prefix_sweep_mis(
     cost: Optional[CostModel] = None,
     seed: SeedLike = 0,
     budget: Optional[Budget] = None,
+    tracer=None,
 ) -> List[SweepPoint]:
     """Run the prefix-based MIS across prefix sizes (Figures 1a–1f).
 
     The same *ranks* is reused for every point, so all points compute the
     identical MIS and differ only in schedule — exactly the paper's setup.
+    An optional :class:`~repro.observability.Tracer` is shared across all
+    points; each point appears as its own traced run in the sink.
     """
     n = graph.num_vertices
     if ranks is None:
@@ -111,7 +114,8 @@ def prefix_sweep_mis(
         machine = Machine()
         with Timer() as t:
             res = prefix_greedy_mis(
-                graph, ranks, prefix_size=int(k), machine=machine, budget=budget
+                graph, ranks, prefix_size=int(k), machine=machine,
+                budget=budget, tracer=tracer,
             )
         aux = res.stats.aux
         points.append(
@@ -139,6 +143,7 @@ def prefix_sweep_mm(
     cost: Optional[CostModel] = None,
     seed: SeedLike = 0,
     budget: Optional[Budget] = None,
+    tracer=None,
 ) -> List[SweepPoint]:
     """Run the prefix-based MM across prefix sizes (Figures 2a–2f)."""
     m = edges.num_edges
@@ -152,7 +157,8 @@ def prefix_sweep_mm(
         machine = Machine()
         with Timer() as t:
             res = prefix_greedy_matching(
-                edges, ranks, prefix_size=int(k), machine=machine, budget=budget
+                edges, ranks, prefix_size=int(k), machine=machine,
+                budget=budget, tracer=tracer,
             )
         aux = res.stats.aux
         points.append(

@@ -11,7 +11,9 @@ Installed as the ``repro`` console script (also usable as
     Run an MIS / maximal-matching engine on a graph file, verify the
     result, and report size + work/round/step accounting.  Robustness
     knobs: ``--guards off|cheap|full``, ``--fallback``, and
-    ``--budget-seconds`` / ``--budget-steps``.
+    ``--budget-seconds`` / ``--budget-steps``.  Observability knobs:
+    ``--trace PATH`` (stream per-round JSONL telemetry) and
+    ``--trace-summary`` (print a per-round table).
 ``deps``
     Report the dependence length and longest priority-DAG path for a
     random (or seeded) order.
@@ -37,8 +39,9 @@ from repro.core.dependence import (
     longest_path_length,
     matching_dependence_length,
 )
-from repro.core.matching import MM_METHODS, assert_valid_matching, maximal_matching
-from repro.core.mis import MIS_METHODS, assert_valid_mis, maximal_independent_set
+from repro.core.engines import engine_methods
+from repro.core.matching import assert_valid_matching, maximal_matching
+from repro.core.mis import assert_valid_mis, maximal_independent_set
 from repro.core.orderings import random_priorities
 from repro.graphs.generators import (
     complete_graph,
@@ -80,8 +83,10 @@ def build_parser() -> argparse.ArgumentParser:
                             ("mm", "maximal matching")):
         p = sub.add_parser(name, help=f"compute a {help_text}")
         p.add_argument("graph")
+        # --method choices come straight from the engine registry, so a
+        # newly registered engine is immediately available here.
         p.add_argument("--method", default="prefix",
-                       choices=MIS_METHODS if name == "mis" else MM_METHODS)
+                       choices=engine_methods("mis" if name == "mis" else "matching"))
         p.add_argument("--prefix-size", type=int, default=None)
         p.add_argument("--seed", type=int, default=0)
         p.add_argument("--processors", type=int, default=32,
@@ -97,6 +102,12 @@ def build_parser() -> argparse.ArgumentParser:
                        "wall-clock limit")
         p.add_argument("--budget-steps", type=int, default=None,
                        help="abort past this many synchronous steps")
+        p.add_argument("--trace", default=None, metavar="PATH",
+                       help="stream per-round telemetry to PATH as JSON "
+                       "Lines (see docs/observability.md)")
+        p.add_argument("--trace-summary", action="store_true",
+                       help="print a per-round frontier/work table after "
+                       "the run")
 
     d = sub.add_parser("deps", help="dependence-length analysis")
     d.add_argument("graph")
@@ -141,6 +152,34 @@ def _make_budget(args):
     from repro.robustness import Budget
 
     return Budget(max_seconds=args.budget_seconds, max_steps=args.budget_steps)
+
+
+def _make_tracer(args):
+    """A Tracer serving --trace/--trace-summary, or None."""
+    if not args.trace and not args.trace_summary:
+        return None
+    from repro.observability import JSONLSink, MemorySink, Tracer
+
+    sink = JSONLSink(args.trace) if args.trace else MemorySink()
+    return Tracer(sink)
+
+
+def _finish_trace(args, tracer) -> None:
+    """Close the trace sink and print the requested artifacts."""
+    if tracer is None:
+        return
+    from repro.observability import MemorySink, read_trace, trace_summary
+
+    tracer.sink.close()
+    if args.trace:
+        print(f"trace:       {args.trace} ({tracer.rounds} round events)")
+    if args.trace_summary:
+        events = (
+            tracer.sink.events
+            if isinstance(tracer.sink, MemorySink)
+            else read_trace(args.trace)
+        )
+        print(trace_summary(events))
 
 
 def _report_degradation(stats) -> None:
@@ -197,14 +236,16 @@ def _cmd_mis(args) -> int:
     ranks = None
     if args.method != "luby":
         ranks = random_priorities(g.num_vertices, seed=args.seed)
+    tracer = _make_tracer(args)
     res = maximal_independent_set(
         g, ranks, method=args.method, prefix_size=args.prefix_size,
         seed=args.seed, guards=args.guards, budget=_make_budget(args),
-        fallback=args.fallback,
+        fallback=args.fallback, tracer=tracer,
     )
     assert_valid_mis(g, res.in_set, ranks if args.method != "luby" else None)
     s = res.stats
     _report_degradation(s)
+    _finish_trace(args, tracer)
     print(f"MIS size:    {res.size} / {g.num_vertices}")
     print(f"engine:      {s.algorithm}")
     print(f"rounds:      {s.rounds}   steps: {s.steps}")
@@ -220,14 +261,16 @@ def _cmd_mm(args) -> int:
     g = read_adjacency_graph(args.graph)
     el = g.edge_list()
     ranks = random_priorities(el.num_edges, seed=args.seed)
+    tracer = _make_tracer(args)
     res = maximal_matching(
         el, ranks, method=args.method, prefix_size=args.prefix_size,
         guards=args.guards, budget=_make_budget(args),
-        fallback=args.fallback,
+        fallback=args.fallback, tracer=tracer,
     )
     assert_valid_matching(el, res.matched, ranks)
     s = res.stats
     _report_degradation(s)
+    _finish_trace(args, tracer)
     print(f"matching size: {res.size} / {el.num_edges} edges "
           f"({2 * res.size} vertices covered)")
     print(f"engine:        {s.algorithm}")

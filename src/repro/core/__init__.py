@@ -7,6 +7,9 @@ Public surface:
   :func:`repro.core.mis.maximal_independent_set`.
 * :mod:`repro.core.matching` — four MM engines behind
   :func:`repro.core.matching.maximal_matching`.
+* :mod:`repro.core.engines` — the unified engine registry behind both
+  front doors (:class:`~repro.core.engines.EngineSpec` capability flags,
+  :func:`~repro.core.engines.solve`).
 * :mod:`repro.core.dependence` — priority-DAG analysis (dependence length,
   longest path, per-vertex step numbers).
 * :mod:`repro.core.orderings` — random priorities π.
@@ -21,7 +24,8 @@ from repro.core.orderings import (
 )
 from repro.core.status import UNDECIDED, IN_SET, KNOCKED_OUT, EDGE_LIVE, EDGE_MATCHED, EDGE_DEAD
 from repro.core.result import MISResult, MatchingResult, RunStats
-from repro.core import mis, matching, dependence
+from repro.core.engines import solve
+from repro.core import engines, mis, matching, dependence
 
 __all__ = [
     "random_priorities",
@@ -38,6 +42,8 @@ __all__ = [
     "MISResult",
     "MatchingResult",
     "RunStats",
+    "solve",
+    "engines",
     "mis",
     "matching",
     "dependence",

@@ -1,0 +1,333 @@
+"""Unified engine registry: one table from method name to engine callable.
+
+Both front doors (:func:`repro.core.mis.maximal_independent_set` and
+:func:`repro.core.matching.maximal_matching`), the CLI ``--method``
+choices, and the docs-integrity checks all read from this module, so an
+engine added here is simultaneously dispatchable, listed, and documented.
+
+Each engine is described by a frozen :class:`EngineSpec` carrying the
+dotted module path, the callable name, and honest capability flags:
+
+* ``supports_guards`` — accepts the ``guards="off|cheap|full"`` knob;
+* ``supports_prefix_knobs`` — accepts ``prefix_size``/``prefix_frac``;
+* ``supports_ranks`` — consumes a caller-supplied priority array;
+* ``deterministic`` — output is a pure function of (input, ranks);
+* ``fallback`` — member of the graceful-degradation chain.
+
+Engine modules are resolved lazily (:meth:`EngineSpec.resolve` imports on
+first use), so this module imports nothing from the engine layer at import
+time and can be loaded from anywhere without circular imports.
+
+The degradation order used by ``fallback=True`` is *derived* from
+registration order instead of being hard-coded in each front door:
+fallback-capable engines are registered slowest-first, and
+:func:`fallback_chain` reverses that, yielding
+``rootset-vec → rootset → sequential``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, Sequence, Tuple
+
+from repro.errors import EngineError
+
+__all__ = [
+    "EngineSpec",
+    "MethodsView",
+    "PROBLEMS",
+    "engine_methods",
+    "engine_specs",
+    "fallback_chain",
+    "get_engine",
+    "register_engine",
+    "dispatch",
+    "solve",
+]
+
+#: Problems the registry knows about.
+PROBLEMS = ("mis", "matching")
+
+#: Human labels used in error messages ("unknown MIS method ...").
+_PROBLEM_LABEL = {"mis": "MIS", "matching": "matching"}
+
+
+@dataclass(frozen=True)
+class EngineSpec:
+    """One registered engine: location, identity, and capability flags."""
+
+    problem: str  #: "mis" or "matching"
+    method: str  #: public method name, e.g. "rootset-vec"
+    module: str  #: dotted module path holding the callable
+    func: str  #: attribute name of the engine callable
+    algorithm: str  #: ``stats.algorithm`` value the engine reports
+    summary: str = ""  #: one-line description for docs/CLI help
+    supports_guards: bool = False
+    supports_prefix_knobs: bool = False
+    supports_ranks: bool = True
+    deterministic: bool = True
+    fallback: bool = False  #: member of the degradation chain
+
+    def resolve(self) -> Callable[..., Any]:
+        """Import the engine module and return the callable (lazy)."""
+        return getattr(importlib.import_module(self.module), self.func)
+
+
+# Ordered per problem: dicts preserve insertion order, which is the order
+# methods() reports and fallback_chain() reverses.
+_REGISTRY: Dict[str, Dict[str, EngineSpec]] = {p: {} for p in PROBLEMS}
+
+# (problem, method) -> frozenset of keyword names the callable accepts.
+# Populated on first dispatch so `resolve` stays the only import trigger.
+_ACCEPTS: Dict[Tuple[str, str], frozenset] = {}
+
+
+def register_engine(spec: EngineSpec) -> EngineSpec:
+    """Add *spec* to the registry.  Duplicate method names are an error."""
+    if spec.problem not in _REGISTRY:
+        raise EngineError(
+            f"unknown problem {spec.problem!r}; expected one of {PROBLEMS}"
+        )
+    table = _REGISTRY[spec.problem]
+    if spec.method in table:
+        raise EngineError(
+            f"duplicate {_PROBLEM_LABEL[spec.problem]} engine {spec.method!r}"
+        )
+    table[spec.method] = spec
+    return spec
+
+
+def _problem_table(problem: str) -> Dict[str, EngineSpec]:
+    try:
+        return _REGISTRY[problem]
+    except KeyError:
+        raise EngineError(
+            f"unknown problem {problem!r}; expected one of {PROBLEMS}"
+        ) from None
+
+
+def engine_methods(problem: str) -> Tuple[str, ...]:
+    """Registered method names for *problem*, in registration order."""
+    return tuple(_problem_table(problem))
+
+
+def engine_specs(problem: str) -> Tuple[EngineSpec, ...]:
+    """Registered :class:`EngineSpec` rows for *problem*, in order."""
+    return tuple(_problem_table(problem).values())
+
+
+def get_engine(problem: str, method: str) -> EngineSpec:
+    """Look up one engine; unknown names raise listing what is registered."""
+    table = _problem_table(problem)
+    try:
+        return table[method]
+    except KeyError:
+        raise EngineError(
+            f"unknown {_PROBLEM_LABEL[problem]} method {method!r}; "
+            f"expected one of {tuple(table)}"
+        ) from None
+
+
+def fallback_chain(problem: str) -> Tuple[str, ...]:
+    """Degradation order: fallback-capable engines, fastest first.
+
+    Derived from the registry — fallback engines register slowest-first,
+    so reversing registration order yields ``rootset-vec → rootset →
+    sequential`` without either front door hard-coding the chain.
+    """
+    return tuple(
+        spec.method
+        for spec in reversed(engine_specs(problem))
+        if spec.fallback
+    )
+
+
+class MethodsView(Sequence):
+    """Live, ordered, tuple-like view of one problem's method names.
+
+    ``MIS_METHODS``/``MM_METHODS`` are instances, so membership tests,
+    iteration, indexing and ``repr`` keep working for existing callers
+    while the single source of truth is the registry.
+    """
+
+    __slots__ = ("_problem",)
+
+    def __init__(self, problem: str) -> None:
+        _problem_table(problem)  # validate eagerly
+        object.__setattr__(self, "_problem", problem)
+
+    def __getitem__(self, index):
+        return engine_methods(self._problem)[index]
+
+    def __len__(self) -> int:
+        return len(_problem_table(self._problem))
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(engine_methods(self._problem))
+
+    def __contains__(self, item: object) -> bool:
+        return item in _problem_table(self._problem)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MethodsView):
+            other = tuple(other)
+        return tuple(self) == other
+
+    def __hash__(self) -> int:
+        return hash(tuple(self))
+
+    def __repr__(self) -> str:
+        return repr(engine_methods(self._problem))
+
+
+def _accepted_keywords(spec: EngineSpec) -> frozenset:
+    key = (spec.problem, spec.method)
+    cached = _ACCEPTS.get(key)
+    if cached is None:
+        params = inspect.signature(spec.resolve()).parameters
+        cached = frozenset(
+            name
+            for name, p in params.items()
+            if p.kind in (p.KEYWORD_ONLY, p.POSITIONAL_OR_KEYWORD)
+        )
+        _ACCEPTS[key] = cached
+    return cached
+
+
+def dispatch(problem: str, method: str, payload, ranks=None, **options):
+    """Run one registered engine on *payload* (graph or edge list).
+
+    Options the engine does not accept are dropped here — the front doors
+    have already rejected knobs that are *meaningful but unsupported*
+    (via the capability flags), so what remains are uniform pass-through
+    options (``seed``/``machine``/``guards``/``budget``/``tracer``/…)
+    that simply do not apply to every engine.
+    """
+    spec = get_engine(problem, method)
+    fn = spec.resolve()
+    accepts = _accepted_keywords(spec)
+    kwargs = {k: v for k, v in options.items() if k in accepts}
+    if not spec.supports_ranks:
+        # Engines like Luby's take no priority argument at all; the front
+        # door has already rejected a caller-supplied ranks array.
+        return fn(payload, **kwargs)
+    return fn(payload, ranks, **kwargs)
+
+
+def solve(problem: str, graph_or_edges, ranks=None, **options):
+    """Single front door over both problems.
+
+    ``solve("mis", g, method="rootset-vec", seed=0)`` is exactly
+    ``maximal_independent_set(g, method="rootset-vec", seed=0)``; likewise
+    ``solve("matching", ...)`` (alias ``"mm"``) delegates to
+    :func:`repro.core.matching.maximal_matching`.  All keyword options are
+    forwarded unchanged, so the full validation boundary (graph/rank
+    checks, capability-flag errors, guards/budget/fallback/tracer) applies.
+    """
+    if problem == "mm":
+        problem = "matching"
+    if problem == "mis":
+        from repro.core.mis.api import maximal_independent_set
+
+        return maximal_independent_set(graph_or_edges, ranks, **options)
+    if problem == "matching":
+        from repro.core.matching.api import maximal_matching
+
+        return maximal_matching(graph_or_edges, ranks, **options)
+    raise EngineError(
+        f"unknown problem {problem!r}; expected 'mis' or 'matching'"
+    )
+
+
+# ---------------------------------------------------------------------------
+# Registrations.  Order matters: it is the public listing order, and the
+# fallback-capable engines (sequential → rootset → rootset-vec, i.e.
+# slowest first) reverse into the degradation chain.
+# ---------------------------------------------------------------------------
+
+register_engine(EngineSpec(
+    problem="mis", method="sequential",
+    module="repro.core.mis.sequential", func="sequential_greedy_mis",
+    algorithm="mis/sequential",
+    summary="Algorithm 1: the paper's sequential greedy baseline",
+    fallback=True,
+))
+register_engine(EngineSpec(
+    problem="mis", method="parallel",
+    module="repro.core.mis.parallel", func="parallel_greedy_mis",
+    algorithm="mis/parallel",
+    summary="Algorithm 2: full-graph parallel greedy (root peeling)",
+))
+register_engine(EngineSpec(
+    problem="mis", method="prefix",
+    module="repro.core.mis.prefix", func="prefix_greedy_mis",
+    algorithm="mis/prefix",
+    summary="Algorithm 3: prefix-based schedule (the paper's workhorse)",
+    supports_guards=True, supports_prefix_knobs=True,
+))
+register_engine(EngineSpec(
+    problem="mis", method="theorem45",
+    module="repro.core.mis.prefix", func="theorem45_prefix_mis",
+    algorithm="mis/prefix",
+    summary="Algorithm 3 under the adaptive Theorem 4.5 prefix schedule",
+    supports_guards=True,
+))
+register_engine(EngineSpec(
+    problem="mis", method="rootset",
+    module="repro.core.mis.rootset", func="rootset_mis",
+    algorithm="mis/rootset",
+    summary="Linear-work root-set engine (pointer implementation)",
+    supports_guards=True, fallback=True,
+))
+register_engine(EngineSpec(
+    problem="mis", method="rootset-vec",
+    module="repro.core.mis.rootset_vectorized", func="rootset_mis_vectorized",
+    algorithm="mis/rootset-vec",
+    summary="Vectorized root-set engine on the frontier kernels",
+    supports_guards=True, fallback=True,
+))
+register_engine(EngineSpec(
+    problem="mis", method="luby",
+    module="repro.core.mis.luby", func="luby_mis",
+    algorithm="mis/luby",
+    summary="Luby's randomized MIS baseline (re-randomizes every round)",
+    supports_ranks=False, deterministic=False,
+))
+
+register_engine(EngineSpec(
+    problem="matching", method="sequential",
+    module="repro.core.matching.sequential", func="sequential_greedy_matching",
+    algorithm="mm/sequential",
+    summary="Sequential greedy matching over the edge order",
+    fallback=True,
+))
+register_engine(EngineSpec(
+    problem="matching", method="parallel",
+    module="repro.core.matching.parallel", func="parallel_greedy_matching",
+    algorithm="mm/parallel",
+    summary="Full-edge-set parallel greedy matching",
+))
+register_engine(EngineSpec(
+    problem="matching", method="prefix",
+    module="repro.core.matching.prefix", func="prefix_greedy_matching",
+    algorithm="mm/prefix",
+    summary="Prefix-based matching schedule (Section 5)",
+    supports_guards=True, supports_prefix_knobs=True,
+))
+register_engine(EngineSpec(
+    problem="matching", method="rootset",
+    module="repro.core.matching.rootset", func="rootset_matching",
+    algorithm="mm/rootset",
+    summary="Linear-work root-set matching (pointer implementation)",
+    supports_guards=True, fallback=True,
+))
+register_engine(EngineSpec(
+    problem="matching", method="rootset-vec",
+    module="repro.core.matching.rootset_vectorized",
+    func="rootset_matching_vectorized",
+    algorithm="mm/rootset-vec",
+    summary="Vectorized root-set matching on the frontier kernels",
+    supports_guards=True, fallback=True,
+))

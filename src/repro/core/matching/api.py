@@ -1,9 +1,12 @@
-"""Front door for maximal matching: method dispatch over a graph or edge list.
+"""Front door for maximal matching: registry dispatch over a graph or edge list.
 
-Like the MIS front door, this is the validation boundary: graph / edge-list
-arrays are re-checked against their structural invariants and *ranks* must
-be a permutation of the edge ids before any engine dispatch.  ``guards``,
-``budget`` and ``fallback`` mirror
+Like the MIS front door, dispatch goes exclusively through the
+:mod:`repro.core.engines` registry (:data:`MM_METHODS` is a live view of
+it, and the ``fallback=True`` chain is derived from registry order), and
+this is the validation boundary: graph / edge-list arrays are re-checked
+against their structural invariants and *ranks* must be a permutation of
+the edge ids before any engine dispatch.  ``guards``, ``budget``,
+``tracer`` and ``fallback`` mirror
 :func:`repro.core.mis.api.maximal_independent_set`.
 """
 
@@ -13,11 +16,7 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.core.matching.parallel import parallel_greedy_matching
-from repro.core.matching.prefix import prefix_greedy_matching
-from repro.core.matching.rootset import rootset_matching
-from repro.core.matching.rootset_vectorized import rootset_matching_vectorized
-from repro.core.matching.sequential import sequential_greedy_matching
+from repro.core import engines as engine_registry
 from repro.core.result import MatchingResult
 from repro.errors import EngineError, InvariantViolationError
 from repro.graphs.csr import CSRGraph, EdgeList
@@ -34,13 +33,13 @@ from repro.util.rng import SeedLike
 
 __all__ = ["maximal_matching", "MM_METHODS"]
 
-#: Engine names accepted by :func:`maximal_matching`.  ``rootset-vec`` is
-#: the vectorized twin of ``rootset`` (same step structure, frontier-kernel
-#: execution).
-MM_METHODS = ("sequential", "parallel", "prefix", "rootset", "rootset-vec")
+#: Engine names accepted by :func:`maximal_matching` — a live view of the
+#: :mod:`repro.core.engines` registry.  ``rootset-vec`` is the vectorized
+#: twin of ``rootset`` (same step structure, frontier-kernel execution).
+MM_METHODS = engine_registry.MethodsView("matching")
 
-#: Degradation order for ``fallback=True``.
-FALLBACK_CHAIN = ("rootset-vec", "rootset", "sequential")
+#: Degradation order for ``fallback=True``, derived from registry order.
+FALLBACK_CHAIN = engine_registry.fallback_chain("matching")
 
 # See the MIS front door: invariant violations and numeric-crash types are
 # retryable; configuration/input/budget errors are not.
@@ -52,48 +51,6 @@ _FALLBACK_CATCH = (
     OverflowError,
     ZeroDivisionError,
 )
-
-
-def _dispatch(
-    method: str,
-    edges: EdgeList,
-    ranks: Optional[np.ndarray],
-    *,
-    prefix_size: Optional[int],
-    prefix_frac: Optional[float],
-    seed: SeedLike,
-    machine: Optional[Machine],
-    guards: Optional[str],
-    budget: Optional[Budget],
-) -> MatchingResult:
-    if method == "sequential":
-        return sequential_greedy_matching(
-            edges, ranks, seed=seed, machine=machine, budget=budget
-        )
-    if method == "parallel":
-        return parallel_greedy_matching(
-            edges, ranks, seed=seed, machine=machine, budget=budget
-        )
-    if method == "rootset":
-        return rootset_matching(
-            edges, ranks, seed=seed, machine=machine,
-            guards=guards, budget=budget,
-        )
-    if method == "rootset-vec":
-        return rootset_matching_vectorized(
-            edges, ranks, seed=seed, machine=machine,
-            guards=guards, budget=budget,
-        )
-    return prefix_greedy_matching(
-        edges,
-        ranks,
-        prefix_size=prefix_size,
-        prefix_frac=prefix_frac,
-        seed=seed,
-        machine=machine,
-        guards=guards,
-        budget=budget,
-    )
 
 
 def maximal_matching(
@@ -108,6 +65,7 @@ def maximal_matching(
     guards: Optional[str] = None,
     budget: Optional[Budget] = None,
     fallback: bool = False,
+    tracer=None,
 ) -> MatchingResult:
     """Compute a maximal matching.
 
@@ -142,6 +100,9 @@ def maximal_matching(
         Retry a failed engine down ``rootset-vec → rootset → sequential``,
         recording the degradation in ``result.stats.aux`` (keys
         ``degraded``, ``fallback_engine``, ``fallback_attempts``).
+    tracer:
+        Optional :class:`~repro.observability.Tracer` receiving one round
+        event per synchronous step (see ``docs/observability.md``).
 
     Examples
     --------
@@ -163,11 +124,10 @@ def maximal_matching(
         raise EngineError(
             f"expected CSRGraph or EdgeList, got {type(graph_or_edges).__name__}"
         )
-    if method not in MM_METHODS:
-        raise EngineError(
-            f"unknown matching method {method!r}; expected one of {MM_METHODS}"
-        )
-    if method != "prefix" and (prefix_size is not None or prefix_frac is not None):
+    spec = engine_registry.get_engine("matching", method)
+    if not spec.supports_prefix_knobs and (
+        prefix_size is not None or prefix_frac is not None
+    ):
         raise EngineError(
             f"prefix_size/prefix_frac only apply to method='prefix', not {method!r}"
         )
@@ -181,16 +141,19 @@ def maximal_matching(
         machine=machine,
         guards=guards,
         budget=budget,
+        tracer=tracer,
     )
     if not fallback:
-        return _dispatch(method, edges, ranks, **kwargs)
+        return engine_registry.dispatch("matching", method, edges, ranks, **kwargs)
 
     attempts = []
     chain = [method] + [m for m in FALLBACK_CHAIN if m != method]
     retry_kwargs = kwargs
     for m in chain:
         try:
-            result = _dispatch(m, edges, ranks, **retry_kwargs)
+            result = engine_registry.dispatch(
+                "matching", m, edges, ranks, **retry_kwargs
+            )
         except _FALLBACK_CATCH as exc:
             attempts.append({"method": m, "error": f"{type(exc).__name__}: {exc}"})
             retry_kwargs = dict(kwargs, prefix_size=None, prefix_frac=None)

@@ -34,6 +34,7 @@ def parallel_greedy_matching(
     seed: SeedLike = None,
     machine: Optional[Machine] = None,
     budget: Optional[Budget] = None,
+    tracer=None,
 ) -> MatchingResult:
     """Run Algorithm 4; ``result.stats.steps`` is the dependence length.
 
@@ -49,6 +50,9 @@ def parallel_greedy_matching(
         budget.start()
     if machine is None:
         machine = Machine()
+
+    if tracer is not None:
+        tracer.begin_run("mm/parallel", n, m, machine=machine)
 
     status = new_edge_status(m)
     live = np.arange(m, dtype=np.int64)
@@ -85,11 +89,20 @@ def parallel_greedy_matching(
         touched = matched_v[lu] | matched_v[lv]
         dead = live[alive_mask & touched]
         status[dead] = EDGE_DEAD
+        if tracer is not None:
+            tracer.round(
+                frontier=int(live.size),
+                decided=int(winners.size) + int(dead.size),
+                selected=int(winners.size),
+                tag="mm-peel",
+            )
         live = live[alive_mask & ~touched]
     stats = stats_from_machine(
         "mm/parallel", n, m, machine, steps=steps, rounds=1,
         aux={"slot_scans": 0, "item_examinations": item_exams},
     )
+    if tracer is not None:
+        tracer.end_run(stats)
     return MatchingResult(
         status=status,
         edge_u=eu,

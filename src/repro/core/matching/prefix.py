@@ -47,6 +47,7 @@ def prefix_greedy_matching(
     machine: Optional[Machine] = None,
     guards: Optional[str] = None,
     budget: Optional[Budget] = None,
+    tracer=None,
 ) -> MatchingResult:
     """Prefix-scheduled Algorithm 4; returns the lex-first matching.
 
@@ -95,6 +96,8 @@ def prefix_greedy_matching(
     else:
         schedule = None
         k = resolve_prefix_size(m, prefix_size, prefix_frac)
+    if tracer is not None:
+        tracer.begin_run("mm/prefix", n, m, machine=machine)
 
     status = new_edge_status(m)
     matched_v = np.zeros(n, dtype=bool)
@@ -160,6 +163,13 @@ def prefix_greedy_matching(
             status[dead] = EDGE_DEAD
             if guard is not None:
                 guard.check_step(status, winners, dead)
+            if tracer is not None:
+                tracer.round(
+                    frontier=int(live.size),
+                    decided=int(winners.size) + int(dead.size),
+                    selected=int(winners.size),
+                    tag="inner",
+                )
             live = live[alive_mask & ~touched]
     if guard is not None:
         guard.finalize(status)
@@ -167,6 +177,8 @@ def prefix_greedy_matching(
         "mm/prefix", n, m, machine, steps=steps, rounds=rounds, prefix_size=k,
         aux={"slot_scans": slot_scans, "item_examinations": item_exams},
     )
+    if tracer is not None:
+        tracer.end_run(stats)
     return MatchingResult(
         status=status,
         edge_u=eu,

@@ -48,6 +48,7 @@ def rootset_matching(
     machine: Optional[Machine] = None,
     guards: Optional[str] = None,
     budget: Optional[Budget] = None,
+    tracer=None,
 ) -> MatchingResult:
     """Run the Lemma 5.3 algorithm; total charged work is ``O(n + m)``.
 
@@ -67,6 +68,8 @@ def rootset_matching(
         budget.start()
     if machine is None:
         machine = Machine()
+    if tracer is not None:
+        tracer.begin_run("mm/rootset", n, m, machine=machine)
 
     # Per-vertex incidence lists ordered by edge priority (the lemma's
     # bucket sort), from the shared memoized builder.
@@ -136,6 +139,7 @@ def rootset_matching(
             )
         candidates: List[int] = []
         killed: List[int] = []
+        kill_count = 0
         for e in ready:
             a, b = eu_l[e], ev_l[e]
             status_l[e] = EDGE_MATCHED
@@ -150,6 +154,7 @@ def rootset_matching(
                     if status_l[f] != EDGE_LIVE:
                         continue
                     status_l[f] = EDGE_DEAD
+                    kill_count += 1
                     if guard is not None:
                         killed.append(f)
                     far = ev_l[f] if eu_l[f] == endpoint else eu_l[f]
@@ -170,6 +175,13 @@ def rootset_matching(
                 np.array(killed, dtype=np.int64),
             )
         steps += 1
+        if tracer is not None:
+            tracer.round(
+                frontier=len(ready),
+                decided=len(ready) + kill_count,
+                selected=len(ready),
+                tag="mm-step",
+            )
         ready = next_ready
 
     status = np.array(status_l, dtype=status.dtype)
@@ -180,6 +192,8 @@ def rootset_matching(
     stats = stats_from_machine(
         "mm/rootset", n, m, machine, steps=steps, rounds=1
     )
+    if tracer is not None:
+        tracer.end_run(stats)
     return MatchingResult(
         status=status,
         edge_u=edges.u,

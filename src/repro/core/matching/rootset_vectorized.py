@@ -61,6 +61,7 @@ def rootset_matching_vectorized(
     use_cache: bool = True,
     guards: Optional[str] = None,
     budget: Optional[Budget] = None,
+    tracer=None,
 ) -> MatchingResult:
     """Run the Lemma 5.3 algorithm on vectorized frontiers.
 
@@ -82,6 +83,8 @@ def rootset_matching_vectorized(
         budget.start()
     if machine is None:
         machine = Machine()
+    if tracer is not None:
+        tracer.begin_run("mm/rootset-vec", n, m, machine=machine)
 
     inc_off, inc_eids = rank_sorted_incidence(
         edges, ranks, machine=machine, use_cache=use_cache
@@ -168,6 +171,15 @@ def rootset_matching_vectorized(
             # killed) once from each endpoint, so repeats are legitimate.
             guard.check_step(status, ready, killed, killed_distinct=False)
         steps += 1
+        if tracer is not None:
+            # An edge incident on two same-step matches appears twice in
+            # the kill stream; count it once.
+            tracer.round(
+                frontier=int(ready.size),
+                decided=int(ready.size) + int(np.unique(killed).size),
+                selected=int(ready.size),
+                tag="mm-step",
+            )
         ready = mmcheck(cand, steps)
 
     # Any edge never scanned ends dead (its endpoints matched elsewhere).
@@ -177,6 +189,8 @@ def rootset_matching_vectorized(
     stats = stats_from_machine(
         "mm/rootset-vec", n, m, machine, steps=steps, rounds=1
     )
+    if tracer is not None:
+        tracer.end_run(stats)
     return MatchingResult(
         status=status,
         edge_u=edges.u,

@@ -37,6 +37,7 @@ def sequential_greedy_matching(
     seed: SeedLike = None,
     machine: Optional[Machine] = None,
     budget: Optional[Budget] = None,
+    tracer=None,
 ) -> MatchingResult:
     """Greedy matching over edges in increasing rank.
 
@@ -61,6 +62,11 @@ def sequential_greedy_matching(
     if machine is None:
         machine = Machine()
 
+    if tracer is not None:
+        tracer.begin_run(
+            "mm/sequential", edges.num_vertices, m, machine=machine
+        )
+
     status = new_edge_status(m)
     matched_v = np.zeros(edges.num_vertices, dtype=bool)
     perm = permutation_from_ranks(ranks)
@@ -77,11 +83,15 @@ def sequential_greedy_matching(
         a, b = eu[e], ev[e]
         if matched_v[a] or matched_v[b]:
             status[e] = EDGE_DEAD
+            if tracer is not None:
+                tracer.round(frontier=1, decided=1, selected=0, work=1, depth=1)
             continue
         status[e] = EDGE_MATCHED
         matched_v[a] = True
         matched_v[b] = True
         work += 2
+        if tracer is not None:
+            tracer.round(frontier=1, decided=1, selected=1, work=3, depth=3)
     if budget is not None and visited % _BUDGET_CHUNK:
         budget.spend_steps(visited % _BUDGET_CHUNK)
     machine.charge(work, depth=work, parallel=False, tag="sequential")
@@ -89,6 +99,8 @@ def sequential_greedy_matching(
         "mm/sequential", edges.num_vertices, m, machine, steps=m, rounds=m,
         aux={"slot_scans": m, "item_examinations": 0},
     )
+    if tracer is not None:
+        tracer.end_run(stats)
     return MatchingResult(
         status=status,
         edge_u=eu,

@@ -19,7 +19,11 @@ determinism property; :func:`maximal_independent_set` is the front door.
 
 from repro.core.mis.sequential import sequential_greedy_mis
 from repro.core.mis.parallel import parallel_greedy_mis
-from repro.core.mis.prefix import prefix_greedy_mis, theorem45_prefix_sizes
+from repro.core.mis.prefix import (
+    prefix_greedy_mis,
+    theorem45_prefix_mis,
+    theorem45_prefix_sizes,
+)
 from repro.core.mis.rootset import rootset_mis
 from repro.core.mis.rootset_vectorized import rootset_mis_vectorized
 from repro.core.mis.luby import luby_mis
@@ -36,6 +40,7 @@ __all__ = [
     "sequential_greedy_mis",
     "parallel_greedy_mis",
     "prefix_greedy_mis",
+    "theorem45_prefix_mis",
     "theorem45_prefix_sizes",
     "rootset_mis",
     "rootset_mis_vectorized",

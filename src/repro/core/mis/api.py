@@ -1,16 +1,23 @@
-"""Front door for MIS: method dispatch with uniform options.
+"""Front door for MIS: registry dispatch with uniform options.
 
 Most users should call :func:`maximal_independent_set`; the per-engine
 functions remain available for code that needs engine-specific knobs.
+
+Dispatch goes exclusively through the :mod:`repro.core.engines` registry:
+:data:`MIS_METHODS` is a live view of the registered engines, unsupported
+knobs are rejected via each engine's capability flags
+(``supports_prefix_knobs``/``supports_ranks``), and the graceful-
+degradation chain for ``fallback=True`` is derived from registry order.
 
 The front door is also the validation boundary (see
 :mod:`repro.robustness.validate`): graph arrays are re-checked against the
 CSR invariants and *ranks* must be a genuine permutation **before** any
 engine dispatch, so corrupted inputs fail loudly instead of producing a
-wrong-but-plausible set.  ``guards``/``budget`` thread through to the
-engines, and ``fallback=True`` adds graceful degradation: a failed engine
-is retried down the chain ``rootset-vec → rootset → sequential`` with the
-degradation recorded in ``result.stats.aux``.
+wrong-but-plausible set.  ``guards``/``budget``/``tracer`` thread through
+to the engines that accept them, and ``fallback=True`` adds graceful
+degradation: a failed engine is retried down the chain ``rootset-vec →
+rootset → sequential`` with the degradation recorded in
+``result.stats.aux``.
 """
 
 from __future__ import annotations
@@ -19,12 +26,7 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.mis.luby import luby_mis
-from repro.core.mis.parallel import parallel_greedy_mis
-from repro.core.mis.prefix import prefix_greedy_mis
-from repro.core.mis.rootset import rootset_mis
-from repro.core.mis.rootset_vectorized import rootset_mis_vectorized
-from repro.core.mis.sequential import sequential_greedy_mis
+from repro.core import engines as engine_registry
 from repro.core.result import MISResult
 from repro.errors import EngineError, InvariantViolationError
 from repro.graphs.csr import CSRGraph
@@ -40,19 +42,16 @@ from repro.util.rng import SeedLike
 
 __all__ = ["maximal_independent_set", "MIS_METHODS"]
 
-#: Engine names accepted by :func:`maximal_independent_set`.
-#: ``theorem45`` is the prefix engine driven by the adaptive schedule from
-#: the proof of Theorem 4.5 (geometric degree-halving prefixes);
-#: ``rootset-vec`` is the vectorized twin of ``rootset`` (same step
-#: structure, frontier-kernel execution).
-MIS_METHODS = (
-    "sequential", "parallel", "prefix", "theorem45", "rootset",
-    "rootset-vec", "luby",
-)
+#: Engine names accepted by :func:`maximal_independent_set` — a live view
+#: of the :mod:`repro.core.engines` registry.  ``theorem45`` is the prefix
+#: engine driven by the adaptive schedule from the proof of Theorem 4.5
+#: (geometric degree-halving prefixes); ``rootset-vec`` is the vectorized
+#: twin of ``rootset`` (same step structure, frontier-kernel execution).
+MIS_METHODS = engine_registry.MethodsView("mis")
 
 #: Degradation order for ``fallback=True``: fastest engine first, the
-#: always-correct sequential baseline last.
-FALLBACK_CHAIN = ("rootset-vec", "rootset", "sequential")
+#: always-correct sequential baseline last.  Derived from registry order.
+FALLBACK_CHAIN = engine_registry.fallback_chain("mis")
 
 # Exceptions a fallback retry may absorb: invariant violations and the
 # crash signatures of corrupted numeric state.  Configuration and input
@@ -69,64 +68,6 @@ _FALLBACK_CATCH = (
 )
 
 
-def _dispatch(
-    method: str,
-    graph: CSRGraph,
-    ranks: Optional[np.ndarray],
-    *,
-    prefix_size: Optional[int],
-    prefix_frac: Optional[float],
-    seed: SeedLike,
-    machine: Optional[Machine],
-    guards: Optional[str],
-    budget: Optional[Budget],
-) -> MISResult:
-    """Run one engine.  ``guards`` reaches the engines that support it."""
-    if method == "theorem45":
-        from repro.core.mis.prefix import theorem45_prefix_sizes
-
-        if graph.num_vertices == 0:
-            return prefix_greedy_mis(
-                graph, ranks, seed=seed, machine=machine,
-                guards=guards, budget=budget,
-            )
-        sizes = theorem45_prefix_sizes(graph.num_vertices, graph.max_degree())
-        return prefix_greedy_mis(
-            graph, ranks, prefix_sizes=sizes, seed=seed, machine=machine,
-            guards=guards, budget=budget,
-        )
-    if method == "sequential":
-        return sequential_greedy_mis(
-            graph, ranks, seed=seed, machine=machine, budget=budget
-        )
-    if method == "parallel":
-        return parallel_greedy_mis(
-            graph, ranks, seed=seed, machine=machine, budget=budget
-        )
-    if method == "rootset":
-        return rootset_mis(
-            graph, ranks, seed=seed, machine=machine,
-            guards=guards, budget=budget,
-        )
-    if method == "rootset-vec":
-        return rootset_mis_vectorized(
-            graph, ranks, seed=seed, machine=machine,
-            guards=guards, budget=budget,
-        )
-    if method == "luby":
-        return luby_mis(graph, seed=seed, machine=machine, budget=budget)
-    return prefix_greedy_mis(
-        graph,
-        ranks,
-        prefix_size=prefix_size,
-        prefix_frac=prefix_frac,
-        seed=seed,
-        machine=machine,
-        guards=guards,
-        budget=budget,
-    )
-
-
 def maximal_independent_set(
     graph: CSRGraph,
     ranks: Optional[np.ndarray] = None,
@@ -139,6 +80,7 @@ def maximal_independent_set(
     guards: Optional[str] = None,
     budget: Optional[Budget] = None,
     fallback: bool = False,
+    tracer=None,
 ) -> MISResult:
     """Compute a maximal independent set of *graph*.
 
@@ -154,7 +96,8 @@ def maximal_independent_set(
         *seed* when omitted.  Must be a permutation of ``0..n-1``;
         anything else (wrong length, NaN, duplicates) raises
         :class:`~repro.errors.InvalidOrderingError` before dispatch.
-        Ignored by ``method="luby"``, which re-randomizes internally.
+        Rejected by ``method="luby"``, which re-randomizes internally
+        (its registry entry has ``supports_ranks=False``).
     method:
         One of :data:`MIS_METHODS`.  ``"sequential"``, ``"parallel"``,
         ``"prefix"``, ``"rootset"`` and ``"rootset-vec"`` all return the
@@ -185,6 +128,9 @@ def maximal_independent_set(
         ``stats.aux["fallback_engine"]`` and
         ``stats.aux["fallback_attempts"]`` (the per-engine error log).
         Engine-specific prefix knobs are not forwarded to retries.
+    tracer:
+        Optional :class:`~repro.observability.Tracer` receiving one round
+        event per synchronous step (see ``docs/observability.md``).
 
     Returns
     -------
@@ -198,11 +144,10 @@ def maximal_independent_set(
     >>> res.size in (2,)
     True
     """
-    if method not in MIS_METHODS:
-        raise EngineError(
-            f"unknown MIS method {method!r}; expected one of {MIS_METHODS}"
-        )
-    if method != "prefix" and (prefix_size is not None or prefix_frac is not None):
+    spec = engine_registry.get_engine("mis", method)
+    if not spec.supports_prefix_knobs and (
+        prefix_size is not None or prefix_frac is not None
+    ):
         raise EngineError(
             f"prefix_size/prefix_frac only apply to method='prefix', not {method!r}"
         )
@@ -212,9 +157,9 @@ def maximal_independent_set(
         check_csr_symmetric(graph)
     if ranks is not None:
         ranks = check_ranks(ranks, graph.num_vertices)
-    if method == "luby" and ranks is not None:
+    if ranks is not None and not spec.supports_ranks:
         raise EngineError(
-            "method='luby' regenerates priorities every round and ignores ranks; "
+            f"method={method!r} regenerates priorities every round and ignores ranks; "
             "omit the ranks argument"
         )
 
@@ -225,16 +170,17 @@ def maximal_independent_set(
         machine=machine,
         guards=guards,
         budget=budget,
+        tracer=tracer,
     )
     if not fallback:
-        return _dispatch(method, graph, ranks, **kwargs)
+        return engine_registry.dispatch("mis", method, graph, ranks, **kwargs)
 
     attempts = []
     chain = [method] + [m for m in FALLBACK_CHAIN if m != method]
     retry_kwargs = kwargs
-    for i, m in enumerate(chain):
+    for m in chain:
         try:
-            result = _dispatch(m, graph, ranks, **retry_kwargs)
+            result = engine_registry.dispatch("mis", m, graph, ranks, **retry_kwargs)
         except _FALLBACK_CATCH as exc:
             attempts.append({"method": m, "error": f"{type(exc).__name__}: {exc}"})
             # Retries drop engine-specific prefix knobs: the chain engines

@@ -38,6 +38,7 @@ def luby_mis(
     seed: SeedLike = None,
     machine: Optional[Machine] = None,
     budget: Optional[Budget] = None,
+    tracer=None,
 ) -> MISResult:
     """Run Luby's Algorithm A and return a (seed-dependent) MIS.
 
@@ -52,6 +53,9 @@ def luby_mis(
         budget.start()
     if machine is None:
         machine = Machine()
+
+    if tracer is not None:
+        tracer.begin_run("mis/luby", n, graph.num_edges, machine=machine)
 
     status = new_vertex_status(n)
     live = np.arange(n, dtype=np.int64)
@@ -85,9 +89,19 @@ def luby_mis(
         )
         keep = (status[src] == UNDECIDED) & (status[dst] == UNDECIDED)
         src, dst = src[keep], dst[keep]
+        frontier = live.size
         live = live[status[live] == UNDECIDED]
+        if tracer is not None:
+            tracer.round(
+                frontier=frontier,
+                decided=frontier - int(live.size),
+                selected=int(roots.size),
+                tag="luby-round",
+            )
     stats = stats_from_machine(
         "mis/luby", n, graph.num_edges, machine, steps=rounds, rounds=rounds,
         aux={"slot_scans": 0, "item_examinations": item_exams},
     )
+    if tracer is not None:
+        tracer.end_run(stats)
     return MISResult(status=status, ranks=prio, stats=stats, machine=machine)

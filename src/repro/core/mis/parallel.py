@@ -37,6 +37,7 @@ def parallel_greedy_mis(
     seed: SeedLike = None,
     machine: Optional[Machine] = None,
     budget: Optional[Budget] = None,
+    tracer=None,
 ) -> MISResult:
     """Run Algorithm 2; ``result.stats.steps`` is the dependence length.
 
@@ -56,6 +57,9 @@ def parallel_greedy_mis(
         budget.start()
     if machine is None:
         machine = Machine()
+
+    if tracer is not None:
+        tracer.begin_run("mis/parallel", n, graph.num_edges, machine=machine)
 
     status = new_vertex_status(n)
     live = np.arange(n, dtype=np.int64)
@@ -90,9 +94,19 @@ def parallel_greedy_mis(
         # Compact to the surviving subproblem.
         keep = (status[src] == UNDECIDED) & (status[dst] == UNDECIDED)
         src, dst = src[keep], dst[keep]
+        frontier = live.size
         live = live[status[live] == UNDECIDED]
+        if tracer is not None:
+            tracer.round(
+                frontier=frontier,
+                decided=frontier - int(live.size),
+                selected=int(roots.size),
+                tag="peel",
+            )
     stats = stats_from_machine(
         "mis/parallel", n, graph.num_edges, machine, steps=steps, rounds=1,
         aux={"slot_scans": 0, "item_examinations": item_exams},
     )
+    if tracer is not None:
+        tracer.end_run(stats)
     return MISResult(status=status, ranks=ranks, stats=stats, machine=machine)

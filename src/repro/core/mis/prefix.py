@@ -39,7 +39,12 @@ from repro.robustness.guards import mis_guard
 from repro.util.rng import SeedLike
 from repro.util.validation import check_fraction, check_positive_int
 
-__all__ = ["prefix_greedy_mis", "resolve_prefix_size", "theorem45_prefix_sizes"]
+__all__ = [
+    "prefix_greedy_mis",
+    "resolve_prefix_size",
+    "theorem45_prefix_sizes",
+    "theorem45_prefix_mis",
+]
 
 
 def resolve_prefix_size(
@@ -104,6 +109,7 @@ def prefix_greedy_mis(
     machine: Optional[Machine] = None,
     guards: Optional[str] = None,
     budget: Optional[Budget] = None,
+    tracer=None,
 ) -> MISResult:
     """Run Algorithm 3 with the given prefix size (or size schedule).
 
@@ -130,6 +136,10 @@ def prefix_greedy_mis(
     budget:
         Optional :class:`~repro.robustness.Budget`; one step is spent per
         inner synchronous step.
+    tracer:
+        Optional :class:`~repro.observability.Tracer`; emits one round
+        event per *inner* synchronous step (matching ``stats.steps``),
+        tagged ``"inner"``.
     """
     n = graph.num_vertices
     if ranks is None:
@@ -152,6 +162,8 @@ def prefix_greedy_mis(
     else:
         k = resolve_prefix_size(n, prefix_size, prefix_frac)
         schedule = None
+    if tracer is not None:
+        tracer.begin_run("mis/prefix", n, graph.num_edges, machine=machine)
 
     status = new_vertex_status(n)
     perm = permutation_from_ranks(ranks)
@@ -211,6 +223,13 @@ def prefix_greedy_mis(
                 tag="inner",
             )
             steps += 1
+            if tracer is not None:
+                tracer.round(
+                    frontier=int(live.size),
+                    decided=int(roots.size) + int(np.unique(victims).size),
+                    selected=int(roots.size),
+                    tag="inner",
+                )
             keep = (status[src] == UNDECIDED) & (status[dst] == UNDECIDED)
             src, dst = src[keep], dst[keep]
             live = live[status[live] == UNDECIDED]
@@ -227,4 +246,34 @@ def prefix_greedy_mis(
         prefix_size=k,
         aux={"slot_scans": slot_scans, "item_examinations": item_exams},
     )
+    if tracer is not None:
+        tracer.end_run(stats)
     return MISResult(status=status, ranks=ranks, stats=stats, machine=machine)
+
+
+def theorem45_prefix_mis(
+    graph: CSRGraph,
+    ranks: Optional[np.ndarray] = None,
+    *,
+    seed: SeedLike = None,
+    machine: Optional[Machine] = None,
+    guards: Optional[str] = None,
+    budget: Optional[Budget] = None,
+    tracer=None,
+) -> MISResult:
+    """Run Algorithm 3 under the adaptive Theorem 4.5 prefix schedule.
+
+    Thin wrapper computing :func:`theorem45_prefix_sizes` for *graph* and
+    delegating to :func:`prefix_greedy_mis` — this is the engine behind
+    ``method="theorem45"`` in the registry.
+    """
+    if graph.num_vertices == 0:
+        return prefix_greedy_mis(
+            graph, ranks, seed=seed, machine=machine,
+            guards=guards, budget=budget, tracer=tracer,
+        )
+    sizes = theorem45_prefix_sizes(graph.num_vertices, graph.max_degree())
+    return prefix_greedy_mis(
+        graph, ranks, prefix_sizes=sizes, seed=seed, machine=machine,
+        guards=guards, budget=budget, tracer=tracer,
+    )

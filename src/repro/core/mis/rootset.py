@@ -52,6 +52,7 @@ def rootset_mis(
     machine: Optional[Machine] = None,
     guards: Optional[str] = None,
     budget: Optional[Budget] = None,
+    tracer=None,
 ) -> MISResult:
     """Run the Lemma 4.2 root-set algorithm; total work is ``O(n + m)``.
 
@@ -72,6 +73,8 @@ def rootset_mis(
         budget.start()
     if machine is None:
         machine = Machine()
+    if tracer is not None:
+        tracer.begin_run("mis/rootset", n, graph.num_edges, machine=machine)
 
     p_off, p_nbr, c_off, c_nbr = split_parents_children(graph, ranks, machine=machine)
 
@@ -141,6 +144,13 @@ def rootset_mis(
                 np.array(knocked, dtype=np.int64),
             )
         steps += 1
+        if tracer is not None:
+            tracer.round(
+                frontier=len(roots),
+                decided=len(roots) + len(knocked),
+                selected=len(roots),
+                tag="rootset-step",
+            )
         roots = next_roots
 
     status = np.array(status_l, dtype=status.dtype)
@@ -149,4 +159,6 @@ def rootset_mis(
     stats = stats_from_machine(
         "mis/rootset", n, graph.num_edges, machine, steps=steps, rounds=1
     )
+    if tracer is not None:
+        tracer.end_run(stats)
     return MISResult(status=status, ranks=ranks, stats=stats, machine=machine)

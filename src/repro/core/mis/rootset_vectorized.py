@@ -60,6 +60,7 @@ def rootset_mis_vectorized(
     use_cache: bool = True,
     guards: Optional[str] = None,
     budget: Optional[Budget] = None,
+    tracer=None,
 ) -> MISResult:
     """Run the Lemma 4.2 root-set algorithm on vectorized frontiers.
 
@@ -80,6 +81,8 @@ def rootset_mis_vectorized(
         budget.start()
     if machine is None:
         machine = Machine()
+    if tracer is not None:
+        tracer.begin_run("mis/rootset-vec", n, graph.num_edges, machine=machine)
 
     p_off, _, c_off, c_nbr = split_parents_children(
         graph, ranks, machine=machine, use_cache=use_cache
@@ -123,6 +126,13 @@ def rootset_mis_vectorized(
         next_roots = next_roots[status[next_roots] == UNDECIDED]
         if guard is not None:
             guard.check_step(status, roots, knocked)
+        if tracer is not None:
+            tracer.round(
+                frontier=int(roots.size),
+                decided=int(roots.size) + int(knocked.size),
+                selected=int(roots.size),
+                tag="rootset-step",
+            )
         roots = next_roots
         steps += 1
 
@@ -131,4 +141,6 @@ def rootset_mis_vectorized(
     stats = stats_from_machine(
         "mis/rootset-vec", n, graph.num_edges, machine, steps=steps, rounds=1
     )
+    if tracer is not None:
+        tracer.end_run(stats)
     return MISResult(status=status, ranks=ranks, stats=stats, machine=machine)

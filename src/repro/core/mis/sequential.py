@@ -44,6 +44,7 @@ def sequential_greedy_mis(
     seed: SeedLike = None,
     machine: Optional[Machine] = None,
     budget: Optional[Budget] = None,
+    tracer=None,
 ) -> MISResult:
     """Run Algorithm 1 and return the lexicographically-first MIS.
 
@@ -61,6 +62,10 @@ def sequential_greedy_mis(
     budget:
         Optional :class:`~repro.robustness.Budget`; one step is spent per
         vertex visited, enforced every ``2048`` vertices.
+    tracer:
+        Optional :class:`~repro.observability.Tracer`; emits one round
+        event per vertex visited (``frontier=1``, matching
+        ``stats.steps == n``) with exact per-step work.
 
     Examples
     --------
@@ -79,6 +84,9 @@ def sequential_greedy_mis(
     if machine is None:
         machine = Machine()
 
+    if tracer is not None:
+        tracer.begin_run("mis/sequential", n, graph.num_edges, machine=machine)
+
     status = new_vertex_status(n)
     perm = permutation_from_ranks(ranks)
     offsets = graph.offsets
@@ -95,9 +103,17 @@ def sequential_greedy_mis(
         if budget is not None and visited % _BUDGET_CHUNK == 0:
             budget.spend_steps(_BUDGET_CHUNK)
         if status[v] != UNDECIDED:
+            if tracer is not None:
+                tracer.round(frontier=1, decided=0, selected=0, work=1, depth=1)
             continue
         status[v] = IN_SET
         nbrs = neighbors[offsets[v]:offsets[v + 1]]
+        if tracer is not None:
+            knocked = int(np.count_nonzero(status[nbrs] == UNDECIDED))
+            tracer.round(
+                frontier=1, decided=1 + knocked, selected=1,
+                work=1 + int(nbrs.size), depth=1 + int(nbrs.size),
+            )
         work += nbrs.size
         status[nbrs] = KNOCKED_OUT
     if budget is not None and visited % _BUDGET_CHUNK:
@@ -107,4 +123,6 @@ def sequential_greedy_mis(
         "mis/sequential", n, graph.num_edges, machine, steps=n, rounds=n,
         aux={"slot_scans": n, "item_examinations": 0},
     )
+    if tracer is not None:
+        tracer.end_run(stats)
     return MISResult(status=status, ranks=ranks, stats=stats, machine=machine)

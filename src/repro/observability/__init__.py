@@ -1,0 +1,49 @@
+"""Observability layer: per-round telemetry, kernel counters, trace sinks.
+
+The paper's central quantities — dependence length per round, frontier
+sizes, redundant work under prefix schedules — were previously only
+visible as end-of-run aggregates in :class:`~repro.core.result.RunStats`.
+This package makes them streamable:
+
+* :mod:`repro.observability.tracer` — a :class:`Tracer` that every engine
+  accepts via ``tracer=`` and feeds one :class:`RoundRecord` per
+  synchronous step (round index, frontier size, newly-decided items, work
+  and depth charged, wall time), plus pluggable sinks
+  (:class:`MemorySink`, :class:`JSONLSink`, :class:`NullSink`) and replay
+  helpers (:func:`read_trace`, :func:`frontier_series`,
+  :func:`trace_summary`).
+* :mod:`repro.observability.counters` — :class:`KernelCounters`, a
+  context manager wrapping the :mod:`repro.kernels.frontier` primitives
+  with call counts, elements processed, and cumulative wall time.
+
+Layering: this package sits above ``util``/``errors``/``pram``/``kernels``
+and below ``core`` — engines import the tracer, never the reverse.  With
+no tracer attached the engines pay one ``is not None`` check per step.
+"""
+
+from repro.observability.tracer import (
+    JSONLSink,
+    MemorySink,
+    NullSink,
+    RoundRecord,
+    Tracer,
+    frontier_series,
+    read_trace,
+    round_records,
+    trace_summary,
+)
+from repro.observability.counters import KernelCounter, KernelCounters
+
+__all__ = [
+    "Tracer",
+    "RoundRecord",
+    "MemorySink",
+    "JSONLSink",
+    "NullSink",
+    "read_trace",
+    "round_records",
+    "frontier_series",
+    "trace_summary",
+    "KernelCounter",
+    "KernelCounters",
+]

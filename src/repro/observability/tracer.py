@@ -1,0 +1,368 @@
+"""Structured per-round telemetry: :class:`Tracer`, sinks, replay helpers.
+
+A :class:`Tracer` is handed to an engine via its ``tracer=`` keyword.  The
+engine calls :meth:`Tracer.begin_run` once, :meth:`Tracer.round` once per
+synchronous step (for the step-synchronous engines the number of ``round``
+events equals ``RunStats.steps``), and :meth:`Tracer.end_run` when done.
+Each round event is a :class:`RoundRecord`; events flow into a pluggable
+sink:
+
+* :class:`MemorySink` — appends event dicts to a list (the default);
+* :class:`JSONLSink` — streams one JSON object per line to a file;
+* :class:`NullSink` — drops everything (useful to measure tracer overhead
+  in isolation; it allocates nothing per event).
+
+With ``charges=True`` the tracer also attaches to the run's
+:class:`~repro.pram.machine.Machine` and mirrors every
+:class:`~repro.pram.machine.StepRecord` as a ``charge`` event, so one
+trace covers both the algorithmic rounds and the cost-model charges.
+
+Accounting notes.  Work/depth per round are deltas of the machine
+totals between consecutive ``round`` calls, so the first record absorbs
+any setup charges (priority generation, partition builds).  The
+``decided`` field counts items the engine observed becoming decided
+during that step's frontier resolution; engines that finalize stragglers
+outside synchronous steps (e.g. the prefix matching engine's stale-edge
+sweep) do not attribute those to any round.
+
+Replay: :func:`read_trace` loads a JSONL file back into event dicts,
+:func:`frontier_series` extracts the per-round frontier sizes (the
+quantity the acceptance tests compare bit-identically across engines and
+re-runs), and :func:`trace_summary` renders a fixed-width table.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.util.tables import format_table
+
+__all__ = [
+    "RoundRecord",
+    "Sink",
+    "MemorySink",
+    "JSONLSink",
+    "NullSink",
+    "Tracer",
+    "read_trace",
+    "round_records",
+    "frontier_series",
+    "trace_summary",
+]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """One synchronous step as observed by the tracer.
+
+    Attributes
+    ----------
+    index:
+        0-based round index within the run (``round`` events per run are
+        consecutive from 0).
+    frontier:
+        Number of items active in this step (roots/live vertices for MIS
+        engines, ready/live edges for matching engines; 1 for the
+        sequential engines, which visit one slot per step).
+    decided:
+        Items newly decided during this step (selected plus knocked-out /
+        killed), as observed by the engine.
+    selected:
+        Items accepted into the result this step (MIS vertices / matched
+        edges).
+    work, depth:
+        Cost-model charge attributed to this round (machine-total deltas,
+        or engine-supplied exact values for the sequential engines).
+    wall_time:
+        Seconds of wall clock since the previous round event (or since
+        ``begin_run`` for round 0).
+    tag:
+        Optional engine-specific label (e.g. ``"peel"``, ``"inner"``).
+    """
+
+    index: int
+    frontier: int
+    decided: int
+    selected: int
+    work: int
+    depth: int
+    wall_time: float
+    tag: str = ""
+
+
+class Sink:
+    """Event consumer interface: one :meth:`emit` call per event dict."""
+
+    __slots__ = ()
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Flush/release resources.  Default: nothing to do."""
+
+
+class MemorySink(Sink):
+    """Collect event dicts in :attr:`events` (a plain list)."""
+
+    __slots__ = ("events",)
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+
+class NullSink(Sink):
+    """Discard every event without allocating anything."""
+
+    __slots__ = ()
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        pass
+
+
+class JSONLSink(Sink):
+    """Stream events as JSON Lines: one compact object per line.
+
+    Accepts a path (opened for writing, closed by :meth:`close`) or any
+    text file object (left open; caller owns it).  Usable as a context
+    manager.
+    """
+
+    __slots__ = ("_fh", "_owns")
+
+    def __init__(self, path_or_file: Union[str, "io.TextIOBase"]) -> None:
+        if hasattr(path_or_file, "write"):
+            self._fh = path_or_file
+            self._owns = False
+        else:
+            self._fh = open(path_or_file, "w", encoding="utf-8")
+            self._owns = True
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(event, separators=(",", ":")))
+        self._fh.write("\n")
+
+    def close(self) -> None:
+        if self._owns:
+            self._fh.close()
+        else:
+            self._fh.flush()
+
+    def __enter__(self) -> "JSONLSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class Tracer:
+    """Per-run event emitter the engines drive.
+
+    Parameters
+    ----------
+    sink:
+        Event consumer; defaults to a fresh :class:`MemorySink`.
+    charges:
+        When true, :meth:`begin_run` attaches the tracer to the run's
+        machine and every ``Machine.charge`` is mirrored as a ``charge``
+        event (verbose; off by default).
+    clock:
+        Monotonic clock used for ``wall_time`` (injectable for tests).
+
+    One tracer may observe several consecutive runs (e.g. a bench sweep):
+    ``begin_run`` resets the per-run round index.  :attr:`rounds` is the
+    number of round events emitted for the current/most recent run, and
+    :attr:`runs` counts completed ``begin_run`` calls.
+    """
+
+    __slots__ = (
+        "sink", "charges", "_clock", "_index", "_algorithm",
+        "_machine", "_base_work", "_base_depth", "_last_time", "runs",
+    )
+
+    def __init__(
+        self,
+        sink: Optional[Sink] = None,
+        *,
+        charges: bool = False,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        self.sink = sink if sink is not None else MemorySink()
+        self.charges = charges
+        self._clock = clock
+        self._index = 0
+        self._algorithm = ""
+        self._machine = None
+        self._base_work = 0
+        self._base_depth = 0
+        self._last_time = 0.0
+        self.runs = 0
+
+    @property
+    def rounds(self) -> int:
+        """Round events emitted so far for the current run."""
+        return self._index
+
+    def begin_run(self, algorithm: str, n: int, m: int, *, machine=None) -> None:
+        """Start a run: snapshot machine totals, emit a ``run-begin`` event."""
+        self._algorithm = algorithm
+        self._index = 0
+        self._machine = machine
+        if machine is not None:
+            self._base_work = machine.work
+            self._base_depth = machine.depth
+        self._last_time = self._clock()
+        self.runs += 1
+        self.sink.emit(
+            {"event": "run-begin", "algorithm": algorithm, "n": int(n), "m": int(m)}
+        )
+        if self.charges and machine is not None:
+            machine.attach_tracer(self)
+
+    def round(
+        self,
+        *,
+        frontier: int,
+        decided: int = 0,
+        selected: int = 0,
+        work: Optional[int] = None,
+        depth: Optional[int] = None,
+        tag: str = "",
+    ) -> RoundRecord:
+        """Record one synchronous step and forward it to the sink.
+
+        ``work``/``depth`` default to the delta of the run machine's
+        totals since the previous round event; the sequential engines,
+        which charge the machine once at the end, pass exact per-step
+        values instead.
+        """
+        now = self._clock()
+        if work is None:
+            if self._machine is not None:
+                total_work = self._machine.work
+                total_depth = self._machine.depth
+                work = total_work - self._base_work
+                depth = total_depth - self._base_depth
+                self._base_work = total_work
+                self._base_depth = total_depth
+            else:
+                work = 0
+        if depth is None:
+            depth = 0
+        record = RoundRecord(
+            index=self._index,
+            frontier=int(frontier),
+            decided=int(decided),
+            selected=int(selected),
+            work=int(work),
+            depth=int(depth),
+            wall_time=now - self._last_time,
+            tag=tag,
+        )
+        self._last_time = now
+        self._index += 1
+        event = asdict(record)
+        event["event"] = "round"
+        self.sink.emit(event)
+        return record
+
+    def charge_event(self, step) -> None:
+        """Mirror one :class:`~repro.pram.machine.StepRecord` (charges mode)."""
+        if not self.charges:
+            return
+        self.sink.emit({
+            "event": "charge",
+            "tag": step.tag,
+            "work": int(step.work),
+            "depth": int(step.depth),
+            "parallel": bool(step.parallel),
+            "round": int(step.round_index),
+        })
+
+    def end_run(self, stats=None) -> None:
+        """Finish a run: emit ``run-end`` (with stats) and detach."""
+        event: Dict[str, Any] = {
+            "event": "run-end",
+            "algorithm": self._algorithm,
+            "rounds": self._index,
+        }
+        if stats is not None:
+            event.update(
+                steps=int(stats.steps),
+                work=int(stats.work),
+                depth=int(stats.depth),
+            )
+        self.sink.emit(event)
+        if self.charges and self._machine is not None:
+            self._machine.detach_tracer()
+        self._machine = None
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL trace file back into a list of event dicts."""
+    events = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def round_records(events: Iterable[Dict[str, Any]]) -> List[RoundRecord]:
+    """Extract the ``round`` events as :class:`RoundRecord` objects."""
+    records = []
+    for event in events:
+        if event.get("event") == "round":
+            fields = {k: v for k, v in event.items() if k != "event"}
+            records.append(RoundRecord(**fields))
+    return records
+
+
+def frontier_series(events: Iterable[Dict[str, Any]]) -> List[int]:
+    """Per-round frontier sizes, in round order.
+
+    This is the replay quantity the determinism tests compare: two runs
+    of the same deterministic engine on the same input must produce
+    bit-identical series.
+    """
+    return [e["frontier"] for e in events if e.get("event") == "round"]
+
+
+def trace_summary(
+    events: Sequence[Dict[str, Any]], *, max_rounds: int = 20
+) -> str:
+    """Fixed-width per-round table of a trace (head + tail past *max_rounds*)."""
+    records = round_records(events)
+    header = ["round", "frontier", "selected", "decided", "work", "depth", "ms"]
+    if not records:
+        return format_table(header, []) + "\n(no round events)"
+
+    def row(r: RoundRecord) -> List[str]:
+        return [
+            str(r.index), str(r.frontier), str(r.selected), str(r.decided),
+            str(r.work), str(r.depth), f"{r.wall_time * 1e3:.3f}",
+        ]
+
+    if len(records) <= max_rounds:
+        rows = [row(r) for r in records]
+    else:
+        head = max_rounds // 2
+        tail = max_rounds - head
+        rows = [row(r) for r in records[:head]]
+        rows.append(["..."] * len(header))
+        rows.extend(row(r) for r in records[-tail:])
+    lines = [format_table(header, rows)]
+    total_wall = sum(r.wall_time for r in records)
+    lines.append(
+        f"{len(records)} rounds, {sum(r.selected for r in records)} selected, "
+        f"{sum(r.work for r in records)} work, {total_wall * 1e3:.3f} ms"
+    )
+    return "\n".join(lines)

@@ -79,15 +79,30 @@ class Machine:
     property tests).
     """
 
-    __slots__ = ("steps", "work", "depth", "_round")
+    __slots__ = ("steps", "work", "depth", "_round", "_tracer")
 
-    def __init__(self) -> None:
+    def __init__(self, *, tracer=None) -> None:
         self.steps: List[StepRecord] = []
         self.work: int = 0
         self.depth: int = 0
         self._round: int = -1
+        self._tracer = tracer
 
     # -- recording ---------------------------------------------------------
+
+    def attach_tracer(self, tracer) -> None:
+        """Mirror every charged step to *tracer* (``tracer.charge_event``).
+
+        Used by :class:`repro.observability.tracer.Tracer` in ``charges``
+        mode so one trace covers both the algorithmic rounds and the
+        cost-model charges.  Duck-typed on purpose: the pram layer does
+        not import the observability layer.
+        """
+        self._tracer = tracer
+
+    def detach_tracer(self) -> None:
+        """Stop mirroring charges."""
+        self._tracer = None
 
     def charge(
         self,
@@ -108,11 +123,12 @@ class Machine:
         if work <= 0:
             return
         depth = max(1, int(depth))
-        self.steps.append(
-            StepRecord(work=work, depth=depth, parallel=parallel, tag=tag, round_index=self._round)
-        )
+        record = StepRecord(work=work, depth=depth, parallel=parallel, tag=tag, round_index=self._round)
+        self.steps.append(record)
         self.work += work
         self.depth += depth
+        if self._tracer is not None:
+            self._tracer.charge_event(record)
 
     def begin_round(self) -> int:
         """Mark the start of a new outer round; returns its index."""

@@ -82,6 +82,8 @@ class TestLayering:
                     "repro.cli", "repro.pram")),
         ("kernels", ("repro.core", "repro.bench", "repro.theory",
                      "repro.extensions", "repro.cli")),
+        ("observability", ("repro.core", "repro.bench", "repro.theory",
+                           "repro.extensions", "repro.cli")),
         ("core", ("repro.bench", "repro.theory", "repro.extensions",
                   "repro.cli")),
         ("theory", ("repro.bench", "repro.cli")),
@@ -102,9 +104,24 @@ class TestDocsFilesExist:
     @pytest.mark.parametrize("rel", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md", "CONTRIBUTING.md",
         "CHANGELOG.md", "docs/architecture.md", "docs/paper-map.md",
-        "docs/cost-model.md", "docs/api.md",
+        "docs/cost-model.md", "docs/api.md", "docs/observability.md",
     ])
     def test_present_and_nonempty(self, rel):
         path = SRC.parent.parent / rel
         assert path.exists(), f"{rel} missing"
         assert len(path.read_text()) > 200, f"{rel} suspiciously short"
+
+
+class TestDocsMatchRegistry:
+    """docs/api.md must document exactly what the engine registry exposes."""
+
+    @pytest.mark.parametrize("problem", ["mis", "matching"])
+    def test_every_registered_method_is_documented(self, problem):
+        from repro.core.engines import engine_methods
+
+        api_md = (SRC.parent.parent / "docs" / "api.md").read_text()
+        missing = [m for m in engine_methods(problem)
+                   if f"`{m}`" not in api_md]
+        assert not missing, (
+            f"registered {problem} methods absent from docs/api.md: {missing}"
+        )
