@@ -10,6 +10,7 @@ exits non-zero.
 Usage:
     python scripts/fuzz_determinism.py [trials] [master_seed]
     python scripts/fuzz_determinism.py --faults [trials] [master_seed]
+    python scripts/fuzz_determinism.py --service [trials] [master_seed]
 
 ``--faults`` switches to chaos mode: each trial injects one seeded fault —
 either into the frontier kernels mid-run (guards="full" watching) or into
@@ -18,6 +19,12 @@ fault is *detected or harmless*: every run must end in a typed error or in
 a result bit-identical to the fault-free reference.  A run that completes
 with a different answer is a silent wrong answer, the one outcome the
 robustness layer exists to prevent.
+
+``--service`` replays each trial through the crash-isolated worker pool
+(:class:`repro.service.SolverService`) with worker kills *and* kernel
+faults armed, and asserts the result the service returns — across
+retries, worker restarts, and breaker-driven engine degradation — is
+bit-identical to a clean in-process solve of the same instance.
 """
 
 from __future__ import annotations
@@ -264,6 +271,36 @@ def check_fault_instance(rng, tally) -> None:
     )
 
 
+def check_service_instance(rng, svc, tally) -> None:
+    """One worker-pool trial: chaos-laden service run vs clean in-process."""
+    from repro.service import SolveRequest
+
+    family, g = _fault_graph(rng)
+    alg = "mis" if rng.integers(0, 2) == 0 else "mm"
+    seed = int(rng.integers(0, 2**31))
+    if alg == "mis":
+        payload = g
+        ref = maximal_independent_set(g, method="rootset-vec", seed=seed)
+    else:
+        payload = g.edge_list()
+        ref = maximal_matching(payload, method="rootset-vec", seed=seed)
+    res = svc.solve(
+        SolveRequest(alg if alg == "mis" else "mm", payload,
+                     options={"seed": seed}),
+        timeout=300,
+    )
+    if not np.array_equal(res.status, ref.status):
+        raise AssertionError(
+            f"SERVICE MISMATCH: family={family} n={g.num_vertices} "
+            f"m={g.num_edges} alg={alg} seed={seed} "
+            f"attempts={res.stats.aux['service']['attempts']}"
+        )
+    aux = res.stats.aux["service"]
+    tally["retried" if aux["retries"] else "clean"] += 1
+    if res.stats.aux.get("degraded"):
+        tally["degraded"] += 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         description="Differential determinism fuzzer (optionally with "
@@ -276,28 +313,63 @@ def main(argv=None) -> int:
         help="chaos mode: inject one seeded fault per trial and assert "
         "every fault is detected or harmless (no silent wrong answers)",
     )
+    parser.add_argument(
+        "--service", action="store_true",
+        help="service mode: replay each trial through the crash-isolated "
+        "worker pool under worker kills + kernel faults and assert the "
+        "result is bit-identical to a clean in-process solve",
+    )
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker-pool size for --service")
     args = parser.parse_args(argv)
+    if args.faults and args.service:
+        parser.error("--faults and --service are separate modes")
     trials, master_seed = args.trials, args.master_seed
     t0 = time.time()
     master = np.random.default_rng(master_seed)
-    tally = {"detected": 0, "harmless": 0, "crashed": 0, "not-fired": 0}
-    for trial in range(trials):
-        rng = np.random.default_rng(master.integers(0, 2**63))
-        try:
-            if args.faults:
-                check_fault_instance(rng, tally)
-            else:
-                check_instance(rng)
-        except AssertionError as exc:
-            print(f"FAIL at trial {trial} (master seed {master_seed}): {exc}")
-            return 1
-        if (trial + 1) % 20 == 0:
-            print(f"  {trial + 1}/{trials} instances ok "
-                  f"({time.time() - t0:.1f}s)")
-    if args.faults:
+    tally = {"detected": 0, "harmless": 0, "crashed": 0, "not-fired": 0,
+             "clean": 0, "retried": 0, "degraded": 0}
+    svc = None
+    if args.service:
+        from repro.service import SolverService
+
+        svc = SolverService(
+            workers=args.workers, max_retries=8, backoff_base=0.005,
+            kill_probability=0.15, fault_probability=0.15,
+            chaos_seed=master_seed,
+        ).start()
+    try:
+        for trial in range(trials):
+            rng = np.random.default_rng(master.integers(0, 2**63))
+            try:
+                if args.service:
+                    check_service_instance(rng, svc, tally)
+                elif args.faults:
+                    check_fault_instance(rng, tally)
+                else:
+                    check_instance(rng)
+            except AssertionError as exc:
+                print(f"FAIL at trial {trial} (master seed {master_seed}): {exc}")
+                return 1
+            if (trial + 1) % 20 == 0:
+                print(f"  {trial + 1}/{trials} instances ok "
+                      f"({time.time() - t0:.1f}s)")
+    finally:
+        if svc is not None:
+            stats = svc.stats()
+            svc.shutdown()
+    if args.service:
+        print(f"all {trials} service replays bit-identical "
+              f"({time.time() - t0:.1f}s): "
+              f"clean={tally['clean']}, retried={tally['retried']}, "
+              f"degraded={tally['degraded']}; "
+              f"crashes={stats.worker_crashes}, retries={stats.retries}, "
+              f"breaker trips={stats.breaker_trips}")
+    elif args.faults:
         print(f"all {trials} injected faults detected or harmless "
               f"({time.time() - t0:.1f}s): " +
-              ", ".join(f"{k}={v}" for k, v in tally.items()))
+              ", ".join(f"{k}={v}" for k, v in tally.items()
+                        if k in ("detected", "harmless", "crashed", "not-fired")))
     else:
         print(f"all {trials} instances deterministic across every engine "
               f"({time.time() - t0:.1f}s)")

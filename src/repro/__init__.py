@@ -33,7 +33,8 @@ from repro.graphs import CSRGraph, EdgeList, generators, from_edges, line_graph
 from repro.pram import CostModel, Machine, simulate_time, speedup_curve
 from repro.observability import JSONLSink, KernelCounters, MemorySink, NullSink, Tracer
 from repro.robustness import Budget
-from repro import errors, observability, robustness
+from repro.service import ServiceConfig, SolveRequest, SolverService, serve, solve_many
+from repro import errors, observability, robustness, service
 
 __version__ = "1.0.0"
 
@@ -69,6 +70,12 @@ __all__ = [
     "NullSink",
     "KernelCounters",
     "Budget",
+    "ServiceConfig",
+    "SolveRequest",
+    "SolverService",
+    "serve",
+    "solve_many",
+    "service",
     "errors",
     "observability",
     "robustness",

@@ -20,8 +20,25 @@ Installed as the ``repro`` console script (also usable as
 ``sweep``
     Prefix-size sweep with simulated times at chosen processor counts
     (a command-line Figure 1/2 panel).
+``batch``
+    Solve a batch of seeded runs through the crash-isolated
+    :class:`~repro.service.SolverService` worker pool.
+``serve``
+    Soak the service with a seeded request storm, optionally under
+    chaos (worker kills / kernel faults), and print a survival report.
 
 Every command takes ``--seed`` so runs are reproducible end to end.
+
+Exit codes (documented in docs/api.md, asserted in tests/test_cli.py):
+0 success; 1 generic/comparison failure; 2 invalid input or
+configuration (:class:`~repro.errors.InvalidGraphError`,
+:class:`~repro.errors.InvalidOrderingError`,
+:class:`~repro.errors.EngineError`,
+:class:`~repro.errors.GraphFormatError`); 3 budget exhausted
+(:class:`~repro.errors.BudgetExceededError`); 4 invariant violation or
+corrupted output (:class:`~repro.errors.InvariantViolationError`);
+5 service-operational failure (:class:`~repro.errors.ServiceError`:
+shed, deadline, worker crash, open breaker).
 """
 
 from __future__ import annotations
@@ -142,6 +159,43 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("candidate")
     c.add_argument("--tolerance", type=float, default=0.05,
                    help="max relative deviation per point")
+
+    b = sub.add_parser(
+        "batch",
+        help="solve a batch of seeded runs through the worker-pool service",
+    )
+    b.add_argument("graph")
+    b.add_argument("--target", default="mis", choices=["mis", "mm"])
+    b.add_argument("--seeds", default="0:8",
+                   help="seed range lo:hi (hi exclusive), or a count N (= 0:N)")
+    b.add_argument("--method", default=None,
+                   help="engine (default: the service's rootset-vec)")
+    b.add_argument("--workers", type=int, default=2)
+    b.add_argument("--guards", default=None, choices=["off", "cheap", "full"])
+    b.add_argument("--timeout-seconds", type=float, default=None,
+                   help="per-request wall-clock deadline")
+    b.add_argument("--max-retries", type=int, default=2)
+    b.add_argument("--json", action="store_true",
+                   help="print the service stats snapshot as JSON")
+
+    v = sub.add_parser(
+        "serve",
+        help="soak the service with a seeded request storm (optional chaos)",
+    )
+    v.add_argument("graph")
+    v.add_argument("--requests", type=int, default=24)
+    v.add_argument("--workers", type=int, default=2)
+    v.add_argument("--max-retries", type=int, default=4)
+    v.add_argument("--timeout-seconds", type=float, default=None)
+    v.add_argument("--kill-probability", type=float, default=0.0,
+                   help="chaos: per-attempt worker hard-kill probability")
+    v.add_argument("--fault-probability", type=float, default=0.0,
+                   help="chaos: per-attempt kernel fault probability")
+    v.add_argument("--chaos-seed", type=int, default=0)
+    v.add_argument("--seed", type=int, default=0,
+                   help="base seed for the request priorities")
+    v.add_argument("--json", action="store_true",
+                   help="print the survival report as JSON")
     return parser
 
 
@@ -365,6 +419,118 @@ def _cmd_compare(args) -> int:
     return 0 if report.matched else 1
 
 
+def _parse_seeds(spec: str) -> range:
+    """``"lo:hi"`` or ``"N"`` (= ``0:N``) → a seed range; empty is an error."""
+    from repro.errors import EngineError
+
+    try:
+        if ":" in spec:
+            lo_s, hi_s = spec.split(":", 1)
+            lo, hi = int(lo_s), int(hi_s)
+        else:
+            lo, hi = 0, int(spec)
+    except ValueError:
+        raise EngineError(f"--seeds must be 'lo:hi' or a count, got {spec!r}") from None
+    if hi <= lo:
+        raise EngineError(f"--seeds range is empty: {spec!r}")
+    return range(lo, hi)
+
+
+def _cmd_batch(args) -> int:
+    import json
+
+    from repro.service import SolveRequest, SolverService
+
+    g = read_adjacency_graph(args.graph)
+    problem = "mis" if args.target == "mis" else "matching"
+    payload = g if problem == "mis" else g.edge_list()
+    seeds = _parse_seeds(args.seeds)
+    requests = [
+        SolveRequest(
+            problem, payload, method=args.method, guards=args.guards,
+            timeout_seconds=args.timeout_seconds, options={"seed": s},
+        )
+        for s in seeds
+    ]
+    with SolverService(
+        workers=args.workers, max_retries=args.max_retries,
+        max_queue=max(64, len(requests)),
+    ) as svc:
+        results = svc.solve_many(requests)
+        stats = svc.stats()
+    for s, res in zip(seeds, results):
+        aux = res.stats.aux.get("service", {})
+        print(f"seed {s}: size {res.size}  engine {aux.get('engine')}  "
+              f"retries {aux.get('retries')}")
+    print(json.dumps(stats.as_dict(), indent=2) if args.json else stats.format())
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import json
+
+    from repro.core.engines import solve as direct_solve
+    from repro.service import SolveRequest, SolverService
+
+    g = read_adjacency_graph(args.graph)
+    el = g.edge_list()
+    requests = [
+        SolveRequest(
+            "mis" if i % 2 == 0 else "matching",
+            g if i % 2 == 0 else el,
+            timeout_seconds=args.timeout_seconds,
+            options={"seed": args.seed + i},
+        )
+        for i in range(args.requests)
+    ]
+    with SolverService(
+        workers=args.workers, max_retries=args.max_retries,
+        max_queue=max(64, len(requests)),
+        kill_probability=args.kill_probability,
+        fault_probability=args.fault_probability,
+        chaos_seed=args.chaos_seed,
+    ) as svc:
+        results = svc.solve_many(requests, return_errors=True)
+        stats = svc.stats()
+    mismatches = 0
+    failures = []
+    for req, res in zip(requests, results):
+        if isinstance(res, Exception):
+            failures.append(
+                f"{req.problem} seed {req.options['seed']}: "
+                f"{type(res).__name__}: {res}"
+            )
+            continue
+        # Survival is only meaningful if retried/degraded answers are
+        # bit-identical to a clean in-process solve.
+        ref = direct_solve(
+            req.problem, req.payload, method="rootset-vec",
+            seed=req.options["seed"],
+        )
+        if not np.array_equal(res.status, ref.status):
+            mismatches += 1
+    report = {
+        "requests": args.requests,
+        "completed": stats.completed,
+        "failed": stats.failed,
+        "mismatches": mismatches,
+        "retries": stats.retries,
+        "worker_crashes": stats.worker_crashes,
+        "worker_restarts": stats.worker_restarts,
+        "breaker_trips": stats.breaker_trips,
+        "failures": failures,
+    }
+    if args.json:
+        print(json.dumps(report, indent=2))
+    else:
+        print(stats.format())
+        print(f"survived:        {stats.completed}/{args.requests} "
+              f"({mismatches} mismatches)")
+        for line in failures:
+            print(f"failed:          {line}")
+    return 4 if mismatches else 0
+
+
 _COMMANDS = {
     "gen": _cmd_gen,
     "info": _cmd_info,
@@ -374,19 +540,44 @@ _COMMANDS = {
     "sweep": _cmd_sweep,
     "figures": _cmd_figures,
     "compare": _cmd_compare,
+    "batch": _cmd_batch,
+    "serve": _cmd_serve,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
-    from repro.errors import BudgetExceededError
+    """CLI entry point; returns a process exit code.
+
+    Library failures map onto a stable exit-code taxonomy (see the
+    module docstring and docs/api.md): 2 invalid input/config, 3 budget,
+    4 invariant violation, 5 service-operational failure.
+    """
+    from repro.errors import (
+        BudgetExceededError,
+        EngineError,
+        GraphFormatError,
+        InvalidGraphError,
+        InvalidOrderingError,
+        InvariantViolationError,
+        ServiceError,
+    )
 
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except BudgetExceededError as exc:
+    except (InvalidGraphError, InvalidOrderingError, EngineError,
+            GraphFormatError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except BudgetExceededError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
+    except InvariantViolationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 4
+    except ServiceError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 5
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -17,6 +17,11 @@ __all__ = [
     "VerificationError",
     "InvariantViolationError",
     "BudgetExceededError",
+    "ServiceError",
+    "QueueFullError",
+    "DeadlineExceededError",
+    "WorkerCrashError",
+    "CircuitOpenError",
 ]
 
 
@@ -78,4 +83,50 @@ class BudgetExceededError(ReproError):
     the engines and :mod:`repro.bench.sweeps`.  The work performed before
     the budget tripped is already charged to the machine, so callers can
     inspect partial accounting.
+    """
+
+
+class ServiceError(ReproError):
+    """Base class for failures raised by :mod:`repro.service`.
+
+    Subclasses cover the operational outcomes of the crash-isolated
+    solver service: load shedding, blown deadlines, unrecoverable worker
+    deaths, and tripped circuit breakers.  A request that fails with a
+    :class:`ServiceError` failed *operationally* — the input itself may
+    be perfectly valid.
+    """
+
+
+class QueueFullError(ServiceError):
+    """The service's bounded admission queue rejected a submission.
+
+    Load shedding instead of unbounded memory growth: the caller can
+    back off and retry, or raise the ``max_queue`` configuration knob.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """A request ran out of wall-clock deadline.
+
+    Raised whether the deadline expired while the request was still
+    queued, inside a worker (propagated as a
+    :class:`~repro.robustness.Budget` and surfaced as this type), or
+    because a hung worker had to be killed after the deadline passed.
+    """
+
+
+class WorkerCrashError(ServiceError):
+    """A request's worker died (crash/OOM/kill) and retries ran out.
+
+    The message carries the per-attempt log so a post-mortem can see
+    which workers died and what each attempt observed.
+    """
+
+
+class CircuitOpenError(ServiceError):
+    """Every eligible engine's circuit breaker is open.
+
+    Raised when the requested method and the whole degradation chain
+    behind it are all tripped; the request is failed fast rather than
+    queued behind engines that are currently failing.
     """

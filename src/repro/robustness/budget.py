@@ -97,6 +97,17 @@ class Budget:
             return self.max_seconds
         return self._deadline - self._clock()
 
+    def remaining_steps(self) -> Optional[int]:
+        """Steps left before the limit (``None`` if no step limit).
+
+        Clamped at 0 once the budget is exhausted, so callers can size a
+        follow-up run as ``min(want, budget.remaining_steps())`` without
+        special-casing overdrawn budgets.
+        """
+        if self.max_steps is None:
+            return None
+        return max(self.max_steps - self.steps_used, 0)
+
     def check(self) -> None:
         """Raise :class:`BudgetExceededError` if either limit is crossed."""
         if self.max_steps is not None and self.steps_used > self.max_steps:

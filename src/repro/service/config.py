@@ -1,0 +1,227 @@
+"""Service configuration and the request record.
+
+:class:`ServiceConfig` is the one knob surface for
+:class:`~repro.service.SolverService`: pool sizing, admission control,
+retry/backoff policy, circuit-breaker tuning, deadline enforcement, and
+the seeded chaos hooks that make the service itself testable under
+fault storms.  :class:`SolveRequest` describes one unit of work — a
+solver run (``problem="mis"``/``"matching"``) or a generic
+crash-isolated call (``problem="call"``).
+
+Everything random in the service (backoff jitter, chaos draws) is
+derived from seeds in the config via per-request, per-attempt
+``np.random.default_rng((seed, request_id, attempt))`` streams, so a
+chaos finding replays exactly regardless of completion order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from repro.robustness.faults import KERNEL_FAULTS
+
+__all__ = ["ServiceConfig", "SolveRequest"]
+
+_START_METHODS = ("fork", "spawn", "forkserver")
+_PROBLEMS = ("mis", "matching", "mm", "call")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tuning knobs for a :class:`~repro.service.SolverService`.
+
+    Parameters
+    ----------
+    workers:
+        Subprocess pool size.
+    max_queue:
+        Bound on queued (not yet dispatched) requests; a full queue sheds
+        load by raising :class:`~repro.errors.QueueFullError` at submit.
+    start_method:
+        Multiprocessing start method (``fork``/``spawn``/``forkserver``).
+    default_method:
+        Engine used when a request does not name one.  The default is the
+        fastest member of the degradation chain (``rootset-vec``).
+    default_guards:
+        Guard mode handed to workers when the request does not set one.
+    degrade:
+        Route failed/broken engines down the registry's
+        ``fallback_chain()``; turning this off pins every retry to the
+        requested engine.
+    max_retries:
+        Additional attempts after the first, per request, across crash
+        and engine failures.
+    backoff_base, backoff_factor, backoff_max, backoff_jitter:
+        Exponential backoff between attempts: attempt *k* (1-based retry)
+        sleeps ``min(backoff_max, backoff_base * backoff_factor**(k-1))``
+        scaled by a uniform ``1 ± backoff_jitter`` drawn from the seeded
+        per-request stream.
+    retry_seed, chaos_seed:
+        Seeds for the jitter and chaos streams.
+    breaker_threshold, breaker_reset_seconds:
+        Per-engine circuit breaker tuning (see
+        :class:`~repro.service.breaker.CircuitBreaker`).
+    deadline_grace:
+        Extra parent-side seconds past a request's deadline before the
+        worker is presumed hung and killed.
+    hang_timeout:
+        Kill-and-retry bound for requests *without* deadlines; ``None``
+        disables it.
+    kill_probability, kill_point:
+        Chaos: probability that an attempt's worker is hard-killed
+        (``os._exit``), and where (``"pre"``/``"post"`` compute; ``None``
+        picks per-attempt from the seeded stream).
+    fault_probability, fault_kinds:
+        Chaos: probability that a seeded kernel
+        :class:`~repro.robustness.FaultSpec` is armed inside the worker
+        for the attempt, and the kinds drawn from.
+    worker_sys_path:
+        Extra ``sys.path`` entries prepended in workers (lets ``"call"``
+        jobs import script modules).
+    tick:
+        Scheduler poll interval in seconds (latency floor for pickups).
+    latency_window:
+        Completed-request window for the p50/p95 stats.
+    """
+
+    workers: int = 2
+    max_queue: int = 64
+    start_method: str = "fork"
+    default_method: str = "rootset-vec"
+    default_guards: Optional[str] = None
+    degrade: bool = True
+    max_retries: int = 2
+    backoff_base: float = 0.02
+    backoff_factor: float = 2.0
+    backoff_max: float = 0.5
+    backoff_jitter: float = 0.25
+    retry_seed: int = 0
+    breaker_threshold: int = 3
+    breaker_reset_seconds: float = 5.0
+    deadline_grace: float = 0.5
+    hang_timeout: Optional[float] = None
+    kill_probability: float = 0.0
+    kill_point: Optional[str] = None
+    fault_probability: float = 0.0
+    fault_kinds: Tuple[str, ...] = tuple(KERNEL_FAULTS)
+    chaos_seed: int = 0
+    worker_sys_path: Tuple[str, ...] = ()
+    tick: float = 0.02
+    latency_window: int = 512
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError(f"workers must be >= 1, got {self.workers}")
+        if self.max_queue < 1:
+            raise ValueError(f"max_queue must be >= 1, got {self.max_queue}")
+        if self.start_method not in _START_METHODS:
+            raise ValueError(
+                f"start_method must be one of {_START_METHODS}, "
+                f"got {self.start_method!r}"
+            )
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        for name in ("backoff_base", "backoff_factor", "backoff_max", "tick"):
+            if not getattr(self, name) > 0:
+                raise ValueError(f"{name} must be positive")
+        if not 0.0 <= self.backoff_jitter < 1.0:
+            raise ValueError(
+                f"backoff_jitter must be in [0, 1), got {self.backoff_jitter}"
+            )
+        for name in ("kill_probability", "fault_probability"):
+            if not 0.0 <= getattr(self, name) <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.kill_point not in (None, "pre", "post"):
+            raise ValueError(
+                f"kill_point must be None, 'pre' or 'post', got {self.kill_point!r}"
+            )
+        for kind in self.fault_kinds:
+            if kind not in KERNEL_FAULTS:
+                raise ValueError(
+                    f"fault_kinds may only contain kernel faults "
+                    f"{tuple(KERNEL_FAULTS)}, got {kind!r}"
+                )
+        if not self.deadline_grace >= 0:
+            raise ValueError(
+                f"deadline_grace must be >= 0, got {self.deadline_grace}"
+            )
+        if self.hang_timeout is not None and not self.hang_timeout > 0:
+            raise ValueError(
+                f"hang_timeout must be positive, got {self.hang_timeout}"
+            )
+
+    @property
+    def chaos_enabled(self) -> bool:
+        """Whether any chaos knob is armed."""
+        return self.kill_probability > 0.0 or self.fault_probability > 0.0
+
+
+@dataclass
+class SolveRequest:
+    """One unit of work for the service.
+
+    Parameters
+    ----------
+    problem:
+        ``"mis"``, ``"matching"`` (alias ``"mm"``), or ``"call"``.
+    payload:
+        The graph (:class:`~repro.graphs.csr.CSRGraph` or
+        :class:`~repro.graphs.csr.EdgeList`) for solver problems; for
+        ``"call"`` a dict ``{"module", "func"[, "args", "kwargs"]}``.
+    ranks:
+        Optional priority array; workers draw from ``options["seed"]``
+        when omitted, exactly like the front doors.
+    method:
+        Engine name (default: the config's ``default_method``); must be
+        registered for the problem.
+    guards:
+        Guard mode override (default: config's ``default_guards``).
+    timeout_seconds:
+        Wall-clock deadline measured from submission.  Propagated into
+        the worker as ``Budget(max_seconds=remaining)`` and enforced
+        parent-side with the config's ``deadline_grace``.
+    budget_steps:
+        Synchronous-step allowance propagated as ``Budget(max_steps=…)``.
+    trace_path:
+        Per-request JSONL trace written by the worker via
+        :class:`~repro.observability.JSONLSink`.
+    options:
+        Extra engine keywords forwarded to the front door
+        (``seed``, ``prefix_size``, ``prefix_frac``, …).
+    """
+
+    problem: str
+    payload: Any
+    ranks: Any = None
+    method: Optional[str] = None
+    guards: Optional[str] = None
+    timeout_seconds: Optional[float] = None
+    budget_steps: Optional[int] = None
+    trace_path: Optional[str] = None
+    options: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.problem not in _PROBLEMS:
+            raise ValueError(
+                f"problem must be one of {_PROBLEMS}, got {self.problem!r}"
+            )
+        if self.problem == "mm":
+            self.problem = "matching"
+        if self.timeout_seconds is not None and not self.timeout_seconds > 0:
+            raise ValueError(
+                f"timeout_seconds must be positive, got {self.timeout_seconds}"
+            )
+        if self.budget_steps is not None and not self.budget_steps > 0:
+            raise ValueError(
+                f"budget_steps must be positive, got {self.budget_steps}"
+            )
+        if self.problem == "call":
+            if not (
+                isinstance(self.payload, dict)
+                and "module" in self.payload
+                and "func" in self.payload
+            ):
+                raise ValueError(
+                    "a 'call' request needs payload={'module', 'func'[, 'kwargs']}"
+                )

@@ -149,6 +149,104 @@ class TestFiguresCommand:
         assert "serial MM" in capsys.readouterr().out
 
 
+class TestExitCodeTaxonomy:
+    """The documented error→exit-code map (docs/api.md) is load-bearing:
+    scripts and CI gate on it, so each class is asserted here both via a
+    monkeypatched command and end to end where cheap."""
+
+    @pytest.mark.parametrize(
+        "error, code",
+        [
+            ("InvalidGraphError", 2),
+            ("InvalidOrderingError", 2),
+            ("EngineError", 2),
+            ("GraphFormatError", 2),
+            ("BudgetExceededError", 3),
+            ("InvariantViolationError", 4),
+            ("ServiceError", 5),
+            ("QueueFullError", 5),
+            ("DeadlineExceededError", 5),
+            ("WorkerCrashError", 5),
+            ("CircuitOpenError", 5),
+        ],
+    )
+    def test_error_class_maps_to_exit_code(self, monkeypatch, capsys,
+                                           error, code):
+        from repro import cli, errors
+
+        exc_type = getattr(errors, error)
+
+        def boom(args):
+            raise exc_type(f"synthetic {error}")
+
+        monkeypatch.setitem(cli._COMMANDS, "info", boom)
+        assert main(["info", "whatever.adj"]) == code
+        assert f"synthetic {error}" in capsys.readouterr().err
+
+    def test_budget_exhaustion_end_to_end(self, graph_file, capsys):
+        assert main(["mis", str(graph_file), "--budget-steps", "1"]) == 3
+        assert "error:" in capsys.readouterr().err
+
+    def test_garbage_graph_file_end_to_end(self, tmp_path, capsys):
+        bad = tmp_path / "bad.adj"
+        bad.write_text("this is not a graph\n")
+        assert main(["info", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_seeds_spec_is_invalid_input(self, graph_file, capsys):
+        assert main(["batch", str(graph_file), "--seeds", "nope"]) == 2
+        assert "--seeds" in capsys.readouterr().err
+
+
+@pytest.mark.service
+class TestBatchCommand:
+    def test_batch_solves_seed_range(self, graph_file, capsys):
+        assert main(["batch", str(graph_file), "--seeds", "0:3",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        for s in range(3):
+            assert f"seed {s}: size" in out
+        assert "3 completed, 0 failed" in out
+
+    def test_batch_matching_json_stats(self, graph_file, capsys):
+        import json
+        assert main(["batch", str(graph_file), "--target", "mm",
+                     "--seeds", "2", "--workers", "2", "--json"]) == 0
+        out = capsys.readouterr().out
+        stats = json.loads(out[out.index("{"):])
+        assert stats["completed"] == 2
+        assert stats["failed"] == 0
+
+    def test_batch_matches_front_door_solve(self, graph_file, capsys):
+        import repro
+        assert main(["batch", str(graph_file), "--seeds", "5:6",
+                     "--workers", "1"]) == 0
+        line = capsys.readouterr().out.splitlines()[0]
+        g = read_adjacency_graph(graph_file)
+        ref = repro.solve("mis", g, seed=5)
+        assert line.startswith(f"seed 5: size {ref.size}")
+
+
+@pytest.mark.service
+class TestServeCommand:
+    def test_serve_clean_storm_survives(self, graph_file, capsys):
+        assert main(["serve", str(graph_file), "--requests", "4",
+                     "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "survived:        4/4 (0 mismatches)" in out
+
+    def test_serve_chaos_storm_stays_bit_identical(self, graph_file, capsys):
+        import json
+        assert main(["serve", str(graph_file), "--requests", "6",
+                     "--workers", "2", "--kill-probability", "0.4",
+                     "--max-retries", "8", "--chaos-seed", "5",
+                     "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["mismatches"] == 0
+        assert report["worker_crashes"] > 0
+        assert report["completed"] == 6
+
+
 class TestCompareCommand:
     def _write_figures(self, graph_file, out_dir):
         main(["figures", str(graph_file), "--which", "3",

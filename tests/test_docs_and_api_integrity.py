@@ -86,6 +86,8 @@ class TestLayering:
                            "repro.extensions", "repro.cli")),
         ("core", ("repro.bench", "repro.theory", "repro.extensions",
                   "repro.cli")),
+        ("service", ("repro.bench", "repro.theory", "repro.extensions",
+                     "repro.cli")),
         ("theory", ("repro.bench", "repro.cli")),
         ("extensions", ("repro.bench", "repro.cli")),
     ])
@@ -105,6 +107,7 @@ class TestDocsFilesExist:
         "README.md", "DESIGN.md", "EXPERIMENTS.md", "CONTRIBUTING.md",
         "CHANGELOG.md", "docs/architecture.md", "docs/paper-map.md",
         "docs/cost-model.md", "docs/api.md", "docs/observability.md",
+        "docs/robustness.md",
     ])
     def test_present_and_nonempty(self, rel):
         path = SRC.parent.parent / rel

@@ -53,6 +53,32 @@ def test_wall_budget_uses_injected_clock():
         b.check()
 
 
+def test_remaining_seconds_before_start_and_without_limit():
+    clk = FakeClock()
+    b = Budget(max_seconds=5.0, clock=clk)
+    # Unarmed: the full allowance is still available.
+    assert b.remaining_seconds() == pytest.approx(5.0)
+    b.start()
+    clk.now = 7.0
+    # Overdrawn budgets go negative (callers see how far past they are).
+    assert b.remaining_seconds() == pytest.approx(-2.0)
+    assert Budget(max_steps=3).remaining_seconds() is None
+
+
+def test_remaining_steps_counts_down_and_clamps_at_zero():
+    b = Budget(max_steps=5)
+    assert b.remaining_steps() == 5
+    b.start().spend_steps(3)
+    assert b.remaining_steps() == 2
+    with pytest.raises(BudgetExceededError):
+        b.spend_steps(4)
+    # Clamped: overdrawn budgets report 0, not a negative count.
+    assert b.remaining_steps() == 0
+    b.reset()
+    assert b.remaining_steps() == 5
+    assert Budget(max_seconds=1.0).remaining_steps() is None
+
+
 def test_start_is_idempotent_and_reset_rearms():
     clk = FakeClock()
     b = Budget(max_seconds=2.0, clock=clk)

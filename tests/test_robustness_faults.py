@@ -158,3 +158,25 @@ def test_fallback_degrades_around_a_faulted_engine(instance):
     if res.stats.aux.get("degraded"):
         assert res.stats.aux["fallback_engine"] in ("rootset", "sequential")
         assert res.stats.aux["fallback_attempts"]
+
+
+def test_cheap_guards_fault_must_degrade_with_attempt_log():
+    """Coverage-gap case: the test above only checks degradation *if* it
+    happens; this instance is pinned so the cheap guard provably fires in
+    rootset-vec and the front door provably degrades to rootset."""
+    g = uniform_random_graph(64, 200, seed=3)
+    ranks = random_priorities(g.num_vertices, seed=5)
+    ref = sequential_greedy_mis(g, ranks).status
+    with ChaosInjector(FaultSpec(kind="dup-frontier", seed=7, after=0)) as chaos:
+        res = maximal_independent_set(
+            g, ranks, method="rootset-vec", guards="cheap", fallback=True,
+        )
+    assert chaos.fired, "pinned fault site was never reached"
+    assert res.stats.aux.get("degraded") is True, (
+        "cheap guards let a dup-frontier fault through without degrading"
+    )
+    assert res.stats.aux["fallback_engine"] == "rootset"
+    attempts = res.stats.aux["fallback_attempts"]
+    assert attempts and attempts[0]["method"] == "rootset-vec"
+    assert "error" in attempts[0]
+    assert np.array_equal(res.status, ref)

@@ -1,0 +1,199 @@
+"""Service chaos suite: kill storms and fault storms, bit-identical results.
+
+The acceptance bar (ISSUE/ROADMAP robustness track): every injected
+worker crash is retried-or-surfaced, sibling requests are untouched, and
+the final results of a chaos-laden batch are **bit-identical** to a
+clean run — the schedule-independence guarantee extended across process
+deaths and breaker-driven engine degradation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.engines import solve as direct_solve
+from repro.errors import ReproError, WorkerCrashError
+from repro.graphs.generators import rmat_graph, uniform_random_graph
+from repro.service import SolveRequest, SolverService
+
+pytestmark = [pytest.mark.chaos, pytest.mark.service]
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return uniform_random_graph(200, 650, seed=1)
+
+
+def _storm(graph, n):
+    return [SolveRequest("mis" if i % 2 == 0 else "mm",
+                         graph if i % 2 == 0 else graph.edge_list(),
+                         options={"seed": i})
+            for i in range(n)]
+
+
+def _reference(req):
+    return direct_solve(req.problem, req.payload, method="rootset-vec",
+                        seed=req.options["seed"])
+
+
+def _assert_bit_identical(requests, results):
+    for req, res in zip(requests, results):
+        assert not isinstance(res, Exception), res
+        ref = _reference(req)
+        assert np.array_equal(res.status, ref.status), (
+            f"{req.problem} seed={req.options['seed']} diverged: "
+            f"{res.stats.aux['service']['attempts']}"
+        )
+
+
+class TestKillStorm:
+    @pytest.mark.parametrize("kill_point", ["pre", "post"])
+    def test_killed_workers_are_retried_to_bit_identical_results(
+        self, graph, kill_point
+    ):
+        """'post' is the sharp case: the worker computes the answer, then
+        dies before replying — the retry must reproduce it exactly."""
+        requests = _storm(graph, 10)
+        with SolverService(workers=2, kill_probability=0.4, max_retries=8,
+                           kill_point=kill_point, chaos_seed=42,
+                           backoff_base=0.002, tick=0.005) as svc:
+            results = svc.solve_many(requests, return_errors=True)
+            stats = svc.stats()
+        _assert_bit_identical(requests, results)
+        assert stats.worker_crashes > 0, "storm injected no kills"
+        assert stats.worker_restarts == stats.worker_crashes
+        assert stats.workers_alive == 2
+
+    def test_every_crash_is_retried_or_surfaced(self, graph):
+        """No lost requests: with retries disabled, every injected kill
+        must surface as a typed WorkerCrashError carrying the attempt
+        log — never a hang, never a silent drop."""
+        requests = _storm(graph, 6)
+        with SolverService(workers=2, kill_probability=1.0, max_retries=0,
+                           kill_point="pre", chaos_seed=7,
+                           tick=0.005) as svc:
+            results = svc.solve_many(requests, return_errors=True)
+        assert all(isinstance(r, ReproError) for r in results)
+        crash_errors = [r for r in results if isinstance(r, WorkerCrashError)]
+        assert crash_errors, "expected surfaced crashes"
+        assert "attempt 0" in str(crash_errors[0])
+
+    def test_crash_log_lands_in_aux_after_recovery(self, graph):
+        req = SolveRequest("mis", graph, options={"seed": 0})
+        with SolverService(workers=1, kill_probability=1.0, max_retries=3,
+                           kill_point="pre", chaos_seed=1,
+                           backoff_base=0.002, tick=0.005) as svc:
+            # chaos stream: with p=1 the first attempts all die; the
+            # retry budget must be what saves the request... unless every
+            # attempt dies.  Accept either a recovered result with crash
+            # attempts logged, or a typed WorkerCrashError.
+            try:
+                res = svc.solve(req, timeout=60)
+            except WorkerCrashError:
+                return
+        attempts = res.stats.aux["service"]["attempts"]
+        assert any(a["outcome"] == "crash" for a in attempts)
+
+
+class TestFaultStorm:
+    def test_kernel_faults_degrade_and_stay_bit_identical(self, graph):
+        requests = _storm(graph, 10)
+        with SolverService(workers=2, fault_probability=0.6, max_retries=8,
+                           chaos_seed=3, backoff_base=0.002,
+                           tick=0.005) as svc:
+            results = svc.solve_many(requests, return_errors=True)
+            stats = svc.stats()
+        _assert_bit_identical(requests, results)
+        assert stats.retries > 0, "storm injected no effective faults"
+        degraded = [r for r in results
+                    if r.stats.aux.get("degraded")]
+        assert degraded, "no request was served by a fallback engine"
+        for res in degraded:
+            aux = res.stats.aux["service"]
+            assert aux["engine"] != "rootset-vec"
+            assert any(a["outcome"].startswith("error")
+                       or a["outcome"] == "crash"
+                       for a in aux["attempts"][:-1])
+
+    def test_combined_kill_and_fault_storm_on_skewed_graph(self):
+        g = rmat_graph(8, 900, seed=2)
+        requests = _storm(g, 8)
+        with SolverService(workers=2, kill_probability=0.25,
+                           fault_probability=0.25, max_retries=10,
+                           chaos_seed=11, backoff_base=0.002,
+                           tick=0.005) as svc:
+            results = svc.solve_many(requests, return_errors=True)
+        _assert_bit_identical(requests, results)
+
+
+class TestIsolation:
+    def test_sibling_requests_survive_a_poisoned_one(self, graph):
+        """One request is hammered (its chaos stream kills every attempt);
+        the clean siblings sharing the pool must all complete correctly."""
+        clean = _storm(graph, 6)
+        with SolverService(workers=2, max_retries=2, tick=0.005,
+                           backoff_base=0.002) as svc:
+            # Poison pill: a call job that always dies (os._exit outside
+            # chaos accounting would be a real crash; use exit through a
+            # worker-killing call).
+            pill = svc.submit(SolveRequest(
+                "call", {"module": "os", "func": "_exit", "args": (13,)}
+            ))
+            results = svc.solve_many(clean)
+            pill_exc = pill.exception(timeout=60)
+            stats = svc.stats()
+        _assert_bit_identical(clean, results)
+        assert isinstance(pill_exc, WorkerCrashError)
+        assert stats.worker_crashes >= 1
+        assert stats.workers_alive == 2
+
+    def test_chaos_batch_equals_clean_batch_bit_for_bit(self, graph):
+        """The headline guarantee: a chaos-laden service run returns the
+        exact bytes a chaos-free service run returns."""
+        requests = _storm(graph, 8)
+        with SolverService(workers=2, tick=0.005) as svc:
+            clean = svc.solve_many(requests)
+        with SolverService(workers=2, kill_probability=0.3,
+                           fault_probability=0.3, max_retries=10,
+                           chaos_seed=99, backoff_base=0.002,
+                           tick=0.005) as svc:
+            chaotic = svc.solve_many(requests)
+            stats = svc.stats()
+        assert stats.worker_crashes + stats.retries > 0, "storm was a no-op"
+        for a, b in zip(clean, chaotic):
+            assert np.array_equal(a.status, b.status)
+            assert np.array_equal(a.ranks, b.ranks)
+
+
+class TestBreakerDegradation:
+    def test_open_breaker_routes_to_fallback_engine(self, graph):
+        """Trip the rootset-vec breaker by hand; the next requests must be
+        served by the next engine in the chain, bit-identically."""
+        with SolverService(workers=1, breaker_threshold=2,
+                           breaker_reset_seconds=60.0, tick=0.005) as svc:
+            b = svc.breaker("mis", "rootset-vec")
+            b.record_failure()
+            b.record_failure()
+            assert b.state == "open"
+            res = svc.solve(SolveRequest("mis", graph, options={"seed": 4}),
+                            timeout=60)
+        ref = direct_solve("mis", graph, method="rootset-vec", seed=4)
+        assert np.array_equal(res.status, ref.status)
+        aux = res.stats.aux
+        assert aux["degraded"] is True
+        assert aux["service"]["engine"] == "rootset"
+        assert aux["service"]["requested_method"] == "rootset-vec"
+
+    def test_breaker_recovers_after_reset_window(self, graph):
+        clock_cheat = 0.05
+        with SolverService(workers=1, breaker_threshold=1,
+                           breaker_reset_seconds=clock_cheat,
+                           tick=0.005) as svc:
+            svc.breaker("mis", "rootset-vec").record_failure()
+            assert svc.breaker("mis", "rootset-vec").state == "open"
+            import time
+            time.sleep(clock_cheat * 2)
+            res = svc.solve(SolveRequest("mis", graph, options={"seed": 6}),
+                            timeout=60)
+        # The half-open probe went to the primary engine and succeeded.
+        assert res.stats.aux["service"]["engine"] == "rootset-vec"
+        assert not res.stats.aux.get("degraded")
