@@ -1,0 +1,90 @@
+"""JIT-compiled segmented-gather kernels (optional ``numba`` extra).
+
+This module must import cleanly whether or not ``numba`` is installed:
+the default install and the tier-1 suite stay numpy-only, so everything
+JIT lives behind :data:`NUMBA_AVAILABLE` and the public functions raise
+if called without the package (callers go through
+:func:`repro.backends.registry.resolve_backend`, which falls back to the
+numpy backend instead of ever calling these).
+
+The compiled loops implement exactly the contract of the numpy
+formulations in :mod:`repro.backends.registry` — concatenate
+``data[starts[i] : starts[i] + degrees[i]]`` segments (and the matching
+owner repeat-fill) into a caller-provided output — so the two backends
+are bit-identical by construction; the parity suite asserts it anyway.
+``cache=True`` persists the compilation across processes, which matters
+because the shard workers are short-lived forks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EngineError
+
+__all__ = ["NUMBA_AVAILABLE", "flat_gather", "repeat_fill"]
+
+try:  # pragma: no cover - exercised only where numba is installed
+    from numba import njit
+
+    NUMBA_AVAILABLE = True
+except ImportError:  # pragma: no cover - the tier-1 environment
+    njit = None
+    NUMBA_AVAILABLE = False
+
+
+if NUMBA_AVAILABLE:  # pragma: no cover - exercised only where numba is installed
+
+    @njit(cache=True, nogil=True)
+    def _gather_loop(starts, degrees, seg, data, out):  # noqa: ANN001
+        for i in range(starts.size):
+            base = seg[i]
+            src = starts[i]
+            for k in range(degrees[i]):
+                out[base + k] = data[src + k]
+
+    @njit(cache=True, nogil=True)
+    def _repeat_loop(values, degrees, seg, out):  # noqa: ANN001
+        for i in range(values.size):
+            base = seg[i]
+            v = values[i]
+            for k in range(degrees[i]):
+                out[base + k] = v
+
+
+def _segment_bases(degrees: np.ndarray) -> "tuple[np.ndarray, int]":
+    seg = np.zeros(degrees.size, dtype=np.int64)
+    if degrees.size > 1:
+        np.cumsum(degrees[:-1], out=seg[1:])
+    total = int(degrees.sum())
+    return seg, total
+
+
+def flat_gather(
+    starts: np.ndarray, degrees: np.ndarray, data: np.ndarray, out: np.ndarray
+) -> int:
+    """JIT segmented gather; contract identical to the numpy backend."""
+    if not NUMBA_AVAILABLE:
+        raise EngineError(
+            "numba backend called but numba is not installed; "
+            "resolve_backend() should have fallen back to numpy"
+        )
+    seg, total = _segment_bases(degrees)
+    if total:
+        _gather_loop(starts, degrees, seg, data, out)
+    return total
+
+
+def repeat_fill(
+    values: np.ndarray, degrees: np.ndarray, out: np.ndarray
+) -> int:
+    """JIT owner-column fill; contract identical to the numpy backend."""
+    if not NUMBA_AVAILABLE:
+        raise EngineError(
+            "numba backend called but numba is not installed; "
+            "resolve_backend() should have fallen back to numpy"
+        )
+    seg, total = _segment_bases(degrees)
+    if total:
+        _repeat_loop(values, degrees, seg, out)
+    return total

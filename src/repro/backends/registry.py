@@ -1,0 +1,166 @@
+"""Pluggable kernel backends: numpy always, numba when importable.
+
+The hot inner operation of every frontier kernel is a *segmented flat
+gather* — "for each frontier vertex, copy ``data[starts[v] : starts[v] +
+degrees[v]]`` into the output" — plus the matching owner-column fill.
+This module abstracts that pair behind a :class:`KernelBackend` so the
+shard workers (:mod:`repro.backends.shard_worker`) and the
+``parallel-vec`` engines can swap implementations:
+
+``numpy``
+    The vectorized ``cumsum``/``repeat``/fancy-index formulation used by
+    :mod:`repro.kernels.frontier` — always available, always the
+    fallback.
+``numba``
+    A JIT-compiled loop over the same semantics
+    (:mod:`repro.backends.numba_kernels`), available only when ``numba``
+    is importable.  Requesting it without the package installed **falls
+    back to numpy silently at the functional level** and loudly at the
+    reporting level: the resolved backend keeps the requested name in
+    :attr:`KernelBackend.requested` so ``stats.aux["backend"]`` records
+    both what was asked for and what actually ran.
+
+Selection precedence: explicit argument (CLI ``--backend`` / engine
+``backend=``) > ``REPRO_BACKEND`` environment variable > ``"numpy"``.
+Both backends produce bit-identical outputs — gathers of ``int64`` are
+exact — which the parity suite asserts over the fuzz corpus.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import EngineError
+
+__all__ = [
+    "KernelBackend",
+    "available_backends",
+    "backend_names",
+    "resolve_backend",
+]
+
+#: Environment variable consulted when no explicit backend is passed.
+BACKEND_ENV = "REPRO_BACKEND"
+
+
+def _numpy_flat_gather(
+    starts: np.ndarray, degrees: np.ndarray, data: np.ndarray, out: np.ndarray
+) -> int:
+    """Segmented gather: concatenate ``data[starts[i]:+degrees[i]]`` into *out*.
+
+    Returns the number of slots written.  This is the exact flat-index
+    construction of :func:`repro.kernels.frontier_gather`, factored out so
+    other backends can replace it.
+    """
+    total = int(degrees.sum())
+    if total:
+        seg = np.zeros(starts.size, dtype=np.int64)
+        np.cumsum(degrees[:-1], out=seg[1:])
+        flat = np.arange(total, dtype=np.int64) + np.repeat(starts - seg, degrees)
+        out[:total] = data[flat]
+    return total
+
+
+def _numpy_repeat_fill(
+    values: np.ndarray, degrees: np.ndarray, out: np.ndarray
+) -> int:
+    """Owner column: write ``np.repeat(values, degrees)`` into *out*."""
+    total = int(degrees.sum())
+    if total:
+        out[:total] = np.repeat(values, degrees)
+    return total
+
+
+@dataclass(frozen=True)
+class KernelBackend:
+    """One kernel implementation set, selected by name.
+
+    Attributes
+    ----------
+    name:
+        The backend that will actually execute (``"numpy"``/``"numba"``).
+    requested:
+        The backend the caller asked for; differs from :attr:`name` only
+        when an unavailable backend fell back to numpy.
+    jit:
+        Whether the implementations are JIT-compiled.
+    summary:
+        One-line description for docs and error messages.
+    flat_gather, repeat_fill:
+        The two segmented primitives (see module docstring).  Both write
+        into caller-provided output arrays and return the slot count.
+    """
+
+    name: str
+    summary: str
+    jit: bool
+    flat_gather: Callable[..., int]
+    repeat_fill: Callable[..., int]
+    requested: str = ""
+
+    @property
+    def fell_back(self) -> bool:
+        """True when the caller asked for a backend this one replaces."""
+        return bool(self.requested) and self.requested != self.name
+
+
+_NUMPY = KernelBackend(
+    name="numpy",
+    summary="vectorized numpy formulation (always available)",
+    jit=False,
+    flat_gather=_numpy_flat_gather,
+    repeat_fill=_numpy_repeat_fill,
+)
+
+
+def _numba_backend() -> Optional[KernelBackend]:
+    from repro.backends import numba_kernels
+
+    if not numba_kernels.NUMBA_AVAILABLE:
+        return None
+    return KernelBackend(
+        name="numba",
+        summary="JIT-compiled loops via numba (optional extra)",
+        jit=True,
+        flat_gather=numba_kernels.flat_gather,
+        repeat_fill=numba_kernels.repeat_fill,
+    )
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Names the registry understands, available or not."""
+    return ("numpy", "numba")
+
+
+def available_backends() -> Dict[str, bool]:
+    """Map of backend name → availability in this interpreter."""
+    from repro.backends import numba_kernels
+
+    return {"numpy": True, "numba": numba_kernels.NUMBA_AVAILABLE}
+
+
+def resolve_backend(name: Optional[str] = None) -> KernelBackend:
+    """Resolve a backend by precedence: argument > ``REPRO_BACKEND`` > numpy.
+
+    Unknown names raise :class:`~repro.errors.EngineError` listing the
+    registry; a *known but unavailable* backend (numba without the
+    package) resolves to numpy with :attr:`KernelBackend.requested`
+    preserving the original ask, so callers can surface the fallback in
+    ``stats.aux`` instead of failing.
+    """
+    requested = (name or os.environ.get(BACKEND_ENV) or "numpy").strip().lower()
+    if requested not in backend_names():
+        raise EngineError(
+            f"unknown kernel backend {requested!r}; "
+            f"expected one of {backend_names()}"
+        )
+    if requested == "numba":
+        backend = _numba_backend()
+        if backend is not None:
+            return replace(backend, requested=requested)
+        return replace(_NUMPY, requested=requested)
+    return replace(_NUMPY, requested=requested)

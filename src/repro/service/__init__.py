@@ -16,6 +16,7 @@ Layout:
 ========================  =============================================
 :mod:`~repro.service.config`    :class:`ServiceConfig` / :class:`SolveRequest`
 :mod:`~repro.service.worker`    child-process job loop + chaos kill hooks
+:mod:`~repro.service.shared`    worker-side shared-segment attachments
 :mod:`~repro.service.pool`      process/pipe lifecycle (:class:`WorkerPool`)
 :mod:`~repro.service.breaker`   per-engine :class:`CircuitBreaker`
 :mod:`~repro.service.stats`     :class:`ServiceStats` snapshots

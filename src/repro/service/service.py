@@ -17,9 +17,15 @@
   :func:`~repro.core.engines.fallback_chain` — safe *by construction*,
   because every chain engine returns the bit-identical
   sequential-greedy answer;
+* zero-copy graph registration (:meth:`SolverService.register_graph`):
+  a registered graph lives in one shared-memory segment
+  (:class:`~repro.backends.SharedCSR`), its partition arrays precomputed
+  at registration, and requests for it send only the segment name plus a
+  content fingerprint — no per-request pickling; unregistered graphs
+  fall back to the array-pickling path transparently;
 * every attempt recorded in ``result.stats.aux["service"]``, a
   :class:`~repro.service.stats.ServiceStats` snapshot, and graceful
-  drain/shutdown.
+  drain/shutdown (which also unlinks every registered segment).
 
 The scheduler runs on one background thread; workers are the only other
 processes.  All randomness (jitter, chaos draws) comes from per-request
@@ -181,6 +187,10 @@ class SolverService:
         self._started = False
         self._closed = False
         self._stop = False
+        # id(payload) -> (payload, SharedCSR).  The payload reference is
+        # load-bearing: it pins the object so the id key can never be
+        # recycled while the registration is live.
+        self._shared: Dict[int, tuple] = {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -249,12 +259,69 @@ class SolverService:
             self._queue.clear()
             self._delayed.clear()
         self._pool.shutdown()
+        # Workers are gone; the owner is the last holder of every
+        # registered segment, so unlinking here is leak-proof even after
+        # worker crashes mid-request.
+        for _payload, shared in self._shared.values():
+            shared.close()
+            shared.unlink()
+        self._shared.clear()
         for ticket in leftovers:
             self._finish_error(
                 ticket, ServiceError("service shut down before completion"),
                 time.monotonic(),
             )
         self._started = False
+
+    # -- shared-memory graph registration ----------------------------------
+
+    def register_graph(self, payload, ranks=None, *, precompute: bool = True):
+        """Place *payload* in shared memory; later requests skip pickling.
+
+        Returns the :class:`~repro.backends.SharedCSR` bundle.  Every
+        subsequent :class:`~repro.service.SolveRequest` whose ``payload``
+        **is** this object (identity) sends only the segment name plus a
+        content fingerprint; workers attach once and reuse zero-copy
+        views.  With *ranks* given, π ships in the same segment and the
+        memoized partition arrays (parent/child split or rank-sorted
+        incidence) are precomputed **here, at registration** — attaching
+        workers seed their caches from shared memory instead of
+        recomputing, so their first solve for ``(payload, ranks)`` runs
+        warm.  Requests whose ``ranks`` equal the registered array reuse
+        the shared copy without shipping it.
+
+        The service owns the segment: :meth:`release_graph` or
+        :meth:`shutdown` unlinks it.  Registering the same object again
+        returns the existing bundle.
+        """
+        from repro.backends.sharedmem import SharedCSR
+
+        with self._lock:
+            entry = self._shared.get(id(payload))
+            if entry is not None:
+                return entry[1]
+            shared = SharedCSR.create(payload, ranks, precompute=precompute)
+            self._shared[id(payload)] = (payload, shared)
+            return shared
+
+    def release_graph(self, payload) -> bool:
+        """Unlink the segment registered for *payload* (returns whether found).
+
+        In-flight requests keep working — their workers hold attachments,
+        and the kernel frees the memory only when the last mapping closes.
+        New requests for the object fall back to pickling.
+        """
+        with self._lock:
+            entry = self._shared.pop(id(payload), None)
+        if entry is None:
+            return False
+        entry[1].close()
+        entry[1].unlink()
+        return True
+
+    def _shared_for(self, payload):
+        entry = self._shared.get(id(payload))
+        return None if entry is None else entry[1]
 
     # -- submission --------------------------------------------------------
 
@@ -485,8 +552,27 @@ class SolverService:
             job["args"] = req.payload.get("args", ())
             job["kwargs"] = req.payload.get("kwargs", {})
         else:
-            job["payload"] = encode_payload(req.payload)
-            job["ranks"] = req.ranks
+            shared = self._shared_for(req.payload)
+            if shared is not None:
+                job["payload"] = {
+                    "kind": "shared",
+                    "name": shared.name,
+                    "fingerprint": shared.fingerprint,
+                }
+                reg_ranks = shared.ranks
+                if (
+                    req.ranks is not None
+                    and reg_ranks is not None
+                    and np.array_equal(req.ranks, reg_ranks)
+                ):
+                    # π is already in the segment; don't pickle it too.
+                    job["ranks"] = None
+                    job["ranks_shared"] = True
+                else:
+                    job["ranks"] = req.ranks
+            else:
+                job["payload"] = encode_payload(req.payload)
+                job["ranks"] = req.ranks
             job["method"] = method
             guards = req.guards if req.guards is not None else self.config.default_guards
             if chaos and "fault" in chaos and guards in (None, "off"):
@@ -497,7 +583,17 @@ class SolverService:
             job["guards"] = guards
             job["budget_steps"] = req.budget_steps
             job["trace_path"] = req.trace_path
-            job["options"] = dict(req.options)
+            options = dict(req.options)
+            if method != (req.method or self.config.default_method):
+                # A degraded attempt must not inherit engine-specific
+                # knobs: the chain engines reject them at the validation
+                # boundary, which would poison every retry.
+                for knob in (
+                    "prefix_size", "prefix_frac",
+                    "backend", "workers", "min_fanout",
+                ):
+                    options.pop(knob, None)
+            job["options"] = options
             if ticket.deadline is not None:
                 job["deadline_seconds"] = max(ticket.deadline - now, 1e-3)
         if chaos:
@@ -561,11 +657,11 @@ class SolverService:
             attempt["outcome"] = "ok"
             if ticket.request.problem != "call":
                 self.breaker(ticket.request.problem, attempt["method"]).record_success()
-            self._finish_ok(ticket, self._build_result(ticket, reply), now)
+            self._finish_ok(ticket, self._build_result(ticket, reply, now), now)
         else:
             self._handle_worker_error(ticket, reply, now)
 
-    def _build_result(self, ticket: _Ticket, reply: Dict[str, Any]) -> Any:
+    def _build_result(self, ticket: _Ticket, reply: Dict[str, Any], now: float) -> Any:
         if reply["kind"] == "call":
             return reply["value"]
         stats_dict = reply["stats"]
@@ -575,12 +671,19 @@ class SolverService:
         if served != requested:
             aux["degraded"] = True
             aux["fallback_engine"] = served
+        # wall_time_s is submission-to-completion, recorded exactly once
+        # per request.  An engine that fanned out inside the worker
+        # reports its per-shard busy seconds separately under
+        # aux["parallel"]["worker_busy_s"]; those may legitimately sum to
+        # more than wall_time_s and are never folded into it.
         aux["service"] = {
             "request_id": ticket.id,
             "engine": served,
             "requested_method": requested,
             "worker": ticket.attempts[-1]["worker"],
             "retries": ticket.retries,
+            "wall_time_s": round(now - ticket.submitted, 6),
+            "shared_payload": self._shared_for(ticket.request.payload) is not None,
             "attempts": [dict(a) for a in ticket.attempts],
         }
         stats = RunStats(**{**stats_dict, "aux": aux})

@@ -79,11 +79,22 @@ def encode_payload(payload: Union[CSRGraph, EdgeList]) -> Dict[str, Any]:
 
 
 def decode_payload(encoded: Dict[str, Any]) -> Union[CSRGraph, EdgeList]:
-    """Rebuild the graph object worker-side (constructors re-validate)."""
+    """Rebuild the graph object worker-side (constructors re-validate).
+
+    ``kind="shared"`` payloads carry no arrays at all — just a segment
+    name and a content fingerprint.  The graph is resolved through the
+    per-process attachment registry (:mod:`repro.service.shared`): one
+    zero-copy attach per worker, partition caches seeded from the shipped
+    arrays, every later request reusing the same views.
+    """
     if encoded["kind"] == "csr":
         return CSRGraph(encoded["offsets"], encoded["neighbors"])
     if encoded["kind"] == "edges":
         return EdgeList(encoded["n"], encoded["u"], encoded["v"])
+    if encoded["kind"] == "shared":
+        from repro.service.shared import attach_shared
+
+        return attach_shared(encoded["name"], encoded.get("fingerprint")).payload
     raise ValueError(f"unknown payload kind {encoded['kind']!r}")
 
 
@@ -107,6 +118,13 @@ def _solve_reply(job: Dict[str, Any]) -> Dict[str, Any]:
     from repro.robustness.budget import Budget
 
     payload = decode_payload(job["payload"])
+    ranks = job.get("ranks")
+    if ranks is None and job.get("ranks_shared"):
+        # The registered bundle carries π; reuse the zero-copy view
+        # instead of shipping the array with every request.
+        from repro.service.shared import attach_shared
+
+        ranks = attach_shared(job["payload"]["name"]).ranks
     deadline = job.get("deadline_seconds")
     budget_steps = job.get("budget_steps")
     budget: Optional[Budget] = None
@@ -135,7 +153,7 @@ def _solve_reply(job: Dict[str, Any]) -> Dict[str, Any]:
             result = solve(
                 job["problem"],
                 payload,
-                job.get("ranks"),
+                ranks,
                 method=job["method"],
                 guards=job.get("guards"),
                 budget=budget,
@@ -218,6 +236,15 @@ def worker_main(conn, worker_id: int, sys_path: Sequence[str] = ()) -> None:
             conn.send(reply)
         except (BrokenPipeError, OSError):
             break
+    # Reap any shard executor this worker's parallel-vec runs spawned:
+    # the executor's scratch/bundle segments are owned by this process
+    # and must be unlinked before it exits.
+    try:
+        from repro.backends.executor import shutdown_executors
+
+        shutdown_executors()
+    except Exception:  # pragma: no cover - best-effort cleanup
+        pass
     try:
         conn.close()
     except OSError:  # pragma: no cover - already closed

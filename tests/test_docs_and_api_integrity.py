@@ -84,6 +84,8 @@ class TestLayering:
                      "repro.extensions", "repro.cli")),
         ("observability", ("repro.core", "repro.bench", "repro.theory",
                            "repro.extensions", "repro.cli")),
+        ("backends", ("repro.core", "repro.service", "repro.bench",
+                      "repro.theory", "repro.extensions", "repro.cli")),
         ("core", ("repro.bench", "repro.theory", "repro.extensions",
                   "repro.cli")),
         ("service", ("repro.bench", "repro.theory", "repro.extensions",
@@ -107,7 +109,7 @@ class TestDocsFilesExist:
         "README.md", "DESIGN.md", "EXPERIMENTS.md", "CONTRIBUTING.md",
         "CHANGELOG.md", "docs/architecture.md", "docs/paper-map.md",
         "docs/cost-model.md", "docs/api.md", "docs/observability.md",
-        "docs/robustness.md",
+        "docs/robustness.md", "docs/performance.md",
     ])
     def test_present_and_nonempty(self, rel):
         path = SRC.parent.parent / rel
