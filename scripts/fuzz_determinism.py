@@ -331,13 +331,19 @@ def main(argv=None) -> int:
              "clean": 0, "retried": 0, "degraded": 0}
     svc = None
     if args.service:
+        from repro.resilience import ChaosScenario
         from repro.service import SolverService
 
-        svc = SolverService(
-            workers=args.workers, max_retries=8, backoff_base=0.005,
-            kill_probability=0.15, fault_probability=0.15,
-            chaos_seed=master_seed,
-        ).start()
+        scenario = ChaosScenario(
+            name="fuzz-service",
+            description="differential service replay under kills + faults",
+            workers=args.workers,
+            max_retries=8,
+            kill_probability=0.15,
+            fault_probability=0.15,
+            seed=master_seed,
+        )
+        svc = SolverService(scenario.service_config()).start()
     try:
         for trial in range(trials):
             rng = np.random.default_rng(master.integers(0, 2**63))

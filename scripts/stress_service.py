@@ -43,7 +43,8 @@ from repro.graphs.generators import (
     rmat_graph,
     uniform_random_graph,
 )
-from repro.service import ServiceConfig, SolveRequest, SolverService
+from repro.resilience import ChaosScenario
+from repro.service import SolveRequest, SolverService
 
 
 def build_workload(requests: int, seed: int, deadline_every: int):
@@ -73,15 +74,20 @@ def build_workload(requests: int, seed: int, deadline_every: int):
 
 
 def run_storm(args):
-    config = ServiceConfig(
+    # One source of truth for chaos service configs: the declarative
+    # scenario record (scripts and the soak suite share its mapping).
+    scenario = ChaosScenario(
+        name="stress-storm",
+        description="CLI-configured request storm + fault storm",
+        requests=args.requests,
         workers=args.workers,
         max_queue=max(64, args.requests),
         max_retries=args.max_retries,
-        backoff_base=0.005,
         kill_probability=args.kill,
         fault_probability=args.fault,
-        chaos_seed=args.seed,
+        seed=args.seed,
     )
+    config = scenario.service_config()
     storm = build_workload(args.requests, args.seed, args.deadline_every)
     t0 = time.perf_counter()
     with SolverService(config) as svc:

@@ -28,9 +28,16 @@ from repro.backends.registry import (
     backend_names,
     resolve_backend,
 )
+from repro.backends.ledger import (
+    LedgerEntry,
+    SegmentLedger,
+    default_ledger,
+    ledger_enabled,
+)
 from repro.backends.sharedmem import SharedArrays, SharedCSR
 from repro.backends.executor import (
     FrontierExecutor,
+    executor_status,
     get_executor,
     shutdown_executors,
 )
@@ -40,9 +47,14 @@ __all__ = [
     "available_backends",
     "backend_names",
     "resolve_backend",
+    "LedgerEntry",
+    "SegmentLedger",
+    "default_ledger",
+    "ledger_enabled",
     "SharedArrays",
     "SharedCSR",
     "FrontierExecutor",
+    "executor_status",
     "get_executor",
     "shutdown_executors",
 ]

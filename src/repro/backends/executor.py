@@ -44,6 +44,7 @@ from repro.errors import DeadlineExceededError, EngineError, WorkerCrashError
 __all__ = [
     "FrontierExecutor",
     "balanced_ranges",
+    "executor_status",
     "get_executor",
     "shutdown_executors",
 ]
@@ -231,6 +232,20 @@ class FrontierExecutor:
         conn = self._shards[index][1]
         conn.send({"op": "arm_kill", "after": int(after)})
         conn.recv()
+
+    def status(self) -> Dict[str, Any]:
+        """Liveness snapshot of this pool (consumed by the health layer)."""
+        alive = [bool(proc.is_alive()) for proc, _conn in self._shards]
+        return {
+            "workers": self.workers,
+            "alive": sum(alive),
+            "pids": [proc.pid for proc, _conn in self._shards],
+            "segments": (
+                ([self._scratch.name] if self._scratch is not None else [])
+                + list(self._owned)
+            ),
+            "closed": self._closed,
+        }
 
     # -- shared segments -----------------------------------------------------
 
@@ -435,6 +450,20 @@ def get_executor(workers: int) -> FrontierExecutor:
         ex = FrontierExecutor(workers)
         _EXECUTORS[key] = ex
     return ex
+
+
+def executor_status() -> List[Dict[str, Any]]:
+    """Status of every live executor owned by *this* process.
+
+    Fork-inherited cache entries (keyed by another pid) are excluded —
+    their pools belong to the parent and are not this process's to probe.
+    """
+    pid = os.getpid()
+    return [
+        ex.status()
+        for (owner_pid, _workers), ex in _EXECUTORS.items()
+        if owner_pid == pid and not ex.closed
+    ]
 
 
 def shutdown_executors() -> None:

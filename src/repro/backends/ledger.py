@@ -1,0 +1,208 @@
+"""Crash-safe on-disk registry of shared-memory segments.
+
+POSIX shared memory outlives its creator: a process that dies between
+``shm_open`` and ``shm_unlink`` leaks the segment until reboot.  The
+in-process safeguards (``atexit`` hooks, finalizers, service shutdown)
+cover every *graceful* exit, but a SIGKILL'd owner gets no chance to run
+them — which is exactly the failure the resilience reaper
+(:func:`repro.resilience.reap_orphans`) exists for.  The reaper needs
+one thing the kernel does not provide: *who owns which segment*.  This
+module records that.
+
+Every :meth:`~repro.backends.SharedArrays.create` writes one small JSON
+record — ``{name, pid, role, fingerprint, nbytes, created}`` — into a
+shared ledger directory, and every attach adds a per-pid sidecar record.
+One file per event keeps the ledger crash-safe without locking: records
+are written atomically (temp file + ``os.replace``) and removed on
+unlink, so a scan of the directory is always a consistent inventory.
+The reaper cross-checks each owner record against ``os.kill(pid, 0)``
+liveness and unlinks segments whose owners are gone.
+
+The ledger is best-effort by design: a full disk or unwritable tempdir
+must never break the hot path, so every operation swallows ``OSError``.
+Set ``REPRO_LEDGER_DIR`` to relocate the ledger (tests isolate through
+this) or ``REPRO_LEDGER=0`` to disable recording entirely.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "LedgerEntry",
+    "SegmentLedger",
+    "default_ledger",
+    "ledger_enabled",
+]
+
+_ENV_DIR = "REPRO_LEDGER_DIR"
+_ENV_TOGGLE = "REPRO_LEDGER"
+
+
+def ledger_enabled() -> bool:
+    """Whether segment events are recorded (``REPRO_LEDGER=0`` disables)."""
+    return os.environ.get(_ENV_TOGGLE, "1") != "0"
+
+
+def _default_root() -> Path:
+    override = os.environ.get(_ENV_DIR)
+    if override:
+        return Path(override)
+    # Per-uid so multi-user hosts do not share (or fight over) one ledger.
+    try:
+        uid = os.getuid()
+    except AttributeError:  # pragma: no cover - non-POSIX
+        uid = 0
+    return Path(tempfile.gettempdir()) / f"repro-segments-{uid}"
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One recorded segment event (an owner record or an attach sidecar)."""
+
+    name: str            #: shared-memory segment name
+    pid: int             #: process that created / attached it
+    role: str            #: ``"graph"`` / ``"scratch"`` / ``"engine-bundle"`` / …
+    record: str          #: ``"owner"`` or ``"attach"``
+    created: float       #: epoch seconds of the event
+    fingerprint: Optional[str] = None
+    nbytes: Optional[int] = None
+
+    @property
+    def age_s(self) -> float:
+        """Seconds since the event was recorded."""
+        return max(time.time() - self.created, 0.0)
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready representation (used by the CLI inventory)."""
+        return {
+            "name": self.name,
+            "pid": self.pid,
+            "role": self.role,
+            "record": self.record,
+            "created": self.created,
+            "age_s": round(self.age_s, 3),
+            "fingerprint": self.fingerprint,
+            "nbytes": self.nbytes,
+        }
+
+
+class SegmentLedger:
+    """A directory of one-JSON-file-per-segment ownership records.
+
+    All methods are best-effort: ledger I/O failures are swallowed so
+    bookkeeping can never break segment creation itself.  Owner records
+    are named ``<segment>.json``; attach sidecars
+    ``<segment>.<pid>.attach.json`` (one per attaching process).
+    """
+
+    def __init__(self, root: Optional[os.PathLike] = None) -> None:
+        self.root = Path(root) if root is not None else _default_root()
+
+    # -- recording -----------------------------------------------------------
+
+    def _write(self, path: Path, payload: Dict[str, Any]) -> None:
+        if not ledger_enabled():
+            return
+        try:
+            self.root.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp{os.getpid()}")
+            tmp.write_text(json.dumps(payload, separators=(",", ":")))
+            os.replace(tmp, path)
+        except OSError:  # pragma: no cover - full disk / readonly tmp
+            pass
+
+    def record_create(
+        self,
+        name: str,
+        *,
+        role: str = "graph",
+        fingerprint: Optional[str] = None,
+        nbytes: Optional[int] = None,
+        pid: Optional[int] = None,
+    ) -> None:
+        """Record that this process created (owns) segment *name*."""
+        self._write(self.root / f"{name}.json", {
+            "name": name,
+            "pid": pid if pid is not None else os.getpid(),
+            "role": role,
+            "record": "owner",
+            "created": time.time(),
+            "fingerprint": fingerprint,
+            "nbytes": nbytes,
+        })
+
+    def record_attach(self, name: str, *, pid: Optional[int] = None) -> None:
+        """Record that this process holds an attachment to *name*."""
+        pid = pid if pid is not None else os.getpid()
+        self._write(self.root / f"{name}.{pid}.attach.json", {
+            "name": name,
+            "pid": pid,
+            "role": "attachment",
+            "record": "attach",
+            "created": time.time(),
+        })
+
+    def forget(self, name: str) -> None:
+        """Drop the owner record for *name* (after unlink)."""
+        self._remove(self.root / f"{name}.json")
+
+    def forget_attach(self, name: str, *, pid: Optional[int] = None) -> None:
+        """Drop this process's attach sidecar for *name* (after close)."""
+        pid = pid if pid is not None else os.getpid()
+        self._remove(self.root / f"{name}.{pid}.attach.json")
+
+    @staticmethod
+    def _remove(path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- scanning ------------------------------------------------------------
+
+    def entries(self) -> List[LedgerEntry]:
+        """Every readable record, owners first (malformed files skipped)."""
+        out: List[LedgerEntry] = []
+        try:
+            paths = sorted(self.root.glob("*.json"))
+        except OSError:  # pragma: no cover - root vanished mid-scan
+            return out
+        for path in paths:
+            try:
+                raw = json.loads(path.read_text())
+                out.append(LedgerEntry(
+                    name=str(raw["name"]),
+                    pid=int(raw["pid"]),
+                    role=str(raw.get("role", "unknown")),
+                    record=str(raw.get("record", "owner")),
+                    created=float(raw.get("created", 0.0)),
+                    fingerprint=raw.get("fingerprint"),
+                    nbytes=raw.get("nbytes"),
+                ))
+            except (OSError, ValueError, KeyError, TypeError):
+                continue  # half-written or foreign file; the reaper ignores it
+        out.sort(key=lambda e: (e.record != "owner", e.name, e.pid))
+        return out
+
+    def owners(self) -> List[LedgerEntry]:
+        """Just the owner records (what the reaper decides over)."""
+        return [e for e in self.entries() if e.record == "owner"]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SegmentLedger(root={str(self.root)!r})"
+
+
+def default_ledger() -> SegmentLedger:
+    """The process-default ledger (honors ``REPRO_LEDGER_DIR`` per call).
+
+    Constructed per call so tests that repoint the environment variable
+    always get the directory currently in effect.
+    """
+    return SegmentLedger()

@@ -31,21 +31,31 @@ Lifecycle rules (see ``docs/performance.md``):
   otherwise unlink, or unregister, a segment it never owned);
 * ``close()`` tolerates exported views (numpy buffers may pin the
   mapping; the OS reclaims it at process exit either way), and
-  ``unlink()`` tolerates double calls — cleanup paths can be unconditional.
+  ``unlink()`` tolerates double calls — cleanup paths can be unconditional;
+* every create registers a :func:`weakref.finalize` cleanup so an owner
+  that is garbage-collected or exits *without* calling ``unlink()``
+  still removes its segment (guarded by creator pid, so a fork-inherited
+  copy never unlinks the parent's segment), and records the segment in
+  the on-disk ledger (:mod:`repro.backends.ledger`) so the resilience
+  reaper can clean up after owners that died without running *anything*
+  (SIGKILL, OOM).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
+import os
 import secrets
 import struct
 import threading
+import weakref
 from multiprocessing import resource_tracker, shared_memory
 from typing import Any, Dict, Mapping, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.backends.ledger import default_ledger
 from repro.errors import GraphFormatError
 from repro.graphs.csr import CSRGraph, EdgeList
 from repro.kernels.partition import (
@@ -66,6 +76,29 @@ def _aligned(offset: int) -> int:
 
 
 _ATTACH_LOCK = threading.Lock()
+
+
+def _owner_cleanup(shm: shared_memory.SharedMemory, name: str, pid: int) -> None:
+    """Finalizer for owned segments: close, unlink, clear the ledger.
+
+    Runs when the owning :class:`SharedArrays` is garbage-collected, at
+    interpreter exit, or explicitly from :meth:`SharedArrays.unlink`
+    (``weakref.finalize`` guarantees exactly one of those fires).  The
+    pid guard is load-bearing: a forked child inherits the finalizer
+    with the parent's object image and must not unlink a segment its
+    parent still serves from.
+    """
+    if os.getpid() != pid:
+        return
+    try:
+        shm.close()
+    except BufferError:
+        pass  # live views pin the mapping; the name can still be removed
+    try:
+        shm.unlink()
+    except FileNotFoundError:
+        pass
+    default_ledger().forget(name)
 
 
 def _attach_untracked(name: str) -> shared_memory.SharedMemory:
@@ -94,7 +127,8 @@ class SharedArrays:
     is the JSON-safe metadata dict stored alongside.
     """
 
-    __slots__ = ("name", "meta", "arrays", "owner", "_shm")
+    __slots__ = ("name", "meta", "arrays", "owner", "_shm", "_finalizer",
+                 "__weakref__")
 
     def __init__(
         self,
@@ -108,6 +142,7 @@ class SharedArrays:
         self.meta = meta
         self.arrays = arrays
         self.owner = owner
+        self._finalizer: Optional[weakref.finalize] = None
 
     # -- construction --------------------------------------------------------
 
@@ -162,7 +197,21 @@ class SharedArrays:
             view[...] = arr
             view.setflags(write=writable)
             views[key] = view
-        return cls(shm, dict(meta or {}), views, owner=True)
+        meta = dict(meta or {})
+        bundle = cls(shm, meta, views, owner=True)
+        # Leak-proofing for graceful-but-sloppy exits: if the owner never
+        # calls unlink(), the finalizer runs at GC or interpreter exit.
+        # SIGKILL'd owners are covered by the ledger record + reaper.
+        bundle._finalizer = weakref.finalize(
+            bundle, _owner_cleanup, shm, shm.name, os.getpid()
+        )
+        default_ledger().record_create(
+            shm.name,
+            role=meta.get("role") or meta.get("kind") or "bundle",
+            fingerprint=meta.get("fingerprint"),
+            nbytes=shm.size,
+        )
+        return bundle
 
     @classmethod
     def attach(cls, name: str, writable: bool = False) -> "SharedArrays":
@@ -197,6 +246,7 @@ class SharedArrays:
             )
             view.setflags(write=writable)
             views[key] = view
+        default_ledger().record_attach(name)
         return cls(shm, meta, views, owner=False)
 
     # -- lifecycle -----------------------------------------------------------
@@ -210,6 +260,8 @@ class SharedArrays:
             # numpy views exported from the buffer are still alive; the
             # mapping is reclaimed at process exit instead.
             pass
+        if not self.owner:
+            default_ledger().forget_attach(self.name)
 
     def unlink(self) -> None:
         """Remove the segment from the system (owner only; idempotent)."""
@@ -218,10 +270,16 @@ class SharedArrays:
                 f"refusing to unlink {self.name!r}: this process only "
                 "attached to it"
             )
+        if self._finalizer is not None:
+            # Runs the close+unlink+ledger cleanup exactly once; later
+            # calls (and the eventual GC/atexit pass) become no-ops.
+            self._finalizer()
+            return
         try:
             self._shm.unlink()
         except FileNotFoundError:
             pass
+        default_ledger().forget(self.name)
 
     @property
     def nbytes(self) -> int:

@@ -26,6 +26,14 @@ Installed as the ``repro`` console script (also usable as
 ``serve``
     Soak the service with a seeded request storm, optionally under
     chaos (worker kills / kernel faults), and print a survival report.
+``health``
+    Report resilience health: the shared-memory segment inventory from
+    the crash-safe ledger, and (with ``--probe``) a full
+    :class:`~repro.resilience.health.HealthReport` from a transient
+    service.
+``reap``
+    Sweep the segment ledger and unlink shared-memory segments orphaned
+    by killed owner processes (``--dry-run`` to only report).
 
 Every command takes ``--seed`` so runs are reproducible end to end.
 
@@ -33,12 +41,12 @@ Exit codes (documented in docs/api.md, asserted in tests/test_cli.py):
 0 success; 1 generic/comparison failure; 2 invalid input or
 configuration (:class:`~repro.errors.InvalidGraphError`,
 :class:`~repro.errors.InvalidOrderingError`,
-:class:`~repro.errors.EngineError`,
-:class:`~repro.errors.GraphFormatError`); 3 budget exhausted
+:class:`~repro.errors.EngineError`); 3 budget exhausted
 (:class:`~repro.errors.BudgetExceededError`); 4 invariant violation or
 corrupted output (:class:`~repro.errors.InvariantViolationError`);
 5 service-operational failure (:class:`~repro.errors.ServiceError`:
-shed, deadline, worker crash, open breaker).
+shed, deadline, worker crash, open breaker); 6 malformed graph file
+(:class:`~repro.errors.GraphFormatError`).
 """
 
 from __future__ import annotations
@@ -203,6 +211,30 @@ def build_parser() -> argparse.ArgumentParser:
                    help="base seed for the request priorities")
     v.add_argument("--json", action="store_true",
                    help="print the survival report as JSON")
+
+    h = sub.add_parser(
+        "health",
+        help="report segment-ledger inventory and (optionally) service health",
+    )
+    h.add_argument("--probe", action="store_true",
+                   help="start a transient service and print its full "
+                   "health report")
+    h.add_argument("--workers", type=int, default=2,
+                   help="pool size for the --probe service")
+    h.add_argument("--json", action="store_true",
+                   help="print the report as JSON")
+
+    r = sub.add_parser(
+        "reap",
+        help="unlink shared-memory segments orphaned by dead owners",
+    )
+    r.add_argument("--dry-run", action="store_true",
+                   help="report what would be reaped without unlinking")
+    r.add_argument("--min-age-s", type=float, default=0.0,
+                   help="only consider segments ledgered at least this "
+                   "many seconds ago")
+    r.add_argument("--json", action="store_true",
+                   help="print the reap report as JSON")
     return parser
 
 
@@ -540,6 +572,47 @@ def _cmd_serve(args) -> int:
     return 4 if mismatches else 0
 
 
+def _cmd_health(args) -> int:
+    import json
+
+    from repro.resilience import segment_inventory
+
+    records = segment_inventory()
+    orphans = [r for r in records if r.exists and not r.owner_alive]
+    if args.probe:
+        from repro.service import SolverService
+
+        with SolverService(workers=args.workers) as svc:
+            report = svc.health()
+        print(json.dumps(report.as_dict(), indent=2) if args.json
+              else report.format())
+        return 0
+    if args.json:
+        print(json.dumps({
+            "segments": [r.as_dict() for r in records],
+            "orphaned": len(orphans),
+        }, indent=2))
+        return 0
+    print(f"segments:    {len(records)} ledgered, {len(orphans)} orphaned")
+    for r in records:
+        state = "live" if r.owner_alive else (
+            "ORPHANED" if r.exists else "stale record"
+        )
+        print(f"  {r.name}  pid={r.pid} role={r.role} {state}")
+    return 0
+
+
+def _cmd_reap(args) -> int:
+    import json
+
+    from repro.resilience import reap_orphans
+
+    report = reap_orphans(min_age_s=args.min_age_s, dry_run=args.dry_run)
+    print(json.dumps(report.as_dict(), indent=2) if args.json
+          else report.format())
+    return 0
+
+
 _COMMANDS = {
     "gen": _cmd_gen,
     "info": _cmd_info,
@@ -551,6 +624,8 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "batch": _cmd_batch,
     "serve": _cmd_serve,
+    "health": _cmd_health,
+    "reap": _cmd_reap,
 }
 
 
@@ -559,7 +634,8 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     Library failures map onto a stable exit-code taxonomy (see the
     module docstring and docs/api.md): 2 invalid input/config, 3 budget,
-    4 invariant violation, 5 service-operational failure.
+    4 invariant violation, 5 service-operational failure, 6 malformed
+    graph file.
     """
     from repro.errors import (
         BudgetExceededError,
@@ -574,8 +650,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return _COMMANDS[args.command](args)
-    except (InvalidGraphError, InvalidOrderingError, EngineError,
-            GraphFormatError) as exc:
+    # A file that *parses* wrong (exit 6, check the file on disk) is a
+    # different operator action than a graph that *is* wrong (exit 2,
+    # check the producing code).
+    except GraphFormatError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 6
+    except (InvalidGraphError, InvalidOrderingError, EngineError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except BudgetExceededError as exc:

@@ -48,6 +48,7 @@ __all__ = [
     "register_engine",
     "dispatch",
     "solve",
+    "unsupported_knobs",
 ]
 
 #: Problems the registry knows about.
@@ -147,6 +148,34 @@ def fallback_chain(problem: str) -> Tuple[str, ...]:
         for spec in reversed(engine_specs(problem))
         if spec.fallback
     )
+
+
+#: Engine-specific request knobs gated by a capability flag, i.e. the
+#: options a front door *rejects* (EngineError) when the target engine's
+#: flag is off.  Keys are flag attribute names on :class:`EngineSpec`.
+_GATED_KNOBS = {
+    "supports_prefix_knobs": ("prefix_size", "prefix_frac"),
+    "supports_backend": ("backend",),
+    "supports_workers": ("workers", "min_fanout"),
+}
+
+
+def unsupported_knobs(problem: str, method: str) -> frozenset:
+    """Request knobs the named engine would reject at the front door.
+
+    The service strips exactly this set from a request's options before a
+    *degraded* attempt — anything the target engine cannot accept would
+    otherwise raise a non-retryable :class:`~repro.errors.EngineError`
+    and poison every retry.  Derived from the capability flags, so a new
+    gated knob only needs a :data:`_GATED_KNOBS` entry, not another
+    hand-maintained list in the service.
+    """
+    spec = get_engine(problem, method)
+    out = set()
+    for flag, knobs in _GATED_KNOBS.items():
+        if not getattr(spec, flag):
+            out.update(knobs)
+    return frozenset(out)
 
 
 class MethodsView(Sequence):

@@ -1,0 +1,169 @@
+"""AIMD adaptive concurrency limiting for the solver service.
+
+The service's fixed ``max_queue`` bound protects memory, but it knows
+nothing about *throughput*: a queue of 64 requests that each take two
+seconds is a two-minute latency promise nobody made.
+:class:`AdaptiveLimiter` closes that loop with the classic TCP-style
+AIMD rule over the count of outstanding requests:
+
+* **additive increase** — each success nudges the limit up by
+  ``increase / limit`` (one full unit per round-trip of the window), so
+  a healthy service gradually admits more concurrency;
+* **multiplicative decrease** — an overload signal (queue-full shed, a
+  deadline failure, or a completion slower than ``latency_target_s``)
+  halves the limit, at most once per ``cooldown_s`` so one burst of
+  correlated failures counts as one signal.
+
+The service consults ``limit`` at admission (outstanding work beyond it
+is shed exactly like a full queue) and reports it as the
+``admission_limit`` gauge in :class:`~repro.service.stats.ServiceStats`
+and the health report.  The limiter is deliberately clock-injectable and
+free of service imports so the AIMD dynamics unit-test in isolation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+__all__ = ["AdaptiveLimiter"]
+
+
+class AdaptiveLimiter:
+    """Thread-safe AIMD concurrency limit.
+
+    Parameters
+    ----------
+    initial:
+        Starting limit (also the ceiling recovery converges back toward
+        if ``max_limit`` allows).
+    min_limit, max_limit:
+        Hard clamp on the adaptive range; the limit never sheds below
+        ``min_limit`` (the service must always make progress) nor grows
+        past ``max_limit``.
+    latency_target_s:
+        Optional service-level objective: a success slower than this is
+        treated as an overload signal instead of an increase.  ``None``
+        disables latency-based shedding.
+    increase:
+        Additive-increase numerator; each success adds
+        ``increase / limit``.
+    decrease_factor:
+        Multiplicative-decrease factor in ``(0, 1)``.
+    cooldown_s:
+        Minimum spacing between applied decreases.
+    clock:
+        Monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        initial: int = 8,
+        min_limit: int = 1,
+        max_limit: int = 1024,
+        latency_target_s: Optional[float] = None,
+        increase: float = 1.0,
+        decrease_factor: float = 0.5,
+        cooldown_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if min_limit < 1:
+            raise ValueError(f"min_limit must be >= 1, got {min_limit}")
+        if max_limit < min_limit:
+            raise ValueError(
+                f"max_limit must be >= min_limit, got {max_limit} < {min_limit}"
+            )
+        if not 0.0 < decrease_factor < 1.0:
+            raise ValueError(
+                f"decrease_factor must be in (0, 1), got {decrease_factor}"
+            )
+        if increase <= 0:
+            raise ValueError(f"increase must be positive, got {increase}")
+        if cooldown_s < 0:
+            raise ValueError(f"cooldown_s must be >= 0, got {cooldown_s}")
+        if latency_target_s is not None and latency_target_s <= 0:
+            raise ValueError(
+                f"latency_target_s must be positive, got {latency_target_s}"
+            )
+        self.min_limit = int(min_limit)
+        self.max_limit = int(max_limit)
+        self.latency_target_s = latency_target_s
+        self.increase = float(increase)
+        self.decrease_factor = float(decrease_factor)
+        self.cooldown_s = float(cooldown_s)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._limit = float(min(max(initial, min_limit), max_limit))
+        self._last_decrease: Optional[float] = None
+        self._successes = 0
+        self._overload_signals = 0
+        self._decreases = 0
+
+    @property
+    def limit(self) -> int:
+        """Current admission limit (floor of the fractional AIMD state)."""
+        with self._lock:
+            return int(self._limit)
+
+    def on_success(self, latency_s: Optional[float] = None) -> bool:
+        """Record one completed request; returns True if it counted as overload.
+
+        A success slower than ``latency_target_s`` is an overload signal
+        (the service is finishing work, just too late to matter);
+        otherwise the limit takes its additive increase.
+        """
+        if (
+            self.latency_target_s is not None
+            and latency_s is not None
+            and latency_s > self.latency_target_s
+        ):
+            return self.on_overload()
+        with self._lock:
+            self._successes += 1
+            self._limit = min(
+                float(self.max_limit),
+                self._limit + self.increase / max(self._limit, 1.0),
+            )
+        return False
+
+    def on_overload(self) -> bool:
+        """Record an overload signal; returns whether a decrease applied.
+
+        Signals inside the cooldown window are counted but do not shrink
+        the limit again — one correlated burst, one decrease.
+        """
+        with self._lock:
+            self._overload_signals += 1
+            now = self._clock()
+            if (
+                self._last_decrease is not None
+                and now - self._last_decrease < self.cooldown_s
+            ):
+                return False
+            self._last_decrease = now
+            self._limit = max(
+                float(self.min_limit), self._limit * self.decrease_factor
+            )
+            self._decreases += 1
+            return True
+
+    def snapshot(self) -> Dict[str, object]:
+        """Counters + current limit (for health reports and tests)."""
+        with self._lock:
+            return {
+                "limit": int(self._limit),
+                "min_limit": self.min_limit,
+                "max_limit": self.max_limit,
+                "latency_target_s": self.latency_target_s,
+                "successes": self._successes,
+                "overload_signals": self._overload_signals,
+                "decreases": self._decreases,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"AdaptiveLimiter(limit={self.limit}, "
+            f"range=[{self.min_limit}, {self.max_limit}])"
+        )

@@ -1,0 +1,562 @@
+"""Declarative chaos scenarios and the one runner that executes them.
+
+Chaos knobs used to live scattered across scripts: ``stress_service.py``
+hand-rolled kill/fault storms, ``fuzz_determinism.py`` hand-rolled
+another, and nothing exercised the shard or segment layers at all.  This
+module replaces the ad-hoc knobs with *data*: a :class:`ChaosScenario`
+names one failure mode — seeded kernel faults, worker kills pre/post
+compute, shard deaths mid-barrier, shared-segment corruption/unlink,
+orphaned segments, deadline storms, queue floods — and
+:func:`run_scenario` executes any of them through the same checks:
+
+* every completed solve must be **bit-identical** to a single-process
+  reference (the sequential-greedy answer, via ``method="rootset"``);
+* every failure must surface as a **typed** :class:`~repro.errors.
+  ReproError` — a bare ``Exception`` escaping the stack is a finding;
+* after the run, **zero** leaked ``repro-*`` shared-memory segments
+  (orphans must fall to :func:`~repro.resilience.reaper.reap_orphans`)
+  and **zero** stray child processes.
+
+The canonical :data:`SCENARIOS` tuple is what the soak script
+(``scripts/soak_resilience.py``) and the chaos test suite iterate;
+``scenario.scaled(0.25)`` shrinks any scenario for smoke runs.  All
+randomness derives from ``(scenario.seed, seed_offset, i)`` streams, so
+a failing scenario replays exactly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.backends.executor import get_executor, shutdown_executors
+from repro.backends.sharedmem import SharedArrays, SharedCSR
+from repro.core.matching.api import maximal_matching
+from repro.core.mis.api import maximal_independent_set
+from repro.core.result import MISResult
+from repro.errors import (
+    DeadlineExceededError,
+    QueueFullError,
+    ReproError,
+    WorkerCrashError,
+)
+from repro.graphs.generators.random_graphs import uniform_random_graph
+from repro.resilience.reaper import _segment_exists, reap_orphans
+from repro.service.config import ServiceConfig, SolveRequest
+from repro.service.service import SolverService
+
+__all__ = [
+    "SCENARIOS",
+    "ChaosScenario",
+    "ScenarioOutcome",
+    "run_scenario",
+    "scenario_by_name",
+]
+
+_SEGMENT_ATTACKS = (None, "unlink", "corrupt", "orphan")
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """One named failure mode, expressed entirely as data.
+
+    Service-level knobs (``kill_probability``, ``fault_probability``,
+    ``deadline_storm``, ``queue_flood``, ``segment_attack`` of
+    ``"unlink"``/``"corrupt"``) run through a real
+    :class:`~repro.service.SolverService` built by :meth:`service_config`.
+    ``shard_kill`` runs at the engine/backends level against a
+    :class:`~repro.backends.executor.FrontierExecutor`;
+    ``segment_attack="orphan"`` SIGKILLs a segment-owning child process
+    and requires the reaper to recover.
+    """
+
+    name: str
+    description: str
+    requests: int = 12
+    workers: int = 2
+    max_queue: int = 64
+    max_retries: int = 4
+    kill_probability: float = 0.0
+    kill_point: Optional[str] = None
+    fault_probability: float = 0.0
+    shard_kill: bool = False
+    segment_attack: Optional[str] = None
+    deadline_storm: bool = False
+    queue_flood: bool = False
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.requests < 1:
+            raise ValueError(f"requests must be >= 1, got {self.requests}")
+        if self.segment_attack not in _SEGMENT_ATTACKS:
+            raise ValueError(
+                f"segment_attack must be one of {_SEGMENT_ATTACKS}, "
+                f"got {self.segment_attack!r}"
+            )
+
+    def scaled(self, factor: float) -> "ChaosScenario":
+        """This scenario with its request volume scaled (smoke/soak dials)."""
+        if factor <= 0:
+            raise ValueError(f"scale factor must be positive, got {factor}")
+        return dataclasses.replace(
+            self, requests=max(2, int(round(self.requests * factor)))
+        )
+
+    def service_config(self, **overrides) -> ServiceConfig:
+        """The :class:`ServiceConfig` this scenario's service runs under.
+
+        Scripts reuse this so their chaos knobs have exactly one source;
+        *overrides* win over the scenario's mapping.
+        """
+        base: Dict[str, Any] = dict(
+            workers=self.workers,
+            max_queue=self.max_queue,
+            max_retries=self.max_retries,
+            kill_probability=self.kill_probability,
+            kill_point=self.kill_point,
+            fault_probability=self.fault_probability,
+            chaos_seed=self.seed,
+            backoff_base=0.005,
+            backoff_max=0.05,
+            tick=0.01,
+        )
+        base.update(overrides)
+        return ServiceConfig(**base)
+
+
+#: The canonical scenario suite, spanning kernels → engines → backends →
+#: service.  ``scenario_by_name`` looks entries up; the soak script and
+#: the chaos tests iterate the whole tuple.
+SCENARIOS: Tuple[ChaosScenario, ...] = (
+    ChaosScenario(
+        "baseline",
+        "no faults; validates the harness itself (including one "
+        "parallel-vec request per round-robin)",
+        requests=10, seed=101,
+    ),
+    ChaosScenario(
+        "kernel-faults",
+        "seeded kernel faults armed inside workers; every armed attempt "
+        "runs fully guarded, so faults are detected or harmless",
+        requests=12, fault_probability=0.35, max_retries=6, seed=202,
+    ),
+    ChaosScenario(
+        "worker-kill-pre",
+        "workers hard-exit before computing; retries must recover",
+        requests=12, kill_probability=0.3, kill_point="pre",
+        max_retries=8, seed=303,
+    ),
+    ChaosScenario(
+        "worker-kill-post",
+        "workers hard-exit after computing but before replying",
+        requests=12, kill_probability=0.3, kill_point="post",
+        max_retries=8, seed=404,
+    ),
+    ChaosScenario(
+        "shard-kill-midbarrier",
+        "shard workers die mid-barrier inside parallel-vec; the pool "
+        "respawns and the re-solve stays bit-identical",
+        requests=6, shard_kill=True, seed=505,
+    ),
+    ChaosScenario(
+        "segment-unlink",
+        "the registered shared graph is released under load; later "
+        "requests fall back to pickling with identical results",
+        requests=10, segment_attack="unlink", seed=606,
+    ),
+    ChaosScenario(
+        "segment-corrupt",
+        "the shared priority array is corrupted in place; warm workers "
+        "must detect it as InvalidOrderingError, never a wrong answer",
+        requests=10, segment_attack="corrupt", seed=707,
+    ),
+    ChaosScenario(
+        "segment-orphan",
+        "a segment-owning process is SIGKILLed; the reaper must remove "
+        "the orphaned segment",
+        requests=3, segment_attack="orphan", seed=808,
+    ),
+    ChaosScenario(
+        "deadline-storm",
+        "a storm of sub-millisecond deadlines mixed with generous ones; "
+        "expiries are typed and survivors stay bit-identical",
+        requests=14, deadline_storm=True, max_retries=2, seed=909,
+    ),
+    ChaosScenario(
+        "queue-flood",
+        "non-blocking submissions against a tiny queue; overflow is shed "
+        "as QueueFullError, admitted work completes correctly",
+        requests=20, queue_flood=True, max_queue=4, seed=1010,
+    ),
+)
+
+
+def scenario_by_name(name: str) -> ChaosScenario:
+    """Look a canonical scenario up by name (ValueError on unknown)."""
+    for scenario in SCENARIOS:
+        if scenario.name == name:
+            return scenario
+    raise ValueError(
+        f"unknown chaos scenario {name!r}; expected one of "
+        f"{[s.name for s in SCENARIOS]}"
+    )
+
+
+@dataclass
+class ScenarioOutcome:
+    """What one :func:`run_scenario` execution observed."""
+
+    scenario: str
+    requests: int
+    completed: int = 0
+    shed: int = 0
+    failures: Dict[str, int] = field(default_factory=dict)  #: typed, by class
+    untyped_failures: List[str] = field(default_factory=list)
+    mismatches: List[str] = field(default_factory=list)
+    leaked_segments: List[str] = field(default_factory=list)
+    reaped_segments: List[str] = field(default_factory=list)
+    stray_processes: List[str] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+    stats: Dict[str, Any] = field(default_factory=dict)
+    duration_s: float = 0.0
+
+    @property
+    def failed(self) -> int:
+        """Total typed failures."""
+        return sum(self.failures.values())
+
+    @property
+    def ok(self) -> bool:
+        """The scenario's invariants all held.
+
+        Typed failures and shed load are *expected* under chaos; what
+        must never happen is an untyped error, a result mismatch, a
+        leaked segment surviving the reap, a stray process — or nothing
+        completing at all.
+        """
+        return (
+            self.completed > 0
+            and not self.untyped_failures
+            and not self.mismatches
+            and not self.leaked_segments
+            and not self.stray_processes
+        )
+
+    def _count_failure(self, exc: BaseException) -> None:
+        key = type(exc).__name__
+        self.failures[key] = self.failures.get(key, 0) + 1
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "scenario": self.scenario,
+            "ok": self.ok,
+            "requests": self.requests,
+            "completed": self.completed,
+            "shed": self.shed,
+            "failures": dict(self.failures),
+            "untyped_failures": list(self.untyped_failures),
+            "mismatches": list(self.mismatches),
+            "leaked_segments": list(self.leaked_segments),
+            "reaped_segments": list(self.reaped_segments),
+            "stray_processes": list(self.stray_processes),
+            "notes": list(self.notes),
+            "stats": dict(self.stats),
+            "duration_s": round(self.duration_s, 3),
+        }
+
+
+# -- shared helpers ----------------------------------------------------------
+
+
+def _shm_segments() -> Set[str]:
+    root = Path("/dev/shm")
+    if not root.exists():  # pragma: no cover - non-Linux
+        return set()
+    return {p.name for p in root.glob("repro-*")}
+
+
+def _build_graphs(seed: int):
+    sizes = ((240, 700), (300, 900), (180, 420))
+    return [
+        uniform_random_graph(n, m, seed=seed * 10 + i)
+        for i, (n, m) in enumerate(sizes)
+    ]
+
+
+def _reference(problem: str, graph, seed: int, ranks=None):
+    """The sequential-greedy answer every chain engine must reproduce."""
+    if problem == "mis":
+        return maximal_independent_set(graph, ranks, method="rootset", seed=seed)
+    return maximal_matching(graph, ranks, method="rootset", seed=seed)
+
+
+def _matches(result, ref) -> bool:
+    if isinstance(ref, MISResult):
+        return isinstance(result, MISResult) and np.array_equal(
+            result.status, ref.status
+        )
+    return (
+        not isinstance(result, MISResult)
+        and np.array_equal(result.status, ref.status)
+        and np.array_equal(result.edge_u, ref.edge_u)
+        and np.array_equal(result.edge_v, ref.edge_v)
+    )
+
+
+def _collect_strays(outcome: ScenarioOutcome) -> None:
+    for proc in multiprocessing.active_children():
+        proc.join(timeout=2.0)
+        if proc.is_alive():
+            outcome.stray_processes.append(proc.name)
+
+
+# -- the runner --------------------------------------------------------------
+
+
+def run_scenario(
+    scenario: ChaosScenario, *, seed_offset: int = 0
+) -> ScenarioOutcome:
+    """Execute one scenario and return everything it observed.
+
+    *seed_offset* shifts every derived stream, so a soak can run the
+    same scenario repeatedly with fresh (but reproducible) randomness.
+    """
+    t0 = time.monotonic()
+    before = _shm_segments()
+    if scenario.shard_kill:
+        outcome = _run_shard_kill(scenario, seed_offset)
+    elif scenario.segment_attack == "orphan":
+        outcome = _run_segment_orphan(scenario, seed_offset)
+    else:
+        outcome = _run_service(scenario, seed_offset)
+    _collect_strays(outcome)
+    leaked = sorted(_shm_segments() - before)
+    if leaked:
+        report = reap_orphans()
+        outcome.reaped_segments.extend(report.reaped)
+        leaked = sorted(set(leaked) & _shm_segments())
+    outcome.leaked_segments = leaked
+    outcome.duration_s = time.monotonic() - t0
+    return outcome
+
+
+def _run_service(scenario: ChaosScenario, seed_offset: int) -> ScenarioOutcome:
+    outcome = ScenarioOutcome(scenario.name, scenario.requests)
+    rng = np.random.default_rng((scenario.seed, seed_offset))
+    graphs = _build_graphs(scenario.seed + seed_offset)
+    segment_mode = scenario.segment_attack in ("unlink", "corrupt")
+
+    plans: List[Tuple[str, int, int]] = []
+    for i in range(scenario.requests):
+        if segment_mode:
+            # Segment attacks target the one registered graph, so every
+            # request must ride the shared-memory path.
+            plans.append(("mis", 0, 0))
+        else:
+            plans.append((
+                "mis" if i % 2 == 0 else "matching",
+                i % len(graphs),
+                int(rng.integers(2**31)),
+            ))
+
+    shared_ranks = None
+    if segment_mode:
+        shared_ranks = np.random.default_rng(scenario.seed).permutation(
+            graphs[0].num_vertices
+        ).astype(np.int64)
+    refs = [
+        _reference(problem, graphs[gi], s, shared_ranks if segment_mode else None)
+        for problem, gi, s in plans
+    ]
+
+    svc = SolverService(scenario.service_config())
+    svc.start()
+    try:
+        registered = None
+        request_ranks = None
+        if segment_mode:
+            registered = svc.register_graph(graphs[0], shared_ranks)
+            # Requests reference the registered π via its shared view, so
+            # workers take the zero-copy path (and, for the corruption
+            # attack, read the poisoned array).
+            request_ranks = registered.ranks
+
+        futures: List[Optional[Any]] = [None] * len(plans)
+
+        def submit(i: int) -> None:
+            problem, gi, s = plans[i]
+            timeout_s = None
+            if scenario.deadline_storm:
+                timeout_s = 0.002 if i % 2 == 1 else 30.0
+            request = SolveRequest(
+                problem,
+                graphs[gi],
+                ranks=request_ranks,
+                timeout_seconds=timeout_s,
+                options={} if segment_mode else {"seed": s},
+            )
+            if scenario.name == "baseline" and i % 4 == 3:
+                # One cross-layer request per round-robin: service →
+                # parallel-vec engine → shard pool inside the worker.
+                request.method = "parallel-vec"
+                request.options.update(workers=2, min_fanout=0)
+            try:
+                futures[i] = svc.submit(request, block=not scenario.queue_flood)
+            except QueueFullError:
+                outcome.shed += 1
+
+        half = len(plans) // 2
+        for i in range(half):
+            submit(i)
+        if segment_mode:
+            # Let the first wave finish warm before attacking the segment.
+            for fut in futures[:half]:
+                if fut is not None:
+                    fut.exception(timeout=60.0)
+            if scenario.segment_attack == "unlink":
+                svc.release_graph(graphs[0])
+                request_ranks = shared_ranks  # back to the pickled path
+            else:
+                poison = SharedArrays.attach(registered.name, writable=True)
+                # Duplicate one rank: π stops being a permutation, which
+                # validate_priorities flags on the next warm solve.
+                poison.arrays["ranks"][0] = poison.arrays["ranks"][1]
+                poison.close()
+        for i in range(half, len(plans)):
+            submit(i)
+
+        for i, fut in enumerate(futures):
+            if fut is None:
+                continue
+            exc = fut.exception(timeout=120.0)
+            if exc is None:
+                if not _matches(fut.result(), refs[i]):
+                    outcome.mismatches.append(
+                        f"request {i} ({plans[i][0]}) diverged from the "
+                        f"sequential reference"
+                    )
+                outcome.completed += 1
+            elif isinstance(exc, ReproError):
+                outcome._count_failure(exc)
+            else:
+                outcome.untyped_failures.append(
+                    f"request {i}: {type(exc).__name__}: {exc}"
+                )
+        outcome.stats = svc.stats().as_dict()
+    finally:
+        svc.shutdown(drain=False)
+    return outcome
+
+
+def _run_shard_kill(scenario: ChaosScenario, seed_offset: int) -> ScenarioOutcome:
+    outcome = ScenarioOutcome(scenario.name, scenario.requests)
+    rng = np.random.default_rng((scenario.seed, seed_offset))
+    graphs = _build_graphs(scenario.seed + seed_offset)
+    workers = max(scenario.workers, 2)
+    try:
+        for i in range(scenario.requests):
+            graph = graphs[i % len(graphs)]
+            s = int(rng.integers(2**31))
+            ref = _reference("mis", graph, s)
+            executor = get_executor(workers)
+            executor.arm_kill(i % workers, after=1 + i % 3)
+            try:
+                first = maximal_independent_set(
+                    graph, seed=s, method="parallel-vec",
+                    workers=workers, min_fanout=0,
+                )
+            except (WorkerCrashError, DeadlineExceededError) as exc:
+                outcome._count_failure(exc)
+            else:
+                if not _matches(first, ref):
+                    outcome.mismatches.append(
+                        f"solve {i} diverged with an armed shard kill"
+                    )
+            # The pool must come back: re-solve until the armed kill has
+            # burned off (each crash respawns every shard), then match.
+            recovered = None
+            for _attempt in range(4):
+                try:
+                    recovered = maximal_independent_set(
+                        graph, seed=s, method="parallel-vec",
+                        workers=workers, min_fanout=0,
+                    )
+                    break
+                except WorkerCrashError as exc:
+                    outcome._count_failure(exc)
+            if recovered is None:
+                outcome.untyped_failures.append(
+                    f"solve {i}: pool never recovered from shard kill"
+                )
+            elif _matches(recovered, ref):
+                outcome.completed += 1
+            else:
+                outcome.mismatches.append(
+                    f"solve {i} diverged after pool respawn"
+                )
+    finally:
+        shutdown_executors()
+    return outcome
+
+
+def _orphan_child(conn, n: int, m: int, seed: int) -> None:  # pragma: no cover
+    # Runs in a fork child: own a segment, report its name, then hang
+    # until the parent SIGKILLs us — no finalizer or atexit ever runs.
+    graph = uniform_random_graph(n, m, seed=seed)
+    shared = SharedCSR.create(graph)
+    conn.send(shared.name)
+    conn.recv()
+
+
+def _run_segment_orphan(
+    scenario: ChaosScenario, seed_offset: int
+) -> ScenarioOutcome:
+    rounds = min(scenario.requests, 4)
+    outcome = ScenarioOutcome(scenario.name, rounds)
+    # Make sure the resource tracker exists *before* forking: a child
+    # that lazily spawns its own private tracker would race the reaper
+    # with tracker-side cleanup after the SIGKILL (and spray warnings);
+    # a child sharing the parent's tracker leaks cleanly — which is the
+    # exact failure mode the reaper exists for.
+    from multiprocessing import resource_tracker
+
+    resource_tracker.ensure_running()
+    ctx = multiprocessing.get_context("fork")
+    for k in range(rounds):
+        parent_conn, child_conn = ctx.Pipe()
+        proc = ctx.Process(
+            target=_orphan_child,
+            args=(child_conn, 120, 300, scenario.seed + seed_offset + k),
+            name=f"repro-orphan-owner-{k}",
+        )
+        proc.start()
+        child_conn.close()
+        try:
+            name = parent_conn.recv()
+        finally:
+            os.kill(proc.pid, signal.SIGKILL)
+            proc.join(timeout=5.0)
+            parent_conn.close()
+        if _segment_exists(name) is None:
+            outcome.untyped_failures.append(
+                f"round {k}: segment {name} vanished without the reaper "
+                "(SIGKILL should leak it)"
+            )
+            continue
+        report = reap_orphans()
+        if name in report.reaped and _segment_exists(name) is None:
+            outcome.completed += 1
+            outcome.reaped_segments.append(name)
+        else:
+            outcome.untyped_failures.append(
+                f"round {k}: orphaned segment {name} survived the reap"
+            )
+    return outcome

@@ -1,0 +1,163 @@
+"""Background supervisor: periodic health probes + scheduled reap sweeps.
+
+:class:`Supervisor` is a single daemon thread that, every ``interval_s``
+seconds, snapshots a :class:`~repro.resilience.health.HealthReport` for
+its service and — on a slower ``reap_interval_s`` cadence — runs one
+:func:`~repro.resilience.reaper.reap_orphans` sweep so segments leaked
+by killed processes disappear without operator action.  It never
+*mutates* the service: restarts and retries stay with the scheduler; the
+supervisor observes, reaps, and (optionally) calls back.
+
+The probe body is exposed synchronously as :meth:`probe` with an
+injectable clock, so tests exercise the cadence logic without sleeping.
+A supervisor built without a service (``Supervisor(None)``) degrades to
+a pure reaper timer — handy for long-lived driver processes that own
+segments but no pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Deque, Optional
+
+from repro.backends.ledger import SegmentLedger
+from repro.resilience.health import HealthReport, build_health_report
+from repro.resilience.reaper import ReapReport, reap_orphans
+
+__all__ = ["Supervisor"]
+
+
+class Supervisor:
+    """Periodic health-probe + reap thread for one solver service.
+
+    Parameters
+    ----------
+    service:
+        The :class:`~repro.service.SolverService` to watch, or ``None``
+        for a reap-only supervisor.
+    interval_s:
+        Probe period for the background thread.
+    reap_interval_s:
+        Minimum spacing between reap sweeps (a probe whose due time has
+        not arrived skips the sweep).
+    stall_after_s:
+        Busy-worker age beyond which the health report flags a stall.
+    on_report:
+        Optional callback invoked with each new :class:`HealthReport`
+        (exceptions are swallowed; observability must not kill the
+        supervisor).
+    ledger:
+        Segment ledger override (tests point this at a temp directory).
+    history:
+        Number of recent reports retained in :attr:`reports`.
+    clock:
+        Monotonic time source (injectable for cadence tests).
+    """
+
+    def __init__(
+        self,
+        service=None,
+        *,
+        interval_s: float = 5.0,
+        reap_interval_s: float = 60.0,
+        stall_after_s: float = 30.0,
+        on_report: Optional[Callable[[HealthReport], None]] = None,
+        ledger: Optional[SegmentLedger] = None,
+        history: int = 32,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if interval_s <= 0:
+            raise ValueError(f"interval_s must be positive, got {interval_s}")
+        if reap_interval_s < 0:
+            raise ValueError(
+                f"reap_interval_s must be >= 0, got {reap_interval_s}"
+            )
+        self.service = service
+        self.interval_s = float(interval_s)
+        self.reap_interval_s = float(reap_interval_s)
+        self.stall_after_s = float(stall_after_s)
+        self.on_report = on_report
+        self.ledger = ledger
+        self._clock = clock
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._last_reap_at: Optional[float] = None
+        self.last_report: Optional[HealthReport] = None
+        self.last_reap: Optional[ReapReport] = None
+        self.reports: Deque[HealthReport] = deque(maxlen=history)
+        self.probes = 0
+
+    # -- probe body (synchronous; the thread just calls this on a timer) ----
+
+    def probe(self, *, force_reap: bool = False) -> Optional[HealthReport]:
+        """Run one supervision cycle: health snapshot + due reap sweep.
+
+        Returns the fresh report (``None`` for a reap-only supervisor).
+        """
+        self.probes += 1
+        report = None
+        if self.service is not None:
+            report = build_health_report(
+                self.service,
+                stall_after_s=self.stall_after_s,
+                ledger=self.ledger,
+            )
+            self.last_report = report
+            self.reports.append(report)
+        now = self._clock()
+        if force_reap or self._reap_due(now):
+            try:
+                self.last_reap = reap_orphans(self.ledger)
+            except OSError:  # pragma: no cover - ledger dir vanished
+                pass
+            self._last_reap_at = now
+        if report is not None and self.on_report is not None:
+            try:
+                self.on_report(report)
+            except Exception:  # noqa: BLE001 - observer must not kill us
+                pass
+        return report
+
+    def _reap_due(self, now: float) -> bool:
+        if self._last_reap_at is None:
+            return True
+        return now - self._last_reap_at >= self.reap_interval_s
+
+    # -- thread lifecycle ---------------------------------------------------
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "Supervisor":
+        """Launch the background probe thread (idempotent)."""
+        if self.running:
+            return self
+        self._stop.clear()
+        self._thread = threading.Thread(
+            target=self._run, name="repro-supervisor", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 2.0) -> None:
+        """Signal the thread to exit and join it."""
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                self.probe()
+            except Exception:  # noqa: BLE001 - keep supervising
+                pass
+
+    def __enter__(self) -> "Supervisor":
+        return self.start()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.stop()

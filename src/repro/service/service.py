@@ -25,7 +25,20 @@
   fall back to the array-pickling path transparently;
 * every attempt recorded in ``result.stats.aux["service"]``, a
   :class:`~repro.service.stats.ServiceStats` snapshot, and graceful
-  drain/shutdown (which also unlinks every registered segment).
+  drain/shutdown (which also unlinks every registered segment);
+* optional adaptive backpressure (``backpressure=True``): an AIMD
+  limiter sheds outstanding work beyond an adaptive limit that shrinks
+  on overload (queue-full sheds, deadline misses, slow completions) and
+  recovers on healthy ones;
+* optional hedged requests (``hedge_delay_s``): a slow solver attempt
+  gets a duplicate on an idle worker and the first reply wins — safe
+  because solver requests are idempotent and every chain engine returns
+  the same bit-identical answer;
+* resilience hooks: an orphaned-segment reap sweep at :meth:`start`
+  (``reap_on_start``), an optional background
+  :class:`~repro.resilience.supervisor.Supervisor`
+  (``supervise_interval_s``), and :meth:`SolverService.health` for a
+  cross-layer health report.
 
 The scheduler runs on one background thread; workers are the only other
 processes.  All randomness (jitter, chaos draws) comes from per-request
@@ -187,6 +200,19 @@ class SolverService:
         self._started = False
         self._closed = False
         self._stop = False
+        self._supervisor = None
+        self._limiter = None
+        if config.backpressure:
+            from repro.resilience.backpressure import AdaptiveLimiter
+
+            self._limiter = AdaptiveLimiter(
+                initial=config.bp_initial_limit or 2 * config.workers,
+                min_limit=config.bp_min_limit,
+                max_limit=max(config.max_queue, config.workers),
+                latency_target_s=config.bp_latency_target_s,
+                decrease_factor=config.bp_decrease_factor,
+                cooldown_s=config.bp_cooldown_s,
+            )
         # id(payload) -> (payload, SharedCSR).  The payload reference is
         # load-bearing: it pins the object so the id key can never be
         # recycled while the registration is live.
@@ -195,10 +221,24 @@ class SolverService:
     # -- lifecycle ---------------------------------------------------------
 
     def start(self) -> "SolverService":
-        """Spawn the worker pool and the scheduler thread (idempotent)."""
+        """Spawn the worker pool and the scheduler thread (idempotent).
+
+        With ``reap_on_start`` (the default) one orphaned-segment reap
+        sweep runs first, so shared memory leaked by previously killed
+        processes is recovered before new segments are created.  With
+        ``supervise_interval_s`` set, a background
+        :class:`~repro.resilience.supervisor.Supervisor` is started too.
+        """
         with self._lock:
             if self._started:
                 return self
+            if self.config.reap_on_start:
+                from repro.resilience.reaper import reap_orphans
+
+                try:
+                    reap_orphans()
+                except OSError:  # pragma: no cover - ledger dir unusable
+                    pass
             self._pool.start()
             self._stop = False
             self._closed = False
@@ -207,6 +247,14 @@ class SolverService:
             )
             self._started = True
             self._thread.start()
+            if self.config.supervise_interval_s is not None:
+                from repro.resilience.supervisor import Supervisor
+
+                self._supervisor = Supervisor(
+                    self,
+                    interval_s=self.config.supervise_interval_s,
+                    reap_interval_s=self.config.reap_interval_s,
+                ).start()
         return self
 
     def __enter__(self) -> "SolverService":
@@ -239,6 +287,9 @@ class SolverService:
         """
         if not self._started:
             return
+        if self._supervisor is not None:
+            self._supervisor.stop()
+            self._supervisor = None
         if drain:
             self.drain(timeout=timeout)
         with self._cond:
@@ -337,7 +388,9 @@ class SolverService:
         A full queue raises :class:`~repro.errors.QueueFullError` (the
         rejection is counted as shed load) unless ``block=True``, which
         waits for space instead — the backpressure mode ``solve_many``
-        uses.
+        uses.  With ``backpressure`` enabled, outstanding work beyond
+        the AIMD limiter's current limit is shed the same way; a fixed
+        queue-full rejection also counts as an overload signal.
         """
         if not self._started:
             raise ServiceError("service is not started (call start() or use 'with')")
@@ -351,13 +404,28 @@ class SolverService:
             while True:
                 if self._closed:
                     raise ServiceError("service is draining; submissions closed")
-                if len(self._queue) + len(self._delayed) < self.config.max_queue:
+                queue_full = (
+                    len(self._queue) + len(self._delayed)
+                    >= self.config.max_queue
+                )
+                over_limit = (
+                    not queue_full
+                    and self._limiter is not None
+                    and self._outstanding() >= self._limiter.limit
+                )
+                if not queue_full and not over_limit:
                     break
                 if not block:
                     self._stats.bump("shed")
+                    if queue_full:
+                        self._note_overload()
+                        raise QueueFullError(
+                            f"admission queue full ({self.config.max_queue} "
+                            "requests); retry later or raise max_queue"
+                        )
                     raise QueueFullError(
-                        f"admission queue full ({self.config.max_queue} requests); "
-                        "retry later or raise max_queue"
+                        f"adaptive admission limit reached "
+                        f"({self._limiter.limit} outstanding); retry later"
                     )
                 remaining = None if end is None else end - time.monotonic()
                 if remaining is not None and remaining <= 0:
@@ -412,7 +480,32 @@ class SolverService:
                 workers_alive=self._pool.alive_count(),
                 workers_configured=self.config.workers,
                 breaker_states={k: b.state for k, b in self._breakers.items()},
+                admission_limit=(
+                    None if self._limiter is None else self._limiter.limit
+                ),
             )
+
+    def health(self, *, stall_after_s: float = 30.0, include_segments: bool = True):
+        """Cross-layer :class:`~repro.resilience.health.HealthReport`.
+
+        Covers per-worker liveness/progress, restart counters, breaker
+        states, queue depth against the effective admission limit, shard
+        pools owned by this process, and the ledgered shared-memory
+        segment inventory (``include_segments=False`` skips the segment
+        scan for cheap high-frequency probes).
+        """
+        from repro.resilience.health import build_health_report
+
+        return build_health_report(
+            self,
+            stall_after_s=stall_after_s,
+            include_segments=include_segments,
+        )
+
+    def _note_overload(self) -> None:
+        """Feed one overload signal to the limiter (no-op when disabled)."""
+        if self._limiter is not None and self._limiter.on_overload():
+            self._stats.bump("overloads")
 
     def breaker(self, problem: str, method: str) -> CircuitBreaker:
         """The (lazily created) circuit breaker guarding one engine."""
@@ -440,6 +533,7 @@ class SolverService:
                 self._promote_delayed(now)
                 self._expire_queued(now)
                 self._assign(now)
+                self._maybe_hedge(now)
                 busy = {w.conn: w for w in self._pool.busy()}
             if busy:
                 try:
@@ -587,10 +681,11 @@ class SolverService:
             if method != (req.method or self.config.default_method):
                 # A degraded attempt must not inherit engine-specific
                 # knobs: the chain engines reject them at the validation
-                # boundary, which would poison every retry.
-                for knob in (
-                    "prefix_size", "prefix_frac",
-                    "backend", "workers", "min_fanout",
+                # boundary, which would poison every retry.  The strip
+                # set comes from the registry's capability flags, so a
+                # new gated knob is handled the day its flag exists.
+                for knob in engine_registry.unsupported_knobs(
+                    req.problem, method
                 ):
                     options.pop(knob, None)
             job["options"] = options
@@ -643,7 +738,69 @@ class SolverService:
             worker.job = ticket
             worker.job_started = now
 
+    def _maybe_hedge(self, now: float) -> None:
+        """Dispatch duplicate attempts for slow in-flight solver requests.
+
+        With ``hedge_delay_s`` set, a request whose attempt has been in
+        flight at least that long gets a second attempt on an idle
+        worker; the first reply resolves the future and the loser's
+        reply is dropped in :meth:`_complete`.  Queued work always wins
+        over hedges, ``"call"`` requests never hedge (they are not known
+        to be idempotent), and each request hedges at most once.
+        """
+        delay = self.config.hedge_delay_s
+        if delay is None or self._queue or self._stop:
+            return
+        idle = self._pool.idle()
+        if not idle:
+            return
+        for worker in self._pool.busy():
+            if not idle:
+                return
+            ticket: _Ticket = worker.job
+            if (
+                ticket is None
+                or ticket.request.problem == "call"
+                or ticket.future.done()
+                or worker.job_started is None
+                or now - worker.job_started < delay
+                or any(a.get("hedge") for a in ticket.attempts)
+            ):
+                continue
+            method = ticket.attempts[-1]["method"]
+            hedge_worker = idle.pop(0)
+            job = self._build_job(ticket, method, now)
+            try:
+                hedge_worker.conn.send(job)
+            except (BrokenPipeError, OSError):
+                self._stats.bump("worker_crashes")
+                self._respawn(hedge_worker)
+                continue
+            ticket.attempts.append({
+                "attempt": len(ticket.attempts),
+                "method": method,
+                "worker": hedge_worker.worker_id,
+                "chaos": job.get("chaos"),
+                "hedge": True,
+            })
+            hedge_worker.job = ticket
+            hedge_worker.job_started = now
+            self._stats.bump("hedges")
+
     # -- completion paths --------------------------------------------------
+
+    def _attempt_for(self, ticket: _Ticket, worker_id: int) -> Optional[Dict[str, Any]]:
+        """The open attempt this worker is serving (hedges mean the last
+        attempt is not necessarily this worker's)."""
+        for attempt in reversed(ticket.attempts):
+            if attempt["worker"] == worker_id and "outcome" not in attempt:
+                return attempt
+        return None
+
+    def _in_flight_elsewhere(self, ticket: _Ticket) -> bool:
+        """Whether another busy worker still serves *ticket* (its hedge
+        twin); if so, failure handling defers to the survivor."""
+        return any(w.job is ticket for w in self._pool.busy())
 
     def _complete(self, worker: WorkerHandle, reply: Dict[str, Any], now: float) -> None:
         ticket: _Ticket = worker.job
@@ -652,22 +809,38 @@ class SolverService:
         worker.jobs_done += 1
         if ticket is None or reply.get("id") != ticket.id:  # pragma: no cover
             return
-        attempt = ticket.attempts[-1]
+        attempt = self._attempt_for(ticket, worker.worker_id)
+        if attempt is None:  # pragma: no cover - defensive
+            return
+        if ticket.future.done():
+            # A hedge twin already resolved the future; this reply loses.
+            attempt["outcome"] = "late"
+            return
         if reply.get("ok"):
             attempt["outcome"] = "ok"
+            if attempt.get("hedge"):
+                self._stats.bump("hedge_wins")
             if ticket.request.problem != "call":
                 self.breaker(ticket.request.problem, attempt["method"]).record_success()
-            self._finish_ok(ticket, self._build_result(ticket, reply, now), now)
+            self._finish_ok(
+                ticket, self._build_result(ticket, attempt, reply, now), now
+            )
         else:
-            self._handle_worker_error(ticket, reply, now)
+            self._handle_worker_error(ticket, attempt, reply, now)
 
-    def _build_result(self, ticket: _Ticket, reply: Dict[str, Any], now: float) -> Any:
+    def _build_result(
+        self,
+        ticket: _Ticket,
+        attempt: Dict[str, Any],
+        reply: Dict[str, Any],
+        now: float,
+    ) -> Any:
         if reply["kind"] == "call":
             return reply["value"]
         stats_dict = reply["stats"]
         aux = dict(stats_dict["aux"])
         requested = ticket.request.method or self.config.default_method
-        served = ticket.attempts[-1]["method"]
+        served = attempt["method"]
         if served != requested:
             aux["degraded"] = True
             aux["fallback_engine"] = served
@@ -680,7 +853,7 @@ class SolverService:
             "request_id": ticket.id,
             "engine": served,
             "requested_method": requested,
-            "worker": ticket.attempts[-1]["worker"],
+            "worker": attempt["worker"],
             "retries": ticket.retries,
             "wall_time_s": round(now - ticket.submitted, 6),
             "shared_payload": self._shared_for(ticket.request.payload) is not None,
@@ -698,11 +871,14 @@ class SolverService:
         )
 
     def _handle_worker_error(
-        self, ticket: _Ticket, reply: Dict[str, Any], now: float
+        self,
+        ticket: _Ticket,
+        attempt: Dict[str, Any],
+        reply: Dict[str, Any],
+        now: float,
     ) -> None:
         name = reply.get("error_type", "Exception")
         message = reply.get("error", "")
-        attempt = ticket.attempts[-1]
         attempt["outcome"] = f"error:{name}"
         attempt["error"] = message
         if name == "BudgetExceededError":
@@ -727,6 +903,9 @@ class SolverService:
                 self._stats.bump("breaker_trips")
             if self.config.degrade:
                 ticket.failed_methods.add(attempt["method"])
+        if self._in_flight_elsewhere(ticket):
+            # The hedge twin is still computing; it decides the outcome.
+            return
         self._retry_or_fail(ticket, _reconstruct_error(name, message), now)
 
     def _handle_crash(self, worker: WorkerHandle, now: float) -> None:
@@ -736,11 +915,17 @@ class SolverService:
         self._respawn(worker)
         if ticket is None:
             return
-        attempt = ticket.attempts[-1]
+        attempt = self._attempt_for(ticket, worker.worker_id)
+        if attempt is None:  # pragma: no cover - defensive
+            return
         attempt["outcome"] = "crash"
+        if ticket.future.done():
+            return  # the hedge twin already resolved this request
         if ticket.request.problem != "call":
             if self.breaker(ticket.request.problem, attempt["method"]).record_failure():
                 self._stats.bump("breaker_trips")
+        if self._in_flight_elsewhere(ticket):
+            return
         exc = WorkerCrashError(
             f"worker {attempt['worker']} died while serving request {ticket.id} "
             f"({self._attempt_log(ticket)})"
@@ -760,15 +945,20 @@ class SolverService:
             if limit is None or now <= limit:
                 continue
             worker.job = None
-            attempt = ticket.attempts[-1]
-            attempt["outcome"] = "killed-overdue"
+            attempt = self._attempt_for(ticket, worker.worker_id)
+            if attempt is not None:
+                attempt["outcome"] = "killed-overdue"
             self._respawn(worker)
+            if ticket.future.done():
+                continue  # stale hedge loser; nothing to fail or retry
             if hang:
                 self._stats.bump("worker_crashes")
+                if self._in_flight_elsewhere(ticket):
+                    continue
                 self._retry_or_fail(
                     ticket,
                     WorkerCrashError(
-                        f"worker {attempt['worker']} hung past "
+                        f"worker {worker.worker_id} hung past "
                         f"{self.config.hang_timeout:.3f}s and was killed "
                         f"({self._attempt_log(ticket)})"
                     ),
@@ -832,14 +1022,24 @@ class SolverService:
         return delay
 
     def _finish_ok(self, ticket: _Ticket, value: Any, now: float) -> None:
+        if ticket.future.done():  # pragma: no cover - hedge twin won a race
+            return
         self._stats.bump("completed")
-        self._stats.record_latency(now - ticket.submitted)
+        latency = now - ticket.submitted
+        self._stats.record_latency(latency)
+        if self._limiter is not None and self._limiter.on_success(latency):
+            self._stats.bump("overloads")
         ticket.future._resolve(value)
         with self._cond:  # reentrant from the scheduler; bare from shutdown
             self._cond.notify_all()
 
     def _finish_error(self, ticket: _Ticket, exc: BaseException, now: float) -> None:
+        if ticket.future.done():  # pragma: no cover - hedge twin won a race
+            return
         self._stats.bump("failed")
+        if isinstance(exc, DeadlineExceededError):
+            # Deadline misses are the service's clearest overload signal.
+            self._note_overload()
         ticket.future._fail(exc)
         with self._cond:  # reentrant from the scheduler; bare from shutdown
             self._cond.notify_all()

@@ -13,7 +13,7 @@ from __future__ import annotations
 import threading
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -43,6 +43,10 @@ class ServiceStats:
     worker_restarts: int
     deadline_failures: int
     breaker_trips: int
+    hedges: int = 0
+    hedge_wins: int = 0
+    overloads: int = 0
+    admission_limit: Optional[int] = None
     breaker_states: Dict[str, str] = field(default_factory=dict)
     latency_p50: float = 0.0
     latency_p95: float = 0.0
@@ -64,6 +68,10 @@ class ServiceStats:
             "worker_restarts": self.worker_restarts,
             "deadline_failures": self.deadline_failures,
             "breaker_trips": self.breaker_trips,
+            "hedges": self.hedges,
+            "hedge_wins": self.hedge_wins,
+            "overloads": self.overloads,
+            "admission_limit": self.admission_limit,
             "breaker_states": dict(self.breaker_states),
             "latency_p50": self.latency_p50,
             "latency_p95": self.latency_p95,
@@ -83,6 +91,15 @@ class ServiceStats:
             f"(deadline failures {self.deadline_failures})",
             f"breaker trips:   {self.breaker_trips}",
         ]
+        if self.hedges:
+            lines.append(
+                f"hedges:          {self.hedges} ({self.hedge_wins} won)"
+            )
+        if self.admission_limit is not None:
+            lines.append(
+                f"admission limit: {self.admission_limit} "
+                f"({self.overloads} overload decreases)"
+            )
         open_breakers = {
             k: v for k, v in self.breaker_states.items() if v != "closed"
         }
@@ -117,6 +134,9 @@ class StatsCollector:
         "worker_restarts",
         "deadline_failures",
         "breaker_trips",
+        "hedges",
+        "hedge_wins",
+        "overloads",
     )
 
     def __init__(self, window: int = 512) -> None:
@@ -147,6 +167,7 @@ class StatsCollector:
         workers_alive: int,
         workers_configured: int,
         breaker_states: Dict[str, str],
+        admission_limit: Optional[int] = None,
     ) -> ServiceStats:
         """Freeze the current counters and gauges into a ServiceStats."""
         with self._lock:
@@ -170,6 +191,10 @@ class StatsCollector:
                 worker_restarts=self.worker_restarts,
                 deadline_failures=self.deadline_failures,
                 breaker_trips=self.breaker_trips,
+                hedges=self.hedges,
+                hedge_wins=self.hedge_wins,
+                overloads=self.overloads,
+                admission_limit=admission_limit,
                 breaker_states=dict(breaker_states),
                 latency_p50=p50,
                 latency_p95=p95,

@@ -186,7 +186,6 @@ class TestExitCodeTaxonomy:
             ("InvalidGraphError", 2),
             ("InvalidOrderingError", 2),
             ("EngineError", 2),
-            ("GraphFormatError", 2),
             ("BudgetExceededError", 3),
             ("InvariantViolationError", 4),
             ("ServiceError", 5),
@@ -194,6 +193,7 @@ class TestExitCodeTaxonomy:
             ("DeadlineExceededError", 5),
             ("WorkerCrashError", 5),
             ("CircuitOpenError", 5),
+            ("GraphFormatError", 6),
         ],
     )
     def test_error_class_maps_to_exit_code(self, monkeypatch, capsys,
@@ -214,9 +214,11 @@ class TestExitCodeTaxonomy:
         assert "error:" in capsys.readouterr().err
 
     def test_garbage_graph_file_end_to_end(self, tmp_path, capsys):
+        # A file that fails to *parse* is exit 6 (check the file), not
+        # exit 2 (check the producing code).
         bad = tmp_path / "bad.adj"
         bad.write_text("this is not a graph\n")
-        assert main(["info", str(bad)]) == 2
+        assert main(["info", str(bad)]) == 6
         assert "error:" in capsys.readouterr().err
 
     def test_bad_seeds_spec_is_invalid_input(self, graph_file, capsys):
@@ -271,6 +273,67 @@ class TestServeCommand:
         assert report["mismatches"] == 0
         assert report["worker_crashes"] > 0
         assert report["completed"] == 6
+
+
+class TestHealthAndReapCommands:
+    @pytest.fixture(autouse=True)
+    def isolated_ledger(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_LEDGER_DIR", str(tmp_path / "ledger"))
+
+    def test_health_empty_inventory(self, capsys):
+        assert main(["health"]) == 0
+        out = capsys.readouterr().out
+        assert "segments:    0 ledgered, 0 orphaned" in out
+
+    def test_health_lists_live_segment(self, capsys):
+        from repro.backends import SharedCSR
+        from repro.graphs.generators import uniform_random_graph
+
+        shared = SharedCSR.create(uniform_random_graph(40, 90, seed=0))
+        try:
+            assert main(["health"]) == 0
+            out = capsys.readouterr().out
+            assert shared.name in out and "live" in out
+        finally:
+            shared.close()
+            shared.unlink()
+
+    def test_health_json(self, capsys):
+        import json
+        assert main(["health", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report == {"segments": [], "orphaned": 0}
+
+    @pytest.mark.service
+    def test_health_probe_reports_running_service(self, capsys):
+        assert main(["health", "--probe", "--workers", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "status:          ok" in out
+        assert "1/1 alive" in out
+
+    def test_reap_empty_ledger(self, capsys):
+        assert main(["reap"]) == 0
+        assert "0 orphaned segment(s)" in capsys.readouterr().out
+
+    def test_reap_json_dry_run(self, capsys):
+        import json
+        assert main(["reap", "--json", "--dry-run"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["dry_run"] is True
+        assert report["reaped"] == []
+
+    def test_reap_keeps_live_owner(self, capsys):
+        from repro.backends import SharedCSR
+        from repro.graphs.generators import uniform_random_graph
+
+        shared = SharedCSR.create(uniform_random_graph(40, 90, seed=1))
+        try:
+            assert main(["reap"]) == 0
+            out = capsys.readouterr().out
+            assert "1 owner record(s), 1 live" in out
+        finally:
+            shared.close()
+            shared.unlink()
 
 
 class TestCompareCommand:

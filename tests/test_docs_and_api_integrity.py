@@ -90,6 +90,8 @@ class TestLayering:
                   "repro.cli")),
         ("service", ("repro.bench", "repro.theory", "repro.extensions",
                      "repro.cli")),
+        ("resilience", ("repro.bench", "repro.theory", "repro.extensions",
+                        "repro.cli")),
         ("theory", ("repro.bench", "repro.cli")),
         ("extensions", ("repro.bench", "repro.cli")),
     ])

@@ -276,6 +276,43 @@ class TestCircuitBreaker:
         b.record_success()
         assert b.state == "closed" and b.allow()
 
+    def test_half_open_admits_exactly_one_concurrent_probe(self):
+        """N racing callers in half-open state: one probe, N-1 rejections."""
+        import threading
+
+        clock = {"now": 0.0}
+        b = CircuitBreaker(threshold=1, reset_seconds=5.0,
+                           clock=lambda: clock["now"])
+        b.record_failure()
+        clock["now"] = 6.0
+        assert b.state == "half-open"
+
+        racers = 16
+        barrier = threading.Barrier(racers)
+        admitted = []
+
+        def racer():
+            barrier.wait()
+            if b.allow():
+                admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=racer) for _ in range(racers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(admitted) == 1
+        # The probe's outcome decides for everyone: success closes …
+        b.record_success()
+        assert b.state == "closed"
+        assert sum(b.allow() for _ in range(4)) == 4
+        # … and a failed probe re-opens for a full window.
+        b.record_failure()
+        clock["now"] = 12.0
+        assert b.allow() is True
+        assert b.record_failure() is True
+        assert b.state == "open" and not b.allow()
+
     def test_success_resets_the_failure_count(self):
         b = CircuitBreaker(threshold=3, reset_seconds=1.0)
         b.record_failure()

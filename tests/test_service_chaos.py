@@ -183,6 +183,34 @@ class TestBreakerDegradation:
         assert aux["service"]["engine"] == "rootset"
         assert aux["service"]["requested_method"] == "rootset-vec"
 
+    def test_degraded_attempt_strips_multicore_knobs(self, graph):
+        """Regression: a parallel-vec request carrying engine-specific
+        knobs (workers/min_fanout/backend) must degrade cleanly — the
+        chain engines reject those keywords, so the scheduler strips
+        every knob the registry flags as unsupported for the fallback."""
+        with SolverService(workers=1, breaker_threshold=2,
+                           breaker_reset_seconds=60.0, tick=0.005) as svc:
+            b = svc.breaker("mis", "parallel-vec")
+            b.record_failure()
+            b.record_failure()
+            assert b.state == "open"
+            res = svc.solve(
+                SolveRequest(
+                    "mis", graph, method="parallel-vec",
+                    options={"seed": 11, "workers": 2, "min_fanout": 0,
+                             "backend": "numpy"},
+                ),
+                timeout=60,
+            )
+        ref = direct_solve("mis", graph, method="rootset-vec", seed=11)
+        assert np.array_equal(res.status, ref.status)
+        aux = res.stats.aux
+        assert aux["degraded"] is True
+        assert aux["service"]["requested_method"] == "parallel-vec"
+        assert aux["service"]["engine"] != "parallel-vec"
+        # One attempt was enough: the stripped knobs never poisoned it.
+        assert aux["service"]["retries"] == 0
+
     def test_breaker_recovers_after_reset_window(self, graph):
         clock_cheat = 0.05
         with SolverService(workers=1, breaker_threshold=1,
