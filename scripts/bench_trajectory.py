@@ -16,6 +16,16 @@ Three measurements, on the "small"-tier paper workloads:
   payloads vs registered shared-memory payloads on a live
   :class:`~repro.service.SolverService`.
 
+A fourth measurement records the **gateway cache trajectory** into
+``BENCH_8.json``: end-to-end HTTP latency through a live
+:class:`~repro.service.http.HTTPGateway` for uncached solves (every
+request a fresh content address, solved through the worker pool) vs
+warm cache hits (one content address, answered from the
+content-addressed result cache) vs the degraded serve-stale path.
+Determinism makes all three responses byte-identical — the record
+quantifies what that equivalence buys (warm hits are required to be
+≥ 5× faster than uncached solves).
+
 Speedup numbers are *honest wall clock on this machine*: ``meta.cpu_count``
 records the core budget, and on a single-core container the parallel
 tier cannot beat the single-process engine — the point of the record is
@@ -24,10 +34,12 @@ meaningful at any core count (see ``meta.caveat``).
 
 Usage:
     python scripts/bench_trajectory.py [output.json] [--smoke]
+    python scripts/bench_trajectory.py --gateway-only   # BENCH_8.json only
 
 ``--smoke`` shrinks the workloads and repetition counts to run in a few
 seconds (used by the tier-1 suite); the default tier matches
-``BENCH_rootset.json``.
+``BENCH_rootset.json``.  ``--gateway-only`` skips the engine ladder and
+records just the gateway cache trajectory.
 """
 
 from __future__ import annotations
@@ -170,13 +182,106 @@ def _bench_service(graph, requests, smoke):
     }
 
 
+def _bench_gateway(graph, requests):
+    """End-to-end HTTP latency: uncached vs warm-hit vs serve-stale.
+
+    Latency is measured as a real warm client sees it: request written
+    and the full response body read off one persistent (keep-alive)
+    connection.  The raw bytes are kept — client-side JSON decoding is
+    the client's business, not gateway latency — and double as the
+    byte-identity evidence for warm vs stale serving.
+    """
+    import http.client
+
+    from repro.core.engines import engine_methods
+    from repro.service.http import GatewayConfig, HTTPGateway
+
+    ranks = random_priorities(graph.num_vertices, seed=SEED)
+    gateway = HTTPGateway(
+        config=GatewayConfig(port=0),
+        workers=1,
+        cache_entries=max(64, 2 * requests),
+    )
+    gateway.add_graph("bench", graph, ranks)
+
+    with gateway:
+        host, port = gateway.address
+        conn = http.client.HTTPConnection(host, port, timeout=300)
+
+        def _time(body, expect_source):
+            payload = json.dumps(body).encode()
+            t0 = time.perf_counter()
+            conn.request(
+                "POST", "/v1/solve", payload,
+                {"Content-Type": "application/json"},
+            )
+            resp = conn.getresponse()
+            raw = resp.read()
+            wall = time.perf_counter() - t0
+            assert resp.status == 200, f"gateway solve failed: {resp.status}"
+            source = resp.headers.get("X-Repro-Cache")
+            assert source == expect_source, (
+                f"expected {expect_source}, served {source}"
+            )
+            return wall, raw
+
+        # Warm the worker (imports, partition caches) off the record.
+        _time({"graph": "bench", "seed": 10**6}, "miss")
+
+        uncached = [
+            _time({"graph": "bench", "seed": 10**6 + 1 + i}, "miss")[0]
+            for i in range(requests)
+        ]
+        warm_samples = [
+            _time({"graph": "bench"}, "hit") for _ in range(requests)
+        ]
+        # Serve-stale: open every MIS breaker so the backend is
+        # unreachable, then hit the warmed entry through get_stale.
+        breakers = [
+            gateway.service.breaker("mis", m) for m in engine_methods("mis")
+        ]
+        for breaker in breakers:
+            for _ in range(gateway.service.config.breaker_threshold):
+                breaker.record_failure()
+        gateway.service.cache.ttl_s = 1e-9  # expire the fresh path
+        stale_samples = [
+            _time({"graph": "bench"}, "stale") for _ in range(requests)
+        ]
+        gateway.service.cache.ttl_s = None
+        for breaker in breakers:
+            breaker.record_success()
+        conn.close()
+
+    warm = [wall for wall, _ in warm_samples]
+    stale = [wall for wall, _ in stale_samples]
+    bodies = {raw for _, raw in warm_samples} | {raw for _, raw in stale_samples}
+    uncached_median = float(np.median(uncached))
+    warm_median = float(np.median(warm))
+    stale_median = float(np.median(stale))
+    return {
+        "n": graph.num_vertices,
+        "m": graph.num_edges,
+        "requests": requests,
+        "uncached_median_s": uncached_median,
+        "warm_hit_median_s": warm_median,
+        "stale_median_s": stale_median,
+        "warm_speedup_vs_uncached": uncached_median / warm_median,
+        "stale_speedup_vs_uncached": uncached_median / stale_median,
+        "responses_byte_identical": len(bodies) == 1,
+    }
+
+
 def main(argv=None):
     argv = list(sys.argv[1:] if argv is None else argv)
     smoke = "--smoke" in argv
     if smoke:
         argv.remove("--smoke")
+    gateway_only = "--gateway-only" in argv
+    if gateway_only:
+        argv.remove("--gateway-only")
     out_path = pathlib.Path(argv[0]) if argv else (
-        pathlib.Path(__file__).resolve().parent.parent / "BENCH_6.json"
+        pathlib.Path(__file__).resolve().parent.parent
+        / ("BENCH_8.json" if gateway_only else "BENCH_6.json")
     )
 
     if smoke:
@@ -190,6 +295,46 @@ def main(argv=None):
         }
         worker_counts = (1, 2, 4, 8)
         reps, requests = 9, 15
+
+    if gateway_only:
+        gw_graph = next(iter(workloads.values()))
+        record = {
+            "meta": {
+                "scale": "smoke" if smoke else "small",
+                "numpy": np.__version__,
+                "cpu_count": os.cpu_count(),
+                "method": (
+                    "median end-to-end HTTP latency (request written to "
+                    "full body read, one persistent loopback connection; "
+                    "client-side JSON decode excluded), 1 worker; "
+                    "uncached = fresh seed per request (content-address "
+                    "miss, solved through the pool), warm = repeated "
+                    "requests for one warmed content address (served "
+                    "from the result cache plus the gateway's "
+                    "encoded-response cache, so the hit skips both the "
+                    "solve and re-serialization), stale = same address "
+                    "via get_stale with every MIS breaker forced open; "
+                    "warm/stale bodies asserted byte-identical"
+                ),
+            },
+            "gateway": _bench_gateway(gw_graph, requests),
+        }
+        gw = record["gateway"]
+        print(f"[bench] gateway: uncached={gw['uncached_median_s']:.4f}s "
+              f"hit={gw['warm_hit_median_s']:.5f}s "
+              f"stale={gw['stale_median_s']:.5f}s "
+              f"(warm speedup {gw['warm_speedup_vs_uncached']:.1f}x)")
+        if not smoke:
+            # The committed claim (ISSUE acceptance): on the paper's
+            # small workloads a warm hit beats an uncached solve >= 5x.
+            # At smoke scale the solve is so cheap that HTTP framing
+            # dominates both paths, so the ratio is not meaningful.
+            assert gw["warm_speedup_vs_uncached"] >= 5.0, (
+                "warm cache hits must be >= 5x faster than uncached solves"
+            )
+        out_path.write_text(json.dumps(record, indent=1))
+        print(f"[bench] wrote {out_path}")
+        return 0
 
     record = {
         "meta": {

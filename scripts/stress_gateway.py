@@ -1,0 +1,354 @@
+#!/usr/bin/env python
+"""Storm the HTTP gateway over real sockets and write a survival report.
+
+The network-layer sibling of ``scripts/stress_service.py``: a seeded
+storm of concurrent HTTP clients (mixed MIS/matching, registered and
+inline graphs, a slice of requests carrying deadlines down to a few
+microseconds) is fired at a live :class:`repro.service.http.HTTPGateway`
+whose backing service has a worker-kill and kernel-fault storm armed.
+A sampler thread polls ``/v1/health`` throughout, recording the
+degraded/ok transitions the worker kills cause.
+
+Afterwards the three gateway survival properties are checked:
+
+1. **No silent wrong answers** — every ``200`` body is bit-identical to
+   a clean in-process solve of the same instance (cache hits, retried
+   solves, and degraded-engine solves included).
+2. **Typed failures only** — every non-``200`` carried a typed
+   ``{"error": …}`` body from the repro taxonomy; a ``500`` (or a
+   nonzero ``untyped_errors`` counter in ``/v1/metrics``) fails the run.
+3. **Nothing leaked** — zero stray ``repro-*`` shared-memory segments
+   after shutdown, and ``/v1/health`` is ``ok`` again once the storm
+   stops.
+
+The report is written as Markdown (default
+``results/stress_gateway.md``) so a run's evidence can be committed.
+
+Usage:
+    python scripts/stress_gateway.py                 # full storm
+    python scripts/stress_gateway.py --smoke         # tier-1 sized
+    python scripts/stress_gateway.py --requests 300 --kill 0.3
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core.engines import solve as direct_solve
+from repro.graphs.generators import (
+    cycle_graph,
+    grid_graph,
+    rmat_graph,
+    uniform_random_graph,
+)
+from repro.resilience import ChaosScenario, reap_orphans
+from repro.service.http import GatewayConfig, HTTPGateway, request_json
+
+
+def _shm_segments():
+    root = Path("/dev/shm")
+    if not root.exists():
+        return set()
+    return {p.name for p in root.glob("repro-*")}
+
+
+def build_graphs(seed: int):
+    return {
+        "uniform": uniform_random_graph(400, 1600, seed=seed),
+        "rmat": rmat_graph(9, 1500, seed=seed + 1),
+        "grid": grid_graph(20, 20),
+        "cycle": cycle_graph(300),
+    }
+
+
+def build_storm(graphs, requests: int, seed: int, deadline_every: int):
+    """Seeded plan: (payload-name, body, headers, reference-key) rows."""
+    names = sorted(graphs)
+    rng = np.random.default_rng(seed)
+    plans = []
+    for i in range(requests):
+        name = names[int(rng.integers(len(names)))]
+        problem = "mis" if rng.integers(2) == 0 else "matching"
+        req_seed = int(rng.integers(2**31))
+        body = {"problem": problem, "graph": name, "seed": req_seed}
+        if deadline_every and i % deadline_every == 0:
+            body["timeout_s"] = 30.0
+        if deadline_every and i % (3 * deadline_every) == 1:
+            # The hostile slice: a deadline no solve can meet.  Must
+            # come back as a typed 504, never a hung socket.
+            body["timeout_s"] = 1e-5
+        plans.append((name, problem, req_seed, body))
+    return plans
+
+
+def run_storm(args):
+    scenario = ChaosScenario(
+        name="gateway-stress-storm",
+        description="CLI-configured HTTP storm + worker fault storm",
+        requests=args.requests,
+        workers=args.workers,
+        max_queue=max(64, args.requests),
+        max_retries=args.max_retries,
+        kill_probability=args.kill,
+        fault_probability=args.fault,
+        seed=args.seed,
+    )
+    graphs = build_graphs(args.seed)
+    pi = np.random.default_rng(args.seed).permutation(
+        graphs["uniform"].num_vertices
+    )
+    plans = build_storm(graphs, args.requests, args.seed, args.deadline_every)
+    segments_before = _shm_segments()
+
+    gateway = HTTPGateway(
+        config=GatewayConfig(port=0, supervise_interval_s=1.0),
+        **{
+            "workers": scenario.workers,
+            "max_queue": max(64, args.requests),
+            "max_retries": args.max_retries,
+            "kill_probability": args.kill,
+            "fault_probability": args.fault,
+            "chaos_seed": args.seed,
+            "cache_entries": 256,
+        },
+    )
+    for name, graph in graphs.items():
+        gateway.add_graph(name, graph, pi if name == "uniform" else None)
+
+    results = [None] * len(plans)
+    health_samples = []
+    stop_sampling = threading.Event()
+
+    def sample_health():
+        while not stop_sampling.is_set():
+            try:
+                status, _, body = request_json(
+                    gateway.address, "GET", "/v1/health", timeout=10
+                )
+                health_samples.append((status, body["status"]))
+            except OSError:
+                health_samples.append((0, "unreachable"))
+            stop_sampling.wait(0.1)
+
+    def fire(i, body):
+        results[i] = request_json(
+            gateway.address, "POST", "/v1/solve", body, timeout=120
+        )
+
+    t0 = time.perf_counter()
+    with gateway:
+        sampler = threading.Thread(target=sample_health, daemon=True)
+        sampler.start()
+        threads = []
+        for i, (_, _, _, body) in enumerate(plans):
+            t = threading.Thread(target=fire, args=(i, body))
+            t.start()
+            threads.append(t)
+            if len(threads) >= args.concurrency:
+                threads.pop(0).join()
+        for t in threads:
+            t.join()
+        # The storm is over: the gateway must return to healthy
+        # (respawned workers, re-closed breakers, no wedged loop)
+        # before shutdown.  A half-open breaker only re-closes once a
+        # success flows through it, so the recovery poll carries light
+        # probe traffic — exactly what production traffic would do.
+        deadline = time.monotonic() + args.recovery_window_s
+        probe_seed = 10**9
+        while True:
+            final_health, _, final_health_body = request_json(
+                gateway.address, "GET", "/v1/health", timeout=30
+            )
+            if final_health == 200 or time.monotonic() >= deadline:
+                break
+            probe_seed += 1
+            for problem in ("mis", "matching"):
+                request_json(
+                    gateway.address, "POST", "/v1/solve",
+                    {"problem": problem, "graph": "grid",
+                     "seed": probe_seed}, timeout=60,
+                )
+            time.sleep(0.25)
+        _, _, metrics = request_json(
+            gateway.address, "GET", "/v1/metrics", timeout=30
+        )
+        stop_sampling.set()
+        sampler.join(timeout=5)
+    elapsed = time.perf_counter() - t0
+
+    leaked = sorted(_shm_segments() - segments_before)
+    if leaked:
+        reap_orphans()
+        leaked = sorted(set(leaked) & _shm_segments())
+
+    completed, mismatches, untyped = 0, [], []
+    cache_sources = {}
+    failures = {}
+    for (name, problem, req_seed, body), out in zip(plans, results):
+        status, headers, payload = out
+        if status == 200:
+            completed += 1
+            source = headers.get("x-repro-cache", "?")
+            cache_sources[source] = cache_sources.get(source, 0) + 1
+            ref = direct_solve(
+                problem,
+                graphs[name] if problem == "mis"
+                else graphs[name].edge_list(),
+                method="rootset-vec", seed=req_seed,
+            )
+            if payload["status"] != ref.status.tolist():
+                mismatches.append(
+                    f"{problem}/{name} seed={req_seed} ({source})"
+                )
+        elif status == 500 or payload is None or "error" not in payload:
+            untyped.append(f"{problem}/{name} seed={req_seed}: HTTP {status}")
+        else:
+            key = f"{status} {payload['error']}"
+            failures[key] = failures.get(key, 0) + 1
+    return {
+        "scenario": scenario,
+        "elapsed": elapsed,
+        "completed": completed,
+        "mismatches": mismatches,
+        "untyped": untyped,
+        "failures": failures,
+        "cache_sources": cache_sources,
+        "health_samples": health_samples,
+        "final_health": (final_health, final_health_body["status"]),
+        "metrics": metrics,
+        "leaked": leaked,
+        "requests": len(plans),
+    }
+
+
+def render_report(outcome, args) -> str:
+    scenario = outcome["scenario"]
+    metrics_gw = outcome["metrics"]["gateway"]
+    solve_route = outcome["metrics"]["endpoints"].get("POST /v1/solve", {})
+    health_counts = {}
+    for _, word in outcome["health_samples"]:
+        health_counts[word] = health_counts.get(word, 0) + 1
+    survived = (
+        outcome["completed"] > 0
+        and not outcome["mismatches"]
+        and not outcome["untyped"]
+        and metrics_gw["untyped_errors"] == 0
+        and not outcome["leaked"]
+        and outcome["final_health"][0] in (200, 207)
+    )
+    lines = [
+        "# HTTP gateway stress report",
+        "",
+        f"Verdict: **{'SURVIVED' if survived else 'FAILED'}** — "
+        f"{outcome['completed']}/{outcome['requests']} requests answered "
+        f"200 in {outcome['elapsed']:.1f}s, "
+        f"{len(outcome['mismatches'])} output mismatches, "
+        f"{len(outcome['untyped'])} untyped errors, "
+        f"{len(outcome['leaked'])} leaked segments.",
+        "",
+        "Reproduce with:",
+        "",
+        "```",
+        f"python scripts/stress_gateway.py --requests {args.requests} "
+        f"--workers {args.workers} --kill {args.kill} --fault {args.fault} "
+        f"--seed {args.seed} --concurrency {args.concurrency} "
+        f"--max-retries {args.max_retries}",
+        "```",
+        "",
+        "## Storm",
+        "",
+        f"- requests: {outcome['requests']} concurrent HTTP solves "
+        f"(mixed MIS/matching over registered uniform/rMat/grid/cycle "
+        f"graphs; every {args.deadline_every}th with a 30s deadline and "
+        f"a slice with an unmeetable 10µs deadline)",
+        f"- chaos armed in the backing service: worker hard-kill "
+        f"probability {scenario.kill_probability}, kernel-fault "
+        f"probability {scenario.fault_probability}, seed {scenario.seed}",
+        f"- pool: {scenario.workers} workers, "
+        f"max {scenario.max_retries} retries, 256-entry result cache",
+        "",
+        "## Survival",
+        "",
+        f"- completed: {outcome['completed']} — all bit-identical to "
+        f"clean in-process solves "
+        f"(cache disposition: {outcome['cache_sources']})",
+        f"- typed failures: {outcome['failures'] or 'none'}",
+        f"- untyped errors: {len(outcome['untyped'])} "
+        f"(gateway counter: {metrics_gw['untyped_errors']})",
+        f"- shed (429): {metrics_gw['shed']}; "
+        f"stale served: {metrics_gw['stale_served']}; "
+        f"connections rejected: {metrics_gw['connections_rejected']}",
+        f"- solve latency: "
+        f"p50 {solve_route.get('latency_p50', 0) * 1e3:.1f} ms, "
+        f"p95 {solve_route.get('latency_p95', 0) * 1e3:.1f} ms",
+        f"- leaked segments after shutdown: "
+        f"{outcome['leaked'] or 'none'}",
+        "",
+        "## Health transitions",
+        "",
+        f"- sampled every 100 ms during the storm: {health_counts}",
+        f"- final health (post-storm, pre-shutdown): "
+        f"HTTP {outcome['final_health'][0]} ({outcome['final_health'][1]})",
+    ]
+    for title, items in (("Mismatches", outcome["mismatches"]),
+                         ("Untyped errors", outcome["untyped"])):
+        if items:
+            lines += ["", f"## {title}", ""]
+            lines += [f"- {item}" for item in items]
+    return "\n".join(lines) + "\n"
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Concurrent HTTP storm + worker fault storm against "
+        "the asyncio gateway; writes a survival report."
+    )
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--concurrency", type=int, default=16,
+                        help="concurrent client threads")
+    parser.add_argument("--kill", type=float, default=0.2,
+                        help="per-attempt worker hard-kill probability")
+    parser.add_argument("--fault", type=float, default=0.2,
+                        help="per-attempt kernel-fault probability")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--max-retries", type=int, default=8)
+    parser.add_argument("--deadline-every", type=int, default=5,
+                        help="give every Nth request a deadline")
+    parser.add_argument("--recovery-window-s", type=float, default=25.0,
+                        help="post-storm window for health to return to ok")
+    parser.add_argument("--out", default="results/stress_gateway.md",
+                        help="survival report path ('-' = stdout only)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tier-1 sized run (40 requests, 2 workers)")
+    args = parser.parse_args(argv)
+    if args.smoke:
+        args.requests = min(args.requests, 40)
+        args.workers = min(args.workers, 2)
+        args.concurrency = min(args.concurrency, 8)
+
+    outcome = run_storm(args)
+    report = render_report(outcome, args)
+    print(report)
+    if args.out != "-":
+        path = Path(args.out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(report)
+        print(f"report written to {path}")
+    ok = (
+        outcome["completed"] > 0
+        and not outcome["mismatches"]
+        and not outcome["untyped"]
+        and not outcome["leaked"]
+    )
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,6 +26,9 @@ Installed as the ``repro`` console script (also usable as
 ``serve``
     Soak the service with a seeded request storm, optionally under
     chaos (worker kills / kernel faults), and print a survival report.
+    With ``--http HOST:PORT``, run the asyncio network front door
+    (:class:`~repro.service.http.HTTPGateway`) instead.  Both modes
+    drain gracefully and exit 0 on SIGINT/SIGTERM.
 ``health``
     Report resilience health: the shared-memory segment inventory from
     the crash-safe ledger, and (with ``--probe``) a full
@@ -53,6 +56,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 import numpy as np
@@ -195,9 +199,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     v = sub.add_parser(
         "serve",
-        help="soak the service with a seeded request storm (optional chaos)",
+        help="soak the service with a seeded request storm (optional "
+        "chaos), or run the HTTP gateway with --http HOST:PORT",
     )
-    v.add_argument("graph")
+    v.add_argument("graph", nargs="?", default=None,
+                   help="graph file: storm input, or (with --http) "
+                   "registered at startup under its stem name")
+    v.add_argument("--http", metavar="HOST:PORT", default=None,
+                   help="serve the asyncio HTTP gateway on this address "
+                   "instead of running a storm (port 0 picks a free port)")
+    v.add_argument("--cache-entries", type=int, default=256,
+                   help="result-cache size for --http (0 disables)")
+    v.add_argument("--default-timeout-s", type=float, default=None,
+                   help="deadline applied to HTTP solves that set none")
+    v.add_argument("--drain-timeout-s", type=float, default=10.0,
+                   help="graceful-drain bound for --http shutdown")
     v.add_argument("--requests", type=int, default=24)
     v.add_argument("--workers", type=int, default=2)
     v.add_argument("--max-retries", type=int, default=4)
@@ -507,12 +523,79 @@ def _cmd_batch(args) -> int:
     return 0
 
 
+def _install_drain_signals(on_signal) -> None:
+    """Route SIGINT/SIGTERM into *on_signal* (best-effort off-main-thread)."""
+    import signal as _signal
+
+    for sig in (_signal.SIGINT, _signal.SIGTERM):
+        try:
+            _signal.signal(sig, on_signal)
+        except ValueError:  # pragma: no cover - not on the main thread
+            pass
+
+
+def _cmd_serve_http(args) -> int:
+    """``repro serve --http HOST:PORT``: run the network front door."""
+    import threading
+
+    from repro.service.http import GatewayConfig, HTTPGateway
+    from repro.service.service import SolverService
+
+    host, _, port_text = args.http.rpartition(":")
+    try:
+        port = int(port_text)
+    except ValueError:
+        print(f"error: --http expects HOST:PORT, got {args.http!r}",
+              file=sys.stderr)
+        return 2
+    service = SolverService(
+        workers=args.workers, max_retries=args.max_retries,
+        cache_entries=args.cache_entries,
+        kill_probability=args.kill_probability,
+        fault_probability=args.fault_probability,
+        chaos_seed=args.chaos_seed,
+    )
+    gateway = HTTPGateway(service, GatewayConfig(
+        host=host or "127.0.0.1", port=port,
+        default_timeout_s=args.default_timeout_s,
+        drain_timeout_s=args.drain_timeout_s,
+        supervise_interval_s=2.0,
+    ))
+    if args.graph:
+        g = read_adjacency_graph(args.graph)
+        name = Path(args.graph).stem
+        pi = np.random.default_rng(args.seed).permutation(g.num_vertices)
+        gateway.add_graph(name, g, pi)
+        print(f"registered graph {name!r} (n={g.num_vertices} "
+              f"m={g.num_edges}, warmed at startup)")
+    gateway.start_in_thread()
+    bound_host, bound_port = gateway.address
+    print(f"repro gateway listening on http://{bound_host}:{bound_port} "
+          f"(workers={args.workers}, cache={args.cache_entries}); "
+          "SIGINT/SIGTERM drains")
+    stop = threading.Event()
+    _install_drain_signals(lambda signum, frame: stop.set())
+    try:
+        stop.wait()
+    finally:
+        print("draining gateway ...", file=sys.stderr)
+        gateway.stop_in_thread()
+    print("gateway stopped cleanly", file=sys.stderr)
+    return 0
+
+
 def _cmd_serve(args) -> int:
     import json
 
     from repro.core.engines import solve as direct_solve
     from repro.service import SolveRequest, SolverService
 
+    if args.http is not None:
+        return _cmd_serve_http(args)
+    if args.graph is None:
+        print("error: serve needs a graph file (or --http HOST:PORT)",
+              file=sys.stderr)
+        return 2
     g = read_adjacency_graph(args.graph)
     el = g.edge_list()
     requests = [
@@ -524,15 +607,32 @@ def _cmd_serve(args) -> int:
         )
         for i in range(args.requests)
     ]
-    with SolverService(
+    svc = SolverService(
         workers=args.workers, max_retries=args.max_retries,
         max_queue=max(64, len(requests)),
         kill_probability=args.kill_probability,
         fault_probability=args.fault_probability,
         chaos_seed=args.chaos_seed,
-    ) as svc:
+    ).start()
+
+    def _interrupt(signum, frame):
+        raise KeyboardInterrupt
+
+    _install_drain_signals(_interrupt)
+    try:
         results = svc.solve_many(requests, return_errors=True)
         stats = svc.stats()
+    except KeyboardInterrupt:
+        # A Ctrl-C mid-storm is an operator action, not a failure:
+        # drain what's in flight, report, and exit 0.
+        svc.shutdown(drain=True, timeout=args.drain_timeout_s)
+        stats = svc.stats()
+        print("interrupted: drained in-flight work and shut down cleanly",
+              file=sys.stderr)
+        print(stats.format())
+        return 0
+    finally:
+        svc.shutdown(drain=True, timeout=args.drain_timeout_s)
     mismatches = 0
     failures = []
     for req, res in zip(requests, results):

@@ -6,7 +6,9 @@ another, and nothing exercised the shard or segment layers at all.  This
 module replaces the ad-hoc knobs with *data*: a :class:`ChaosScenario`
 names one failure mode — seeded kernel faults, worker kills pre/post
 compute, shard deaths mid-barrier, shared-segment corruption/unlink,
-orphaned segments, deadline storms, queue floods — and
+orphaned segments, deadline storms, queue floods, and the **network
+axes** (connection floods, slow-loris clients, gateway kills
+mid-request, cache poisoning) that attack the HTTP front door — and
 :func:`run_scenario` executes any of them through the same checks:
 
 * every completed solve must be **bit-identical** to a single-process
@@ -30,6 +32,8 @@ import dataclasses
 import multiprocessing
 import os
 import signal
+import socket
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -62,6 +66,10 @@ __all__ = [
 ]
 
 _SEGMENT_ATTACKS = (None, "unlink", "corrupt", "orphan")
+_NETWORK_ATTACKS = (
+    None, "conn_flood", "slow_client", "gateway_kill_mid_request",
+    "cache_poison_guard",
+)
 
 
 @dataclass(frozen=True)
@@ -75,7 +83,11 @@ class ChaosScenario:
     ``shard_kill`` runs at the engine/backends level against a
     :class:`~repro.backends.executor.FrontierExecutor`;
     ``segment_attack="orphan"`` SIGKILLs a segment-owning child process
-    and requires the reaper to recover.
+    and requires the reaper to recover.  ``gateway=True`` (implied by
+    any ``network_attack``) drives the storm through a live
+    :class:`~repro.service.http.HTTPGateway` over real sockets, layering
+    the network attack on top of whatever service-level chaos the
+    scenario arms.
     """
 
     name: str
@@ -91,6 +103,8 @@ class ChaosScenario:
     segment_attack: Optional[str] = None
     deadline_storm: bool = False
     queue_flood: bool = False
+    gateway: bool = False
+    network_attack: Optional[str] = None
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -101,6 +115,13 @@ class ChaosScenario:
                 f"segment_attack must be one of {_SEGMENT_ATTACKS}, "
                 f"got {self.segment_attack!r}"
             )
+        if self.network_attack not in _NETWORK_ATTACKS:
+            raise ValueError(
+                f"network_attack must be one of {_NETWORK_ATTACKS}, "
+                f"got {self.network_attack!r}"
+            )
+        if self.network_attack is not None and not self.gateway:
+            object.__setattr__(self, "gateway", True)
 
     def scaled(self, factor: float) -> "ChaosScenario":
         """This scenario with its request volume scaled (smoke/soak dials)."""
@@ -195,6 +216,43 @@ SCENARIOS: Tuple[ChaosScenario, ...] = (
         "non-blocking submissions against a tiny queue; overflow is shed "
         "as QueueFullError, admitted work completes correctly",
         requests=20, queue_flood=True, max_queue=4, seed=1010,
+    ),
+    ChaosScenario(
+        "gateway-storm",
+        "concurrent HTTP solves over real sockets while workers are "
+        "hard-killed and half the requests carry tiny deadlines; every "
+        "response is a verified answer or a typed error, never a 500",
+        requests=12, kill_probability=0.2, max_retries=8,
+        deadline_storm=True, gateway=True, seed=1111,
+    ),
+    ChaosScenario(
+        "conn-flood",
+        "a flood of idle connections against a small connection bound; "
+        "excess is refused with typed 503s, idlers are cut by the "
+        "header timeout, and real requests still complete",
+        requests=6, network_attack="conn_flood", seed=1212,
+    ),
+    ChaosScenario(
+        "slow-client",
+        "slow-loris clients trickle request heads and bodies; the "
+        "gateway cuts them off with typed 408s instead of holding "
+        "sockets, and concurrent real requests are unaffected",
+        requests=6, network_attack="slow_client", seed=1313,
+    ),
+    ChaosScenario(
+        "gateway-kill-mid-request",
+        "the gateway is stopped while solves are in flight; the drain "
+        "completes them (or the socket closes cleanly), segments are "
+        "released, and a fresh gateway serves again",
+        requests=6, network_attack="gateway_kill_mid_request", seed=1414,
+    ),
+    ChaosScenario(
+        "cache-poison-guard",
+        "the registered π is mutated in place after warming the result "
+        "cache; the recomputed content digest must miss, so the "
+        "poisoned request gets a fresh (correct) solve, never the "
+        "stale pre-mutation entry",
+        requests=4, network_attack="cache_poison_guard", seed=1515,
     ),
 )
 
@@ -335,6 +393,8 @@ def run_scenario(
         outcome = _run_shard_kill(scenario, seed_offset)
     elif scenario.segment_attack == "orphan":
         outcome = _run_segment_orphan(scenario, seed_offset)
+    elif scenario.gateway:
+        outcome = _run_gateway(scenario, seed_offset)
     else:
         outcome = _run_service(scenario, seed_offset)
     _collect_strays(outcome)
@@ -559,4 +619,337 @@ def _run_segment_orphan(
             outcome.untyped_failures.append(
                 f"round {k}: orphaned segment {name} survived the reap"
             )
+    return outcome
+
+
+# -- the gateway (network-axis) runner ---------------------------------------
+
+
+def _edge_pairs(graph) -> List[List[int]]:
+    el = graph.edge_list()
+    return np.stack([el.u, el.v], axis=1).tolist()
+
+
+def _http_matches(payload: Dict[str, Any], ref) -> bool:
+    if isinstance(ref, MISResult):
+        return payload.get("status") == ref.status.tolist()
+    return (
+        payload.get("status") == ref.status.tolist()
+        and payload.get("edge_u") == ref.edge_u.tolist()
+        and payload.get("edge_v") == ref.edge_v.tolist()
+    )
+
+
+def _drain_socket(sock: socket.socket, timeout: float) -> bytes:
+    """Read until the server closes the connection (or *timeout*)."""
+    sock.settimeout(timeout)
+    chunks = []
+    try:
+        while True:
+            data = sock.recv(4096)
+            if not data:
+                break
+            chunks.append(data)
+    except (socket.timeout, ConnectionError, OSError):
+        pass
+    finally:
+        sock.close()
+    return b"".join(chunks)
+
+
+def _attack_conn_flood(outcome: ScenarioOutcome, gateway) -> None:
+    """Open idle connections past the bound; all must be cut, typed."""
+    addr = gateway.address
+    limit = gateway.config.max_connections
+    flood = [
+        socket.create_connection(addr, timeout=5.0)
+        for _ in range(limit + 8)
+    ]
+    # One real request while the flood holds every slot: either a typed
+    # 503 rejection or (a slot freed in time) a correct answer.
+    try:
+        from repro.service.http import request_json
+
+        status, _, body = request_json(
+            addr, "GET", "/v1/health", timeout=10.0
+        )
+        if status == 500:
+            outcome.untyped_failures.append(
+                f"health under flood returned 500: {body}"
+            )
+    except (ConnectionError, OSError, TimeoutError):
+        outcome.notes.append("health probe refused during flood (socket)")
+    cutoff = gateway.config.header_timeout_s * 4 + 5.0
+    refused = cut = 0
+    for sock in flood:
+        data = _drain_socket(sock, cutoff)
+        if b"ConnectionLimitError" in data:
+            refused += 1
+        elif b"500 " in data[:20]:
+            outcome.untyped_failures.append(
+                f"flood connection got a 500: {data[:120]!r}"
+            )
+        else:
+            # Admitted idler: the slow-loris timeout must have cut it
+            # (a 408 response or a bare close).
+            cut += 1
+    outcome.notes.append(
+        f"conn_flood: {len(flood)} idle connections -> "
+        f"{refused} refused typed, {cut} cut by timeout"
+    )
+    if refused + cut != len(flood):
+        outcome.untyped_failures.append(
+            f"conn_flood: {len(flood) - refused - cut} connections "
+            "neither refused nor cut"
+        )
+
+
+def _attack_slow_client(outcome: ScenarioOutcome, gateway) -> None:
+    """Trickle a request head and a request body; both must get 408s."""
+    addr = gateway.address
+    cutoff = (
+        max(gateway.config.header_timeout_s, gateway.config.body_timeout_s)
+        * 4 + 5.0
+    )
+    # Half a request head, then silence.
+    head_sock = socket.create_connection(addr, timeout=5.0)
+    head_sock.sendall(b"POST /v1/solve HTTP/1.1\r\nContent-Ty")
+    # A full head that promises a body which never arrives.
+    body_sock = socket.create_connection(addr, timeout=5.0)
+    body_sock.sendall(
+        b"POST /v1/solve HTTP/1.1\r\nContent-Length: 1000\r\n\r\n{"
+    )
+    for label, sock in (("head", head_sock), ("body", body_sock)):
+        data = _drain_socket(sock, cutoff)
+        if b"SlowClientError" in data:
+            outcome.notes.append(f"slow_client: {label} trickle cut with 408")
+        elif b"500 " in data[:20]:
+            outcome.untyped_failures.append(
+                f"slow_client: {label} trickle got a 500: {data[:120]!r}"
+            )
+        else:
+            outcome.untyped_failures.append(
+                f"slow_client: {label} trickle not cut with a typed 408 "
+                f"(got {data[:120]!r})"
+            )
+
+
+def _attack_cache_poison(
+    outcome: ScenarioOutcome, gateway, graph, pi: np.ndarray
+) -> None:
+    """Mutate the registered π in place; the cache must miss, not alias."""
+    from repro.service.http import request_json
+
+    addr = gateway.address
+    status, headers, body = request_json(
+        addr, "POST", "/v1/solve", {"graph": "chaos"}, timeout=60.0
+    )
+    ref_before = _reference("mis", graph, 0, pi)
+    if status != 200 or not _http_matches(body, ref_before):
+        outcome.mismatches.append(
+            f"cache_poison_guard: pre-poison solve wrong (status {status})"
+        )
+        return
+    record = gateway._graphs["chaos"]
+    # Swap two priorities in the arrays the requests actually key on —
+    # both the gateway's copy and the live shared segment, so the
+    # zero-copy worker path sees the same (still valid) permutation.
+    record.ranks[0], record.ranks[1] = (
+        int(record.ranks[1]), int(record.ranks[0]),
+    )
+    if record.segment is not None:
+        poison = SharedArrays.attach(record.segment, writable=True)
+        ranks = poison.arrays["ranks"]
+        ranks[0], ranks[1] = int(ranks[1]), int(ranks[0])
+        poison.close()
+    ref_after = _reference("mis", graph, 0, record.ranks.copy())
+    status, headers, body = request_json(
+        addr, "POST", "/v1/solve", {"graph": "chaos"}, timeout=60.0
+    )
+    if status != 200:
+        outcome.untyped_failures.append(
+            f"cache_poison_guard: post-poison solve failed "
+            f"(status {status}: {body})"
+        )
+        return
+    if headers.get("x-repro-cache") != "miss":
+        outcome.mismatches.append(
+            "cache_poison_guard: mutated content was served from cache "
+            f"({headers.get('x-repro-cache')!r}) — digest did not change"
+        )
+    if not _http_matches(body, ref_after):
+        outcome.mismatches.append(
+            "cache_poison_guard: post-poison answer does not match the "
+            "reference for the mutated π"
+        )
+    else:
+        outcome.completed += 1
+        outcome.notes.append(
+            "cache_poison_guard: in-place π mutation forced a recomputed "
+            "digest miss and a fresh correct solve"
+        )
+
+
+def _run_gateway(scenario: ChaosScenario, seed_offset: int) -> ScenarioOutcome:
+    from repro.service.http import GatewayConfig, HTTPGateway, request_json
+
+    outcome = ScenarioOutcome(scenario.name, scenario.requests)
+    rng = np.random.default_rng((scenario.seed, seed_offset))
+    graphs = _build_graphs(scenario.seed + seed_offset)
+    pairs = [_edge_pairs(g) for g in graphs]
+    pi = np.random.default_rng(scenario.seed).permutation(
+        graphs[0].num_vertices
+    ).astype(np.int64)
+    ref0 = _reference("mis", graphs[0], 0, pi)
+
+    service = SolverService(scenario.service_config(cache_entries=64))
+    gateway = HTTPGateway(
+        service,
+        GatewayConfig(
+            max_connections=8,
+            header_timeout_s=0.75,
+            body_timeout_s=0.75,
+            drain_timeout_s=15.0,
+        ),
+    )
+    gateway.add_graph("chaos", graphs[0], pi)
+    gateway.start_in_thread()
+    addr = gateway.address
+    stopped = False
+    try:
+        attack = scenario.network_attack
+        if attack == "conn_flood":
+            _attack_conn_flood(outcome, gateway)
+        elif attack == "slow_client":
+            _attack_slow_client(outcome, gateway)
+        elif attack == "cache_poison_guard":
+            _attack_cache_poison(outcome, gateway, graphs[0], pi)
+
+        plans: List[Tuple[str, Any, Any]] = []
+        for i in range(scenario.requests):
+            kind = i % 3
+            if kind == 0 and attack != "cache_poison_guard":
+                plans.append(("registered", {"graph": "chaos"}, ref0))
+            else:
+                problem = "mis" if kind != 2 else "matching"
+                gi = i % len(graphs)
+                s = int(rng.integers(2**31))
+                body = {
+                    "problem": problem,
+                    "graph": {
+                        "n": graphs[gi].num_vertices, "edges": pairs[gi],
+                    },
+                    "seed": s,
+                }
+                plans.append(
+                    (problem, body, _reference(problem, graphs[gi], s))
+                )
+            if scenario.deadline_storm and i % 4 == 1:
+                plans[-1][1]["timeout_s"] = 0.002
+
+        results: List[Optional[Tuple[Any, Any, Any]]] = [None] * len(plans)
+
+        def issue(i: int) -> None:
+            try:
+                results[i] = request_json(
+                    addr, "POST", "/v1/solve", plans[i][1], timeout=120.0
+                )
+            except (ConnectionError, OSError, TimeoutError) as exc:
+                results[i] = ("conn", type(exc).__name__, str(exc))
+
+        threads = [
+            threading.Thread(target=issue, args=(i,), daemon=True)
+            for i in range(len(plans))
+        ]
+        for t in threads:
+            t.start()
+        if attack == "gateway_kill_mid_request":
+            time.sleep(0.05)
+            gateway.stop_in_thread()
+            stopped = True
+        for t in threads:
+            t.join(timeout=180.0)
+
+        for i, entry in enumerate(results):
+            if entry is None:
+                outcome.untyped_failures.append(f"request {i} never returned")
+                continue
+            status, headers, body = entry
+            if status == "conn":
+                # The socket died under a gateway kill — expected there,
+                # a finding anywhere else.
+                if attack == "gateway_kill_mid_request":
+                    outcome.failures["ConnectionClosed"] = (
+                        outcome.failures.get("ConnectionClosed", 0) + 1
+                    )
+                else:
+                    outcome.untyped_failures.append(
+                        f"request {i}: connection error {headers}: {body}"
+                    )
+            elif status == 200:
+                if _http_matches(body, plans[i][2]):
+                    outcome.completed += 1
+                else:
+                    outcome.mismatches.append(
+                        f"request {i} ({plans[i][0]}) diverged from the "
+                        "sequential reference over HTTP"
+                    )
+            elif status == 500:
+                outcome.untyped_failures.append(
+                    f"request {i}: untyped 500: {body}"
+                )
+            elif isinstance(body, dict) and body.get("error"):
+                key = body["error"]
+                outcome.failures[key] = outcome.failures.get(key, 0) + 1
+                if status == 429:
+                    outcome.shed += 1
+            else:
+                outcome.untyped_failures.append(
+                    f"request {i}: status {status} without a typed error body"
+                )
+
+        if not stopped:
+            status, _, metrics = request_json(
+                addr, "GET", "/v1/metrics", timeout=30.0
+            )
+            if status == 200:
+                outcome.stats = metrics
+                untyped = metrics["gateway"]["untyped_errors"]
+                if untyped:
+                    outcome.untyped_failures.append(
+                        f"gateway counted {untyped} untyped error(s)"
+                    )
+            status, _, health = request_json(
+                addr, "GET", "/v1/health", timeout=30.0
+            )
+            if status not in (200, 207):
+                outcome.untyped_failures.append(
+                    f"post-storm health is {status}: {health}"
+                )
+    finally:
+        if not stopped:
+            gateway.stop_in_thread()
+
+    if scenario.network_attack == "gateway_kill_mid_request":
+        # Recovery proof: a fresh gateway must serve the same content.
+        fresh = HTTPGateway(
+            SolverService(scenario.service_config(cache_entries=8)),
+            GatewayConfig(drain_timeout_s=10.0),
+        )
+        fresh.add_graph("chaos", graphs[0], pi)
+        fresh.start_in_thread()
+        try:
+            status, _, body = request_json(
+                fresh.address, "POST", "/v1/solve", {"graph": "chaos"},
+                timeout=60.0,
+            )
+            if status == 200 and _http_matches(body, ref0):
+                outcome.completed += 1
+                outcome.notes.append("fresh gateway served after the kill")
+            else:
+                outcome.untyped_failures.append(
+                    f"fresh gateway failed after the kill (status {status})"
+                )
+        finally:
+            fresh.stop_in_thread()
     return outcome

@@ -20,15 +20,23 @@ Layout:
 :mod:`~repro.service.pool`      process/pipe lifecycle (:class:`WorkerPool`)
 :mod:`~repro.service.breaker`   per-engine :class:`CircuitBreaker`
 :mod:`~repro.service.stats`     :class:`ServiceStats` snapshots
+:mod:`~repro.service.cache`     content-addressed :class:`ResultCache`
 :mod:`~repro.service.service`   the scheduler (:class:`SolverService`)
+:mod:`~repro.service.http`      asyncio network front door
+                                (:class:`HTTPGateway`)
 ========================  =============================================
 
 Front doors: :func:`repro.serve` and :func:`repro.solve_many`, plus the
-``repro serve`` / ``repro batch`` CLI subcommands.  See
-``docs/robustness.md`` ("Serving") for the request lifecycle.
+``repro serve`` / ``repro batch`` CLI subcommands (``repro serve
+--http HOST:PORT`` runs the network gateway).  See
+``docs/robustness.md`` ("Serving" and "Network front door") for the
+request lifecycle.  :mod:`repro.service.http` is imported lazily —
+``from repro.service.http import HTTPGateway`` — so the batch service
+carries no gateway baggage.
 """
 
 from repro.service.breaker import CircuitBreaker
+from repro.service.cache import ResultCache, request_key
 from repro.service.config import ServiceConfig, SolveRequest
 from repro.service.pool import WorkerHandle, WorkerPool
 from repro.service.service import ServiceFuture, SolverService, serve, solve_many
@@ -36,6 +44,7 @@ from repro.service.stats import ServiceStats, StatsCollector
 
 __all__ = [
     "CircuitBreaker",
+    "ResultCache",
     "ServiceConfig",
     "ServiceFuture",
     "ServiceStats",
@@ -44,6 +53,7 @@ __all__ = [
     "StatsCollector",
     "WorkerHandle",
     "WorkerPool",
+    "request_key",
     "serve",
     "solve_many",
 ]

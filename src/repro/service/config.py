@@ -106,6 +106,14 @@ class ServiceConfig:
         dispatched and the first reply wins (the loser is dropped).  Only
         idempotent solver problems hedge — never ``"call"``.  ``None``
         (the default) disables hedging.
+    cache_entries:
+        Size of the content-addressed result cache
+        (:class:`~repro.service.cache.ResultCache`) consulted by
+        :meth:`~repro.service.SolverService.solve_cached`; ``0`` (the
+        default) disables caching entirely.
+    cache_ttl_s:
+        Freshness window for cached results; ``None`` never expires.
+        Expired entries remain eligible for degraded serve-stale reads.
     reap_on_start:
         Run one :func:`~repro.resilience.reaper.reap_orphans` sweep when
         the service starts, so segments leaked by previously killed
@@ -149,6 +157,8 @@ class ServiceConfig:
     bp_decrease_factor: float = 0.5
     bp_cooldown_s: float = 0.25
     hedge_delay_s: Optional[float] = None
+    cache_entries: int = 0
+    cache_ttl_s: Optional[float] = None
     reap_on_start: bool = True
     supervise_interval_s: Optional[float] = None
     reap_interval_s: float = 60.0
@@ -221,6 +231,14 @@ class ServiceConfig:
         if self.hedge_delay_s is not None and not self.hedge_delay_s >= 0:
             raise ValueError(
                 f"hedge_delay_s must be >= 0, got {self.hedge_delay_s}"
+            )
+        if self.cache_entries < 0:
+            raise ValueError(
+                f"cache_entries must be >= 0, got {self.cache_entries}"
+            )
+        if self.cache_ttl_s is not None and not self.cache_ttl_s > 0:
+            raise ValueError(
+                f"cache_ttl_s must be positive, got {self.cache_ttl_s}"
             )
         if (
             self.supervise_interval_s is not None

@@ -66,6 +66,7 @@ from repro.errors import (
     WorkerCrashError,
 )
 from repro.service.breaker import CircuitBreaker
+from repro.service.cache import ResultCache, request_key
 from repro.service.config import ServiceConfig, SolveRequest
 from repro.service.pool import WorkerHandle, WorkerPool
 from repro.service.stats import ServiceStats, StatsCollector
@@ -212,6 +213,11 @@ class SolverService:
                 latency_target_s=config.bp_latency_target_s,
                 decrease_factor=config.bp_decrease_factor,
                 cooldown_s=config.bp_cooldown_s,
+            )
+        self.cache: Optional[ResultCache] = None
+        if config.cache_entries > 0:
+            self.cache = ResultCache(
+                config.cache_entries, config.cache_ttl_s
             )
         # id(payload) -> (payload, SharedCSR).  The payload reference is
         # load-bearing: it pins the object so the id key can never be
@@ -445,6 +451,90 @@ class SolverService:
         """Submit and wait: returns the result or raises the typed failure."""
         return self.submit(request).result(timeout)
 
+    # -- content-addressed result caching ----------------------------------
+
+    def request_cache_key(self, request: SolveRequest) -> Optional[str]:
+        """The content address for *request*, or ``None`` if uncacheable.
+
+        ``None`` when caching is disabled, the request is a ``"call"``
+        (not known to be idempotent), or its ordering is unpinned (no π
+        and no ``seed`` knob — a fresh solve draws fresh entropy).  The
+        graph digest is recomputed from the live arrays, so a mutated
+        shared segment can never alias an entry cached for the old bytes.
+        """
+        if self.cache is None or request.problem == "call":
+            return None
+        return request_key(
+            request.problem,
+            request.payload,
+            request.ranks,
+            request.method or self.config.default_method,
+            request.guards if request.guards is not None
+            else self.config.default_guards,
+            request.options,
+        )
+
+    def solve_cached(
+        self,
+        request: SolveRequest,
+        timeout: Optional[float] = None,
+        *,
+        return_key: bool = False,
+    ) -> tuple:
+        """Cache-aware solve: returns ``(result, source)``.
+
+        ``source`` is ``"hit"`` (fresh cache entry), ``"miss"`` (solved
+        through the pool and stored), ``"stale"`` (backend degraded —
+        breaker chain fully open or every worker dead — and a resident
+        entry served instead of the failure; determinism makes it
+        bit-identical to a fresh solve), or ``"uncached"`` (caching
+        disabled or the request is uncacheable).  Failures with no stale
+        fallback re-raise the typed error unchanged.
+
+        With ``return_key=True`` the tuple is ``(result, source, key)``
+        — the content address is computed exactly once per call, so a
+        caller keeping derived state per address (the gateway's
+        encoded-response cache) need not hash the payload again.
+        """
+        key = self.request_cache_key(request)
+        if key is None:
+            result, source = self.solve(request, timeout), "uncached"
+            return (result, source, None) if return_key else (result, source)
+        cached = self.cache.get(key)
+        if cached is not None:
+            return (cached, "hit", key) if return_key else (cached, "hit")
+        try:
+            result = self.solve(request, timeout)
+            source = "miss"
+            self.cache.put(key, result)
+        except (CircuitOpenError, WorkerCrashError):
+            # The backend cannot serve right now.  A resident entry for
+            # this exact content is bit-identical to the answer a healthy
+            # backend would return, so degrade to it instead of failing.
+            stale = self.cache.get_stale(key)
+            if stale is None:
+                raise
+            result, source = stale, "stale"
+        return (result, source, key) if return_key else (result, source)
+
+    def warm_cache(self, problem: str, payload, ranks=None, **options) -> int:
+        """Pre-populate the cache for one registered graph (startup warmup).
+
+        Solves ``(problem, payload, ranks)`` with the default method and
+        stores the result; returns the number of entries added (0 when
+        caching is disabled or the content was already resident).
+        """
+        if self.cache is None:
+            return 0
+        request = SolveRequest(
+            problem, payload, ranks=ranks, options=dict(options)
+        )
+        key = self.request_cache_key(request)
+        if key is None or self.cache.get(key) is not None:
+            return 0
+        self.cache.put(key, self.solve(request))
+        return 1
+
     def solve_many(
         self,
         requests: Iterable[SolveRequest],
@@ -482,6 +572,9 @@ class SolverService:
                 breaker_states={k: b.state for k, b in self._breakers.items()},
                 admission_limit=(
                     None if self._limiter is None else self._limiter.limit
+                ),
+                cache=(
+                    None if self.cache is None else self.cache.snapshot()
                 ),
             )
 

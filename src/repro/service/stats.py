@@ -51,6 +51,12 @@ class ServiceStats:
     latency_p50: float = 0.0
     latency_p95: float = 0.0
     latency_count: int = 0
+    cache_enabled: bool = False
+    cache_entries: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
+    cache_evictions: int = 0
+    cache_stale_served: int = 0
 
     def as_dict(self) -> Dict[str, object]:
         """JSON-ready dict (used by the CLI and the stress report)."""
@@ -76,6 +82,12 @@ class ServiceStats:
             "latency_p50": self.latency_p50,
             "latency_p95": self.latency_p95,
             "latency_count": self.latency_count,
+            "cache_enabled": self.cache_enabled,
+            "cache_entries": self.cache_entries,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+            "cache_stale_served": self.cache_stale_served,
         }
 
     def format(self) -> str:
@@ -99,6 +111,13 @@ class ServiceStats:
             lines.append(
                 f"admission limit: {self.admission_limit} "
                 f"({self.overloads} overload decreases)"
+            )
+        if self.cache_enabled:
+            lines.append(
+                f"result cache:    {self.cache_entries} entries, "
+                f"{self.cache_hits} hits / {self.cache_misses} misses "
+                f"({self.cache_evictions} evicted, "
+                f"{self.cache_stale_served} served stale)"
             )
         open_breakers = {
             k: v for k, v in self.breaker_states.items() if v != "closed"
@@ -168,6 +187,7 @@ class StatsCollector:
         workers_configured: int,
         breaker_states: Dict[str, str],
         admission_limit: Optional[int] = None,
+        cache: Optional[Dict[str, int]] = None,
     ) -> ServiceStats:
         """Freeze the current counters and gauges into a ServiceStats."""
         with self._lock:
@@ -199,4 +219,10 @@ class StatsCollector:
                 latency_p50=p50,
                 latency_p95=p95,
                 latency_count=lat.size,
+                cache_enabled=cache is not None,
+                cache_entries=(cache or {}).get("entries", 0),
+                cache_hits=(cache or {}).get("hits", 0),
+                cache_misses=(cache or {}).get("misses", 0),
+                cache_evictions=(cache or {}).get("evictions", 0),
+                cache_stale_served=(cache or {}).get("stale_served", 0),
             )

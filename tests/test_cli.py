@@ -275,6 +275,81 @@ class TestServeCommand:
         assert report["completed"] == 6
 
 
+@pytest.mark.service
+class TestServeSignals:
+    """``repro serve`` must drain and exit 0 on SIGINT/SIGTERM — never a
+    traceback (the regression this class pins: Ctrl-C used to kill the
+    storm mid-flight and leave worker processes behind)."""
+
+    @staticmethod
+    def _spawn(args):
+        import os
+        import pathlib
+        import subprocess
+        import sys
+
+        src = pathlib.Path(__file__).resolve().parents[1] / "src"
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(src) + os.pathsep + env.get("PYTHONPATH", "")
+        return subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", *args],
+            env=env, stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+            text=True,
+        )
+
+    def test_storm_sigint_drains_and_exits_zero(self, graph_file):
+        import signal
+        import time
+
+        proc = self._spawn([
+            "serve", str(graph_file), "--requests", "5000", "--workers", "2",
+        ])
+        try:
+            time.sleep(2.5)  # let workers spawn and the storm get going
+            proc.send_signal(signal.SIGINT)
+            out, err = proc.communicate(timeout=60)
+        finally:
+            proc.kill()
+        assert proc.returncode == 0
+        assert "Traceback" not in err
+        assert "interrupted" in out + err
+
+    def test_http_sigterm_drains_and_exits_zero(self, graph_file):
+        import json
+        import signal
+        import time
+        import urllib.request
+
+        proc = self._spawn([
+            "serve", str(graph_file), "--http", "127.0.0.1:0",
+            "--cache-entries", "16", "--workers", "1",
+        ])
+        try:
+            port = None
+            deadline = time.time() + 30
+            while time.time() < deadline:
+                line = proc.stdout.readline()
+                if "http://127.0.0.1:" in line:
+                    port = int(line.split("http://127.0.0.1:")[1].split()[0])
+                    break
+            assert port is not None, "gateway never reported its address"
+            req = urllib.request.Request(
+                f"http://127.0.0.1:{port}/v1/solve",
+                data=json.dumps({"graph": "g"}).encode(),
+                method="POST",
+            )
+            with urllib.request.urlopen(req, timeout=30) as response:
+                assert response.status == 200
+                assert response.headers["X-Repro-Cache"] == "hit"
+            proc.send_signal(signal.SIGTERM)
+            out, err = proc.communicate(timeout=60)
+        finally:
+            proc.kill()
+        assert proc.returncode == 0
+        assert "Traceback" not in err
+        assert "stopped cleanly" in out + err
+
+
 class TestHealthAndReapCommands:
     @pytest.fixture(autouse=True)
     def isolated_ledger(self, tmp_path, monkeypatch):

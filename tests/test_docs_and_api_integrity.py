@@ -106,6 +106,57 @@ class TestLayering:
         assert not offenders, "\n".join(offenders)
 
 
+class TestGatewayLayering:
+    """The network front door sits on TOP of the stack:
+    ``repro.service.http`` imports the service and resilience layers,
+    never the reverse.  Everything below it must stay importable — and
+    imported — without pulling the gateway in ("no gateway baggage")."""
+
+    def _toplevel_imports_of(self, module_path: pathlib.Path):
+        import ast
+
+        tree = ast.parse(module_path.read_text())
+        for node in tree.body:  # module scope only: lazy imports are fine
+            if isinstance(node, ast.ImportFrom) and node.module:
+                yield node.module
+            elif isinstance(node, ast.Import):
+                for alias in node.names:
+                    yield alias.name
+
+    def test_nothing_below_imports_the_gateway_eagerly(self):
+        offenders = []
+        for py in SRC.rglob("*.py"):
+            if py == SRC / "service" / "http.py":
+                continue
+            for imported in self._toplevel_imports_of(py):
+                if imported.startswith("repro.service.http"):
+                    offenders.append(str(py.relative_to(SRC)))
+        assert not offenders, (
+            "module-scope imports of repro.service.http: "
+            + ", ".join(offenders)
+        )
+
+    def test_importing_the_stack_does_not_load_the_gateway(self):
+        # Run in a clean interpreter: this test session has long since
+        # imported the gateway itself.
+        import subprocess
+        import sys
+
+        code = (
+            "import sys\n"
+            "import repro, repro.service, repro.resilience, repro.cli\n"
+            "assert 'repro.service.http' not in sys.modules, "
+            "'gateway loaded eagerly'\n"
+            "import repro.service.http  # and it still loads on demand\n"
+        )
+        proc = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(SRC.parent), "PATH": "/usr/bin:/bin"},
+        )
+        assert proc.returncode == 0, proc.stderr
+
+
 class TestDocsFilesExist:
     @pytest.mark.parametrize("rel", [
         "README.md", "DESIGN.md", "EXPERIMENTS.md", "CONTRIBUTING.md",

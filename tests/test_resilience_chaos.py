@@ -49,6 +49,13 @@ class TestScenarioData:
         assert any(s.queue_flood for s in SCENARIOS)
         for attack in ("unlink", "corrupt", "orphan"):
             assert any(s.segment_attack == attack for s in SCENARIOS)
+        # The network axes drive the real HTTP gateway over sockets.
+        assert any(s.gateway and s.network_attack is None for s in SCENARIOS)
+        for attack in (
+            "conn_flood", "slow_client", "gateway_kill_mid_request",
+            "cache_poison_guard",
+        ):
+            assert any(s.network_attack == attack for s in SCENARIOS)
         # Distinct seeds: no two scenarios replay the same chaos stream.
         seeds = [s.seed for s in SCENARIOS]
         assert len(seeds) == len(set(seeds))
