@@ -32,14 +32,26 @@ tier cannot beat the single-process engine — the point of the record is
 the split/barrier accounting and the payload-path latencies, which are
 meaningful at any core count (see ``meta.caveat``).
 
+A fifth measurement records the **dynamic-session trajectory** into
+``BENCH_9.json``: incremental re-peel work under localized edge
+mutations (:mod:`repro.dynamic`) on the paper-flavored workloads — a
+triangular grid (planar, bounded degree) and a Holme–Kim power-law
+cluster graph — plus the mutate round-trip latency of a live session
+through the worker-pool service.  The committed claim: the cumulative
+re-peel work is a vanishing fraction of from-scratch work
+(``total_work_ratio`` well under 1) and the affected region per batch is
+a vanishing fraction of the graph.
+
 Usage:
     python scripts/bench_trajectory.py [output.json] [--smoke]
     python scripts/bench_trajectory.py --gateway-only   # BENCH_8.json only
+    python scripts/bench_trajectory.py --dynamic-only   # BENCH_9.json only
 
 ``--smoke`` shrinks the workloads and repetition counts to run in a few
 seconds (used by the tier-1 suite); the default tier matches
 ``BENCH_rootset.json``.  ``--gateway-only`` skips the engine ladder and
-records just the gateway cache trajectory.
+records just the gateway cache trajectory; ``--dynamic-only`` records
+just the dynamic-session trajectory.
 """
 
 from __future__ import annotations
@@ -271,6 +283,159 @@ def _bench_gateway(graph, requests):
     }
 
 
+def _bench_dynamic(smoke):
+    """Incremental re-peel vs from-scratch under localized mutations.
+
+    Each workload alternates *toggle* batches: odd batches delete a few
+    random live edges, even batches re-insert the edges deleted by the
+    previous batch — every mutation is localized to an existing
+    neighborhood, the paper-flavored regime where the perturbed
+    priority-DAG region stays geometrically small.  After the run the
+    maintainer's result is asserted bit-identical to a from-scratch
+    ``rootset-vec`` solve of the final graph, so the work-ratio numbers
+    are for an *exact* maintenance scheme, not an approximation.
+    """
+    from repro.dynamic import IncrementalMatching, IncrementalMIS
+    from repro.graphs.generators import (
+        powerlaw_cluster_graph,
+        triangular_grid_graph,
+    )
+
+    if smoke:
+        workloads = {
+            "tri_grid": triangular_grid_graph(20, 20),
+            "powerlaw_cluster": powerlaw_cluster_graph(400, 4, 0.5, seed=SEED),
+        }
+        batches, per_batch = 8, 3
+    else:
+        workloads = {
+            "tri_grid": triangular_grid_graph(64, 64),
+            "powerlaw_cluster": powerlaw_cluster_graph(4000, 6, 0.5, seed=SEED),
+        }
+        batches, per_batch = 48, 4
+
+    out = {"workloads": {}, "session": None}
+    for wi, (name, graph) in enumerate(workloads.items()):
+        el = graph.edge_list()
+        entry = {
+            "n": graph.num_vertices,
+            "m": el.num_edges,
+            "batches": batches,
+            "edges_per_batch": per_batch,
+            "problems": {},
+        }
+        for pi, problem in enumerate(("mis", "mm")):
+            rng = np.random.default_rng((SEED, wi, pi))
+            if problem == "mis":
+                ranks = random_priorities(graph.num_vertices, seed=SEED)
+                maintainer = IncrementalMIS(graph, ranks)
+                items = graph.num_vertices
+            else:
+                maintainer = IncrementalMatching(el, seed=SEED)
+                items = el.num_edges
+            live = sorted(zip(el.u.tolist(), el.v.tolist()))
+            affected = []
+            pending = []
+            t0 = time.perf_counter()
+            for _ in range(batches):
+                idx = rng.choice(len(live), size=per_batch, replace=False)
+                deleted = [live[i] for i in sorted(idx.tolist())]
+                stats = maintainer.apply_batch(
+                    insertions=pending, deletions=deleted,
+                )
+                live = sorted(
+                    (set(live) - set(deleted)) | set(map(tuple, pending))
+                )
+                pending = deleted
+                affected.append(int(stats["affected"]))
+            incremental_wall = time.perf_counter() - t0
+
+            incremental = maintainer.result()
+            if problem == "mis":
+                final_graph = maintainer.graph()
+                scratch_wall = _best(
+                    lambda: rootset_mis_vectorized(
+                        final_graph, maintainer.ranks, machine=null_machine(),
+                    ),
+                    3,
+                )
+                scratch = rootset_mis_vectorized(
+                    final_graph, maintainer.ranks, machine=null_machine(),
+                )
+            else:
+                final_el = maintainer.edge_list()
+                final_ranks = maintainer.current_ranks()
+                scratch_wall = _best(
+                    lambda: rootset_matching_vectorized(
+                        final_el, final_ranks, machine=null_machine(),
+                    ),
+                    3,
+                )
+                scratch = rootset_matching_vectorized(
+                    final_el, final_ranks, machine=null_machine(),
+                )
+            assert np.array_equal(incremental.status, scratch.status), (
+                f"{name}/{problem}: incremental result diverged from scratch"
+            )
+
+            dyn = maintainer.counters.aux()
+            assert dyn["total_work_ratio"] < 1.0, (
+                f"{name}/{problem}: localized mutations must re-peel less "
+                f"than from-scratch work, got {dyn['total_work_ratio']}"
+            )
+            entry["problems"][problem] = {
+                "total_work": dyn["total_work"],
+                "total_scratch_work": dyn["total_scratch_work"],
+                "total_work_ratio": dyn["total_work_ratio"],
+                "mean_affected": float(np.mean(affected)),
+                "max_affected": int(np.max(affected)),
+                "mean_affected_fraction": float(np.mean(affected) / items),
+                "incremental_batch_mean_s": incremental_wall / batches,
+                "scratch_solve_s": scratch_wall,
+                "bit_identical_to_scratch": True,
+            }
+        out["workloads"][name] = entry
+
+    # Session mutate round-trip through the worker-pool service: the
+    # maintainer state lives worker-side (keyed cache) with the parent
+    # committing returned state, so a mutate pays one job dispatch.
+    sess_graph = next(iter(workloads.values()))
+    el = sess_graph.edge_list()
+    svc = SolverService(ServiceConfig(workers=1)).start()
+    try:
+        info = svc.create_session(
+            "mis", sess_graph,
+            random_priorities(sess_graph.num_vertices, seed=SEED),
+        )
+        live = sorted(zip(el.u.tolist(), el.v.tolist()))
+        rng = np.random.default_rng((SEED, 99))
+        requests = 5 if smoke else 20
+        lat = []
+        pending = []
+        for _ in range(requests):
+            idx = rng.choice(len(live), size=2, replace=False)
+            deleted = [live[i] for i in sorted(idx.tolist())]
+            t0 = time.perf_counter()
+            svc.mutate_session(
+                info.session_id, insertions=pending, deletions=deleted,
+            )
+            lat.append(time.perf_counter() - t0)
+            live = sorted((set(live) - set(deleted)) | set(map(tuple, pending)))
+            pending = deleted
+        final = svc.session_info(info.session_id)
+        svc.close_session(info.session_id)
+        out["session"] = {
+            "n": sess_graph.num_vertices,
+            "m": el.num_edges,
+            "mutations": requests,
+            "final_version": final.version,
+            "mutate_median_s": float(np.median(lat)),
+        }
+    finally:
+        svc.shutdown()
+    return out
+
+
 def main(argv=None):
     argv = list(sys.argv[1:] if argv is None else argv)
     smoke = "--smoke" in argv
@@ -279,9 +444,14 @@ def main(argv=None):
     gateway_only = "--gateway-only" in argv
     if gateway_only:
         argv.remove("--gateway-only")
+    dynamic_only = "--dynamic-only" in argv
+    if dynamic_only:
+        argv.remove("--dynamic-only")
     out_path = pathlib.Path(argv[0]) if argv else (
         pathlib.Path(__file__).resolve().parent.parent
-        / ("BENCH_8.json" if gateway_only else "BENCH_6.json")
+        / ("BENCH_9.json" if dynamic_only
+           else "BENCH_8.json" if gateway_only
+           else "BENCH_6.json")
     )
 
     if smoke:
@@ -295,6 +465,43 @@ def main(argv=None):
         }
         worker_counts = (1, 2, 4, 8)
         reps, requests = 9, 15
+
+    if dynamic_only:
+        record = {
+            "meta": {
+                "scale": "smoke" if smoke else "small",
+                "numpy": np.__version__,
+                "cpu_count": os.cpu_count(),
+                "method": (
+                    "alternating toggle batches (delete a few random live "
+                    "edges, re-insert the previous batch's deletions) on a "
+                    "triangular grid and a Holme-Kim power-law cluster "
+                    "graph; work = affected items + scanned arcs per "
+                    "re-peel, scratch_work = items + 2*arcs of a "
+                    "from-scratch pass over the current graph; final state "
+                    "asserted bit-identical to a from-scratch rootset-vec "
+                    "solve; session block = median mutate round-trip "
+                    "through a 1-worker SolverService session"
+                ),
+            },
+            "dynamic": _bench_dynamic(smoke),
+        }
+        for name, entry in record["dynamic"]["workloads"].items():
+            for problem, stats in entry["problems"].items():
+                print(f"[bench] dynamic {name}/{problem}: "
+                      f"work_ratio={stats['total_work_ratio']:.5f} "
+                      f"affected~{stats['mean_affected']:.1f}"
+                      f"/{entry['n' if problem == 'mis' else 'm']} "
+                      f"batch={stats['incremental_batch_mean_s']*1e3:.2f}ms "
+                      f"scratch={stats['scratch_solve_s']*1e3:.2f}ms")
+        sess = record["dynamic"]["session"]
+        print(f"[bench] dynamic session: mutate_median="
+              f"{sess['mutate_median_s']*1e3:.2f}ms "
+              f"({sess['mutations']} mutations, "
+              f"final_version={sess['final_version']})")
+        out_path.write_text(json.dumps(record, indent=1))
+        print(f"[bench] wrote {out_path}")
+        return 0
 
     if gateway_only:
         gw_graph = next(iter(workloads.values()))

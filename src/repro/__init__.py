@@ -28,6 +28,7 @@ from repro.core.orderings import (
     ranks_from_permutation,
     permutation_from_ranks,
 )
+from repro.core.options import SolveOptions
 from repro.core.result import MISResult, MatchingResult, RunStats
 from repro.graphs import CSRGraph, EdgeList, generators, from_edges, line_graph
 from repro.pram import CostModel, Machine, simulate_time, speedup_curve
@@ -52,6 +53,7 @@ __all__ = [
     "identity_priorities",
     "ranks_from_permutation",
     "permutation_from_ranks",
+    "SolveOptions",
     "MISResult",
     "MatchingResult",
     "RunStats",

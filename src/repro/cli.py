@@ -22,7 +22,15 @@ Installed as the ``repro`` console script (also usable as
     (a command-line Figure 1/2 panel).
 ``batch``
     Solve a batch of seeded runs through the crash-isolated
-    :class:`~repro.service.SolverService` worker pool.
+    :class:`~repro.service.SolverService` worker pool.  With ``--file``
+    the input is JSON Lines of wire solve objects — the exact schema
+    ``POST /v1/solve`` accepts (:mod:`repro.service.schema`) — and the
+    output is JSON Lines of the matching result bodies.
+``session``
+    Stateful incremental sessions (:mod:`repro.dynamic`): ``session
+    run`` creates a session, streams edge-mutation batches through the
+    worker pool, and reports re-peel work against the from-scratch
+    cost; ``session restore`` revives a saved snapshot.
 ``serve``
     Soak the service with a seeded request storm, optionally under
     chaos (worker kills / kernel faults), and print a survival report.
@@ -183,7 +191,12 @@ def build_parser() -> argparse.ArgumentParser:
         "batch",
         help="solve a batch of seeded runs through the worker-pool service",
     )
-    b.add_argument("graph")
+    b.add_argument("graph", nargs="?", default=None,
+                   help="graph file (omit when using --file)")
+    b.add_argument("--file", default=None, metavar="PATH",
+                   help="JSON Lines of wire solve objects (the same schema "
+                   "the HTTP gateway accepts; see repro.service.schema); "
+                   "results print as JSON Lines of result bodies")
     b.add_argument("--target", default="mis", choices=["mis", "mm"])
     b.add_argument("--seeds", default="0:8",
                    help="seed range lo:hi (hi exclusive), or a count N (= 0:N)")
@@ -239,6 +252,45 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pool size for the --probe service")
     h.add_argument("--json", action="store_true",
                    help="print the report as JSON")
+
+    se = sub.add_parser(
+        "session",
+        help="stateful incremental MIS/MM sessions under edge mutations",
+    )
+    sesub = se.add_subparsers(dest="session_command", required=True)
+    sr = sesub.add_parser(
+        "run",
+        help="create a session, stream mutation batches through the "
+        "crash-isolated service, and report re-peel work",
+    )
+    sr.add_argument("graph", help="graph file (PBBS adjacency format)")
+    sr.add_argument("--target", default="mis", choices=["mis", "mm"])
+    sr.add_argument("--mutations", default=None, metavar="PATH",
+                    help="JSON Lines of {'insertions': […], 'deletions': […]} "
+                    "batches (default: seeded random batches)")
+    sr.add_argument("--batches", type=int, default=4,
+                    help="random batches to apply when --mutations is unset")
+    sr.add_argument("--batch-size", type=int, default=8,
+                    help="edges inserted + deleted per random batch")
+    sr.add_argument("--seed", type=int, default=0)
+    sr.add_argument("--guards", default=None, choices=["off", "cheap", "full"])
+    sr.add_argument("--workers", type=int, default=2)
+    sr.add_argument("--snapshot-out", default=None, metavar="PATH",
+                    help="write the final session snapshot as JSON")
+    sr.add_argument("--verify", action="store_true",
+                    help="check the final answer bit-identical to a "
+                    "from-scratch sequential greedy solve")
+    sr.add_argument("--json", action="store_true",
+                    help="print the per-batch stats as JSON")
+    sv = sesub.add_parser(
+        "restore",
+        help="revive a session from a snapshot file and report its state",
+    )
+    sv.add_argument("snapshot", help="snapshot JSON written by session run")
+    sv.add_argument("--workers", type=int, default=2)
+    sv.add_argument("--verify", action="store_true",
+                    help="re-verify the restored fixpoint under full guards")
+    sv.add_argument("--json", action="store_true")
 
     r = sub.add_parser(
         "reap",
@@ -493,11 +545,72 @@ def _parse_seeds(spec: str) -> range:
     return range(lo, hi)
 
 
+def _cmd_batch_file(args) -> int:
+    """``repro batch --file``: solve wire objects through the service.
+
+    Each input line is one solve object in the shared wire schema
+    (:mod:`repro.service.schema`) — exactly what ``POST /v1/solve``
+    accepts, minus registered graph names — and each output line is the
+    matching deterministic result body.  Malformed lines exit 2 like any
+    other invalid input.
+    """
+    import json
+
+    from repro.errors import EngineError
+    from repro.service import SolverService
+    from repro.service import schema as wire_schema
+
+    requests = []
+    with open(args.file, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise EngineError(
+                    f"{args.file}:{lineno}: not valid JSON: {exc}"
+                ) from None
+            try:
+                req, _ = wire_schema.decode_solve(
+                    obj, default_timeout_s=args.timeout_seconds
+                )
+            except ValueError as exc:
+                raise EngineError(f"{args.file}:{lineno}: {exc}") from None
+            if args.method is not None and req.method is None:
+                req = wire_schema.decode_solve(
+                    dict(obj, method=args.method),
+                    default_timeout_s=args.timeout_seconds,
+                )[0]
+            requests.append(req)
+    if not requests:
+        raise EngineError(f"{args.file} holds no solve objects")
+    with SolverService(
+        workers=args.workers, max_retries=args.max_retries,
+        max_queue=max(64, len(requests)),
+    ) as svc:
+        results = svc.solve_many(requests)
+        stats = svc.stats()
+    for req, res in zip(requests, results):
+        print(json.dumps(wire_schema.encode_result(req, res),
+                         separators=(",", ":"), sort_keys=True))
+    if args.json:
+        print(json.dumps(stats.as_dict(), indent=2), file=sys.stderr)
+    return 0
+
+
 def _cmd_batch(args) -> int:
     import json
 
     from repro.service import SolveRequest, SolverService
 
+    if args.file is not None:
+        return _cmd_batch_file(args)
+    if args.graph is None:
+        print("error: batch needs a graph file (or --file PATH)",
+              file=sys.stderr)
+        return 2
     g = read_adjacency_graph(args.graph)
     problem = "mis" if args.target == "mis" else "matching"
     payload = g if problem == "mis" else g.edge_list()
@@ -672,6 +785,171 @@ def _cmd_serve(args) -> int:
     return 4 if mismatches else 0
 
 
+def _random_session_batches(graph, batches, batch_size, seed):
+    """Seeded random mutation batches against a shadow of the graph.
+
+    Deletions are drawn from the *current* edge set (tracked through
+    earlier batches) and insertions from the complement, so every batch
+    is valid by construction and the whole run replays from the seed.
+    """
+    rng = np.random.default_rng(seed)
+    n = graph.num_vertices
+    el = graph.edge_list()
+    edges = set(zip(el.u.tolist(), el.v.tolist()))
+    half = max(1, batch_size // 2)
+    out = []
+    for _ in range(batches):
+        pool = sorted(edges)
+        k = min(half, len(pool))
+        dels = [pool[i] for i in rng.choice(len(pool), size=k, replace=False)] if k else []
+        ins = []
+        while len(ins) < half and n > 1:
+            u, v = int(rng.integers(n)), int(rng.integers(n))
+            if u == v:
+                continue
+            key = (min(u, v), max(u, v))
+            if key in edges or key in ins or key in dels:
+                continue
+            ins.append(key)
+        edges.difference_update(dels)
+        edges.update(ins)
+        out.append({"insertions": [list(e) for e in ins],
+                    "deletions": [list(e) for e in dels]})
+    return out
+
+
+def _read_session_batches(path):
+    import json
+
+    from repro.errors import EngineError
+
+    out = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                obj = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise EngineError(f"{path}:{lineno}: not valid JSON: {exc}") from None
+            if not isinstance(obj, dict) or not (
+                obj.get("insertions") or obj.get("deletions")
+            ):
+                raise EngineError(
+                    f"{path}:{lineno}: each line needs 'insertions' and/or "
+                    "'deletions'"
+                )
+            out.append({"insertions": obj.get("insertions") or [],
+                        "deletions": obj.get("deletions") or []})
+    if not out:
+        raise EngineError(f"{path} holds no mutation batches")
+    return out
+
+
+def _cmd_session_run(args) -> int:
+    import json
+
+    from repro.service import SolverService
+
+    g = read_adjacency_graph(args.graph)
+    problem = "mis" if args.target == "mis" else "matching"
+    payload = g if problem == "mis" else g.edge_list()
+    total = g.num_vertices if problem == "mis" else g.num_edges
+    ranks = random_priorities(total, seed=args.seed)
+    batches = (
+        _read_session_batches(args.mutations) if args.mutations
+        else _random_session_batches(g, args.batches, args.batch_size, args.seed)
+    )
+    rows = []
+    with SolverService(workers=args.workers) as svc:
+        info = svc.create_session(problem, payload, ranks, guards=args.guards)
+        print(f"session {info.session_id}: {problem} n={info.n} m={info.m} "
+              f"size={info.size}")
+        for i, batch in enumerate(batches):
+            stats = svc.mutate_session(
+                info.session_id, batch["insertions"], batch["deletions"]
+            )
+            rows.append({"batch": i, **{k: stats.get(k) for k in
+                         ("affected", "flipped", "scanned_arcs", "work",
+                          "scratch_work", "work_ratio")},
+                         "size": stats["size"], "m": stats["m"]})
+        result = svc.session_result(info.session_id)
+        snapshot = svc.session_snapshot(info.session_id)
+    if args.json:
+        print(json.dumps({"batches": rows,
+                          "dynamic": result.stats.aux["dynamic"]}, indent=2))
+    else:
+        print(format_table(
+            ["batch", "affected", "flipped", "work", "work_ratio", "size", "m"],
+            [[r["batch"], r["affected"], r["flipped"], r["work"],
+              "-" if r["work_ratio"] is None else f"{r['work_ratio']:.3f}",
+              r["size"], r["m"]] for r in rows],
+        ))
+        dyn = result.stats.aux["dynamic"]
+        print(f"cumulative:  work {dyn['total_work']} vs scratch "
+              f"{dyn['total_scratch_work']} "
+              f"(ratio {dyn['total_work_ratio']:.3f})")
+    if args.verify:
+        from repro.dynamic.jobs import _maintainer_from_state
+
+        maintainer = _maintainer_from_state(snapshot["state"])
+        mutated = maintainer.graph()
+        if problem == "mis":
+            ref = maximal_independent_set(
+                mutated, result.ranks, method="sequential"
+            )
+        else:
+            ref = maximal_matching(
+                maintainer.edge_list(), maintainer.current_ranks(),
+                method="sequential",
+            )
+        if not np.array_equal(result.status, ref.status):
+            print("verify:      FAILED (incremental != from-scratch)",
+                  file=sys.stderr)
+            return 4
+        print(f"verify:      OK (bit-identical to from-scratch, "
+              f"size {ref.size})")
+    if args.snapshot_out:
+        with open(args.snapshot_out, "w", encoding="utf-8") as fh:
+            json.dump(snapshot, fh, separators=(",", ":"), sort_keys=True)
+        print(f"snapshot:    {args.snapshot_out} (version {snapshot['version']})")
+    return 0
+
+
+def _cmd_session_restore(args) -> int:
+    import json
+
+    from repro.errors import EngineError
+    from repro.service import SolverService
+
+    try:
+        with open(args.snapshot, "r", encoding="utf-8") as fh:
+            snapshot = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        raise EngineError(f"cannot read snapshot {args.snapshot!r}: {exc}") from None
+    if args.verify:
+        snapshot = dict(snapshot, guards="full")
+    with SolverService(workers=args.workers) as svc:
+        info = svc.restore_session(snapshot)
+        result = svc.session_result(info.session_id)
+    body = dict(info.as_dict(), verified=bool(args.verify))
+    if args.json:
+        print(json.dumps(body, indent=2))
+    else:
+        print(f"restored {info.session_id}: {info.problem} version "
+              f"{info.version} n={info.n} m={info.m} size={result.size}")
+        if args.verify:
+            print("verify:      OK (fixpoint re-checked under full guards)")
+    return 0
+
+
+def _cmd_session(args) -> int:
+    if args.session_command == "run":
+        return _cmd_session_run(args)
+    return _cmd_session_restore(args)
+
+
 def _cmd_health(args) -> int:
     import json
 
@@ -724,6 +1002,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "batch": _cmd_batch,
     "serve": _cmd_serve,
+    "session": _cmd_session,
     "health": _cmd_health,
     "reap": _cmd_reap,
 }

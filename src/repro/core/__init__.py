@@ -25,9 +25,12 @@ from repro.core.orderings import (
 from repro.core.status import UNDECIDED, IN_SET, KNOCKED_OUT, EDGE_LIVE, EDGE_MATCHED, EDGE_DEAD
 from repro.core.result import MISResult, MatchingResult, RunStats
 from repro.core.engines import solve
+from repro.core.options import SolveOptions, canonical_knobs
 from repro.core import engines, mis, matching, dependence
 
 __all__ = [
+    "SolveOptions",
+    "canonical_knobs",
     "random_priorities",
     "identity_priorities",
     "ranks_from_permutation",

@@ -17,6 +17,7 @@ from typing import Optional, Union
 import numpy as np
 
 from repro.core import engines as engine_registry
+from repro.core.options import SolveOptions, resolve_options
 from repro.core.result import MatchingResult
 from repro.errors import EngineError, InvariantViolationError
 from repro.graphs.csr import CSRGraph, EdgeList
@@ -57,6 +58,7 @@ def maximal_matching(
     graph_or_edges: Union[CSRGraph, EdgeList],
     ranks: Optional[np.ndarray] = None,
     *,
+    options: Optional[SolveOptions] = None,
     method: str = "prefix",
     prefix_size: Optional[int] = None,
     prefix_frac: Optional[float] = None,
@@ -74,6 +76,11 @@ def maximal_matching(
 
     Parameters
     ----------
+    options:
+        A :class:`~repro.core.options.SolveOptions` carrying every knob
+        below in one frozen record (the preferred spelling; see the MIS
+        front door).  When given, the legacy kwargs must stay at their
+        defaults.
     graph_or_edges:
         A :class:`~repro.graphs.csr.CSRGraph` (its canonical edge list is
         used, so edge ids are reproducible) or an explicit
@@ -118,6 +125,28 @@ def maximal_matching(
     >>> res.size in (2, 3)
     True
     """
+    opts = resolve_options(
+        options,
+        dict(
+            method=method,
+            prefix_size=prefix_size,
+            prefix_frac=prefix_frac,
+            seed=seed,
+            machine=machine,
+            guards=guards,
+            budget=budget,
+            fallback=fallback,
+            tracer=tracer,
+            backend=backend,
+            workers=workers,
+            min_fanout=min_fanout,
+        ),
+    )
+    method = opts.method
+    prefix_size, prefix_frac = opts.prefix_size, opts.prefix_frac
+    guards, backend, workers, min_fanout = (
+        opts.guards, opts.backend, opts.workers, opts.min_fanout,
+    )
     mode = resolve_guard_mode(guards)
     if isinstance(graph_or_edges, CSRGraph):
         check_csr_graph(graph_or_edges)
@@ -153,19 +182,8 @@ def maximal_matching(
     if ranks is not None:
         ranks = check_ranks(ranks, edges.num_edges)
 
-    kwargs = dict(
-        prefix_size=prefix_size,
-        prefix_frac=prefix_frac,
-        seed=seed,
-        machine=machine,
-        guards=guards,
-        budget=budget,
-        tracer=tracer,
-        backend=backend,
-        workers=workers,
-        min_fanout=min_fanout,
-    )
-    if not fallback:
+    kwargs = opts.engine_kwargs()
+    if not opts.fallback:
         return engine_registry.dispatch("matching", method, edges, ranks, **kwargs)
 
     attempts = []

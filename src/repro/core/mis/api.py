@@ -27,6 +27,7 @@ from typing import Optional
 import numpy as np
 
 from repro.core import engines as engine_registry
+from repro.core.options import SolveOptions, resolve_options
 from repro.core.result import MISResult
 from repro.errors import EngineError, InvariantViolationError
 from repro.graphs.csr import CSRGraph
@@ -72,6 +73,7 @@ def maximal_independent_set(
     graph: CSRGraph,
     ranks: Optional[np.ndarray] = None,
     *,
+    options: Optional[SolveOptions] = None,
     method: str = "prefix",
     prefix_size: Optional[int] = None,
     prefix_frac: Optional[float] = None,
@@ -89,6 +91,13 @@ def maximal_independent_set(
 
     Parameters
     ----------
+    options:
+        A :class:`~repro.core.options.SolveOptions` carrying every knob
+        below in one frozen record — the preferred spelling for new code
+        and the only one the service/session layers use.  When given, the
+        legacy keyword arguments must be left at their defaults (mixing
+        raises :class:`~repro.errors.EngineError`); the legacy kwargs
+        remain supported as a shim that builds the same record.
     graph:
         Simple undirected :class:`~repro.graphs.csr.CSRGraph`.  Its arrays
         are re-validated against the CSR invariants here (symmetry too,
@@ -160,6 +169,28 @@ def maximal_independent_set(
     >>> res.size in (2,)
     True
     """
+    opts = resolve_options(
+        options,
+        dict(
+            method=method,
+            prefix_size=prefix_size,
+            prefix_frac=prefix_frac,
+            seed=seed,
+            machine=machine,
+            guards=guards,
+            budget=budget,
+            fallback=fallback,
+            tracer=tracer,
+            backend=backend,
+            workers=workers,
+            min_fanout=min_fanout,
+        ),
+    )
+    method = opts.method
+    prefix_size, prefix_frac = opts.prefix_size, opts.prefix_frac
+    guards, backend, workers, min_fanout = (
+        opts.guards, opts.backend, opts.workers, opts.min_fanout,
+    )
     spec = engine_registry.get_engine("mis", method)
     if not spec.supports_prefix_knobs and (
         prefix_size is not None or prefix_frac is not None
@@ -191,19 +222,8 @@ def maximal_independent_set(
             "omit the ranks argument"
         )
 
-    kwargs = dict(
-        prefix_size=prefix_size,
-        prefix_frac=prefix_frac,
-        seed=seed,
-        machine=machine,
-        guards=guards,
-        budget=budget,
-        tracer=tracer,
-        backend=backend,
-        workers=workers,
-        min_fanout=min_fanout,
-    )
-    if not fallback:
+    kwargs = opts.engine_kwargs()
+    if not opts.fallback:
         return engine_registry.dispatch("mis", method, graph, ranks, **kwargs)
 
     attempts = []

@@ -1,0 +1,38 @@
+"""Dynamic graphs: incremental greedy MIS/MM, streaming, and session state.
+
+The paper's priority-DAG structure makes greedy maintenance *local*: an
+edge mutation only perturbs the DAG region reachable from its endpoints
+toward higher ranks.  This package exploits that three ways:
+
+* :mod:`repro.dynamic.incremental` —
+  :class:`~repro.dynamic.incremental.IncrementalMIS` /
+  :class:`~repro.dynamic.incremental.IncrementalMatching` maintainers
+  that re-peel only the affected region per mutation batch,
+  bit-identical to from-scratch sequential greedy on the mutated graph.
+* :mod:`repro.dynamic.streaming` — batched edge-arrival ingestion over
+  either maintainer.
+* :mod:`repro.dynamic.jobs` + :mod:`repro.dynamic.store` — the
+  pure (state, batch) → (state', stats) worker entry points and the
+  atomic snapshot store that let :class:`repro.service.SolverService`
+  serve maintainers as long-lived crash-safe sessions.
+
+Layering: sits above :mod:`repro.core`/:mod:`repro.graphs` and below
+:mod:`repro.service` (which imports it lazily in workers).
+"""
+
+from repro.dynamic.incremental import IncrementalMIS, IncrementalMatching, edge_priority
+from repro.dynamic.streaming import stream_edges
+from repro.dynamic.store import SnapshotStore
+from repro.dynamic import incremental, jobs, store, streaming
+
+__all__ = [
+    "IncrementalMIS",
+    "IncrementalMatching",
+    "edge_priority",
+    "stream_edges",
+    "SnapshotStore",
+    "incremental",
+    "jobs",
+    "store",
+    "streaming",
+]

@@ -1,0 +1,130 @@
+"""Worker-side entry points for session jobs.
+
+The service runs session work inside its crash-isolated worker pool via
+the generic ``"call"`` job kind, pointing at the functions here.  The
+contract that makes sessions survive worker kills is **replay from
+committed state**: every function is a pure map from (state, batch) to
+(state', stats) — the parent commits ``state'`` only after a successful
+reply, so a worker killed mid-mutation is simply retried with the same
+committed input and, by determinism of the maintainers, reproduces the
+identical result.
+
+A small per-process cache keyed by ``(session_id, version)`` lets a
+worker that already holds the maintainer for the committed version skip
+the state rebuild; cache misses rebuild from the shipped state, so the
+cache is a pure optimization with no correctness weight (chaos kills
+wipe it with the process).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.dynamic.incremental import IncrementalMatching, IncrementalMIS
+from repro.errors import InvalidGraphError
+from repro.graphs.csr import CSRGraph, EdgeList
+
+__all__ = ["create_session_state", "mutate_session_state", "restore_session_state"]
+
+Maintainer = Union[IncrementalMIS, IncrementalMatching]
+
+#: (session_id, version) → live maintainer for that committed version.
+_CACHE: "OrderedDict[Tuple[str, int], Maintainer]" = OrderedDict()
+_CACHE_MAX = 8
+
+
+def _cache_put(key: Optional[Tuple[str, int]], maintainer: Maintainer) -> None:
+    if key is None:
+        return
+    _CACHE[key] = maintainer
+    _CACHE.move_to_end(key)
+    while len(_CACHE) > _CACHE_MAX:
+        _CACHE.popitem(last=False)
+
+
+def _maintainer_from_state(state: Dict[str, Any]) -> Maintainer:
+    problem = state.get("problem")
+    if problem == "mis":
+        return IncrementalMIS.from_state(state)
+    if problem == "matching":
+        return IncrementalMatching.from_state(state)
+    raise InvalidGraphError(f"unknown session problem {problem!r}")
+
+
+def _summary(maintainer: Maintainer, dynamic: Dict[str, Any]) -> Dict[str, Any]:
+    if isinstance(maintainer, IncrementalMIS):
+        size = len(maintainer.members())
+    else:
+        size = len(maintainer.matched_pairs())
+    return {
+        "state": maintainer.to_state(),
+        "dynamic": dynamic,
+        "n": maintainer.n,
+        "m": maintainer.m,
+        "size": size,
+    }
+
+
+def create_session_state(
+    problem: str,
+    payload: Union[CSRGraph, EdgeList],
+    ranks: Optional[np.ndarray] = None,
+    seed: Any = None,
+    guards: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Initial solve: build a maintainer and return its committed state."""
+    if problem == "mis":
+        if not isinstance(payload, CSRGraph):
+            raise InvalidGraphError("mis sessions require a CSRGraph payload")
+        maintainer: Maintainer = IncrementalMIS(payload, ranks, seed=seed)
+    elif problem == "matching":
+        maintainer = IncrementalMatching(payload, ranks, seed=seed)
+    else:
+        raise InvalidGraphError(f"unknown session problem {problem!r}")
+    if guards == "full":
+        maintainer.verify()
+    return _summary(maintainer, maintainer.counters.aux())
+
+
+def mutate_session_state(
+    state: Dict[str, Any],
+    insertions: Sequence[Tuple[int, int]] = (),
+    deletions: Sequence[Tuple[int, int]] = (),
+    session_id: Optional[str] = None,
+    version: Optional[int] = None,
+    guards: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Apply one mutation batch to a committed state; return the new state.
+
+    Pure in (state, batch) — shipping ``session_id``/``version`` only
+    enables the warm-maintainer cache.  Any failure evicts the cache
+    entry so a poisoned half-applied maintainer can never serve a later
+    version.
+    """
+    key = (session_id, version) if session_id is not None and version is not None else None
+    # Popped (not peeked): if the batch fails mid-apply the maintainer is
+    # simply dropped and the next attempt rebuilds from committed state.
+    maintainer = _CACHE.pop(key, None) if key is not None else None
+    if maintainer is None:
+        maintainer = _maintainer_from_state(state)
+    stats = maintainer.apply_batch(insertions=insertions, deletions=deletions)
+    if guards == "full":
+        maintainer.verify()
+    out = _summary(maintainer, stats)
+    if key is not None:
+        _cache_put((key[0], key[1] + 1), maintainer)
+    return out
+
+
+def restore_session_state(
+    state: Dict[str, Any],
+    guards: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Validate a snapshot by rebuilding (and optionally verifying) it."""
+    maintainer = _maintainer_from_state(state)
+    if guards == "full":
+        maintainer.verify()
+    return _summary(maintainer, maintainer.counters.aux())

@@ -1,0 +1,84 @@
+"""Durable session snapshots: atomic JSON files, one per session.
+
+The service keeps the authoritative session state in memory and commits
+a new state after every successful mutation; this store persists those
+states so sessions survive full process restarts, not just worker
+respawns.  Writes follow the same temp-file + ``os.replace`` discipline
+as the bench checkpoint machinery: a crash mid-write leaves the previous
+snapshot intact, never a torn file.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ReproError
+
+__all__ = ["SnapshotStore"]
+
+PathLike = Union[str, os.PathLike]
+
+
+class SnapshotStore:
+    """Directory of ``<session_id>.json`` snapshot files.
+
+    Session ids are restricted to ``[A-Za-z0-9_.-]`` so an id can never
+    escape the store directory.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = str(root)
+        os.makedirs(self.root, exist_ok=True)
+
+    def _path(self, session_id: str) -> str:
+        if not session_id or not all(
+            c.isalnum() or c in "_.-" for c in session_id
+        ):
+            raise ReproError(f"invalid session id {session_id!r}")
+        return os.path.join(self.root, f"{session_id}.json")
+
+    def save(self, session_id: str, snapshot: Dict[str, object]) -> str:
+        """Atomically persist *snapshot*; returns the file path."""
+        path = self._path(session_id)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(snapshot, fh, separators=(",", ":"), sort_keys=True)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            if os.path.exists(tmp):
+                os.unlink(tmp)
+            raise
+        return path
+
+    def load(self, session_id: str) -> Optional[Dict[str, object]]:
+        """Read a snapshot back, or ``None`` if absent."""
+        path = self._path(session_id)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                return json.load(fh)
+        except FileNotFoundError:
+            return None
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ReproError(f"corrupt session snapshot {path!r}: {exc}") from exc
+
+    def delete(self, session_id: str) -> bool:
+        """Remove a snapshot; ``True`` if one existed."""
+        try:
+            os.unlink(self._path(session_id))
+            return True
+        except FileNotFoundError:
+            return False
+
+    def list_ids(self) -> List[str]:
+        """Session ids with a persisted snapshot (sorted)."""
+        out = []
+        for name in os.listdir(self.root):
+            if name.endswith(".json"):
+                out.append(name[: -len(".json")])
+        return sorted(out)

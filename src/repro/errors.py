@@ -22,6 +22,7 @@ __all__ = [
     "DeadlineExceededError",
     "WorkerCrashError",
     "CircuitOpenError",
+    "UnknownSessionError",
 ]
 
 
@@ -129,4 +130,14 @@ class CircuitOpenError(ServiceError):
     Raised when the requested method and the whole degradation chain
     behind it are all tripped; the request is failed fast rather than
     queued behind engines that are currently failing.
+    """
+
+
+class UnknownSessionError(ServiceError):
+    """A session id does not name a live (or restorable) session.
+
+    Raised by the stateful session API of :class:`~repro.service.SolverService`
+    when a mutate/query/snapshot/close call targets an id that was never
+    created, was already closed, or has no snapshot to restore from.  The
+    HTTP gateway maps it onto ``404``.
     """

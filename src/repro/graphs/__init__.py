@@ -22,6 +22,8 @@ from repro.graphs.io import (
     write_adjacency_graph,
     read_edge_list,
     write_edge_list,
+    read_snap_edge_list,
+    check_edge_soup,
 )
 from repro.graphs.linegraph import line_graph
 from repro.graphs import generators, properties
@@ -37,6 +39,8 @@ __all__ = [
     "write_adjacency_graph",
     "read_edge_list",
     "write_edge_list",
+    "read_snap_edge_list",
+    "check_edge_soup",
     "line_graph",
     "generators",
     "properties",

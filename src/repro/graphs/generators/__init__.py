@@ -23,12 +23,17 @@ from repro.graphs.generators.structured import (
     complete_graph,
     star_graph,
     grid_graph,
+    triangular_grid_graph,
     torus_graph,
     balanced_tree,
     hypercube_graph,
     complete_bipartite_graph,
 )
-from repro.graphs.generators.powerlaw import chung_lu_graph, barabasi_albert_graph
+from repro.graphs.generators.powerlaw import (
+    chung_lu_graph,
+    barabasi_albert_graph,
+    powerlaw_cluster_graph,
+)
 
 __all__ = [
     "uniform_random_graph",
@@ -40,10 +45,12 @@ __all__ = [
     "complete_graph",
     "star_graph",
     "grid_graph",
+    "triangular_grid_graph",
     "torus_graph",
     "balanced_tree",
     "hypercube_graph",
     "complete_bipartite_graph",
     "chung_lu_graph",
     "barabasi_albert_graph",
+    "powerlaw_cluster_graph",
 ]

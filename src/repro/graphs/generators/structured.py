@@ -23,6 +23,7 @@ __all__ = [
     "complete_graph",
     "star_graph",
     "grid_graph",
+    "triangular_grid_graph",
     "torus_graph",
     "balanced_tree",
     "hypercube_graph",
@@ -82,6 +83,36 @@ def grid_graph(rows: int, cols: int) -> CSRGraph:
     if rows > 1:
         us.append(vid[:-1, :].ravel())
         vs.append(vid[1:, :].ravel())
+    if not us:
+        e = np.empty(0, dtype=np.int64)
+        return from_edges(rows * cols, e, e)
+    return from_edges(rows * cols, np.concatenate(us), np.concatenate(vs))
+
+
+def triangular_grid_graph(rows: int, cols: int) -> CSRGraph:
+    """Planar triangulated grid: 4-neighbor grid plus one diagonal per cell.
+
+    Adding the ``(r, c)``–``(r+1, c+1)`` diagonal to every grid cell keeps
+    the drawing planar (each square splits into two triangles) while
+    raising interior degree to 6 — the standard planar-mesh workload for
+    the dynamic-session suite, where a localized edge mutation should
+    perturb only a geometrically local priority-DAG region.
+    """
+    rows = check_positive_int(rows, "rows")
+    cols = check_positive_int(cols, "cols")
+    r, c = np.meshgrid(np.arange(rows), np.arange(cols), indexing="ij")
+    vid = (r * cols + c).astype(np.int64)
+    us = []
+    vs = []
+    if cols > 1:
+        us.append(vid[:, :-1].ravel())
+        vs.append(vid[:, 1:].ravel())
+    if rows > 1:
+        us.append(vid[:-1, :].ravel())
+        vs.append(vid[1:, :].ravel())
+    if rows > 1 and cols > 1:
+        us.append(vid[:-1, :-1].ravel())
+        vs.append(vid[1:, 1:].ravel())
     if not us:
         e = np.empty(0, dtype=np.int64)
         return from_edges(rows * cols, e, e)

@@ -20,6 +20,18 @@ Edge-array format (header ``EdgeArray``)::
 
 Both readers validate counts and raise :class:`~repro.errors.GraphFormatError`
 with line-level context on malformed input.
+
+A third, headerless format covers real-world inputs: SNAP edge lists
+(``#``-prefixed comment lines, one ``u v`` pair per line, arbitrary
+non-contiguous node ids) via :func:`read_snap_edge_list`, which relabels
+ids to a contiguous ``0..n-1`` range.
+
+Edge-soup readers are **strict** by default: self-loops and duplicate
+undirected edges raise :class:`~repro.errors.InvalidGraphError` naming the
+first offender, instead of being silently canonicalized away (the old
+behaviour let corrupt inputs surface later as CSR-invariant failures deep
+in the kernels).  Pass ``strict=False`` to restore dedup/loop-dropping for
+deliberately soupy inputs.
 """
 
 from __future__ import annotations
@@ -30,7 +42,7 @@ from typing import Tuple, Union
 
 import numpy as np
 
-from repro.errors import GraphFormatError
+from repro.errors import GraphFormatError, InvalidGraphError
 from repro.graphs.builders import from_edges
 from repro.graphs.csr import CSRGraph
 
@@ -41,6 +53,8 @@ __all__ = [
     "write_adjacency_graph",
     "read_edge_list",
     "write_edge_list",
+    "read_snap_edge_list",
+    "check_edge_soup",
 ]
 
 ADJACENCY_HEADER = "AdjacencyGraph"
@@ -131,11 +145,49 @@ def write_adjacency_graph(graph: CSRGraph, path: PathLike) -> None:
         fh.write(buf.getvalue())
 
 
-def read_edge_list(path: PathLike) -> CSRGraph:
-    """Read a graph in PBBS edge-array format and canonicalize it.
+def check_edge_soup(u: np.ndarray, v: np.ndarray, context: str = "edge list") -> None:
+    """Reject self-loops and duplicate undirected edges.
 
-    Vertex count is inferred as ``max endpoint + 1``; the edge soup passes
-    through :func:`repro.graphs.builders.from_edges` (dedup, loop removal).
+    Raises :class:`~repro.errors.InvalidGraphError` naming the first
+    offending pair.  A duplicate is any repeated unordered pair — ``1 0``
+    after ``0 1`` counts.  Shared by the PBBS and SNAP edge readers (and
+    usable by any caller assembling an edge soup by hand).
+    """
+    u = np.asarray(u, dtype=np.int64)
+    v = np.asarray(v, dtype=np.int64)
+    loops = np.nonzero(u == v)[0]
+    if loops.size:
+        i = int(loops[0])
+        raise InvalidGraphError(
+            f"{context}: {loops.size} self-loop(s); first is edge "
+            f"#{i} ({int(u[i])}, {int(u[i])})"
+        )
+    if u.size == 0:
+        return
+    lo = np.minimum(u, v)
+    hi = np.maximum(u, v)
+    n = int(hi.max()) + 1
+    keys = lo * np.int64(n) + hi
+    uniq, first, counts = np.unique(keys, return_index=True, return_counts=True)
+    dup = np.nonzero(counts > 1)[0]
+    if dup.size:
+        i = int(first[dup[0]])
+        extra = int(counts[dup].sum() - dup.size)
+        raise InvalidGraphError(
+            f"{context}: {extra} duplicate undirected edge(s); first "
+            f"duplicated pair is ({int(lo[i])}, {int(hi[i])})"
+        )
+
+
+def read_edge_list(path: PathLike, *, strict: bool = True) -> CSRGraph:
+    """Read a graph in PBBS edge-array format.
+
+    Vertex count is inferred as ``max endpoint + 1``.  With the default
+    ``strict=True``, self-loops and duplicate undirected edges raise
+    :class:`~repro.errors.InvalidGraphError` (see :func:`check_edge_soup`);
+    with ``strict=False`` the soup is canonicalized through
+    :func:`repro.graphs.builders.from_edges` (dedup, loop removal) as the
+    reader historically did.
     """
     tokens = _read_tokens(path)
     if not tokens or tokens[0] != EDGE_ARRAY_HEADER:
@@ -159,6 +211,68 @@ def read_edge_list(path: PathLike) -> CSRGraph:
     u = flat[0::2]
     v = flat[1::2]
     n = int(flat.max()) + 1
+    if strict:
+        check_edge_soup(u, v, context=str(path))
+    return from_edges(n, u, v)
+
+
+def read_snap_edge_list(path: PathLike, *, strict: bool = True) -> CSRGraph:
+    """Read a SNAP-style edge list (comments, arbitrary node ids).
+
+    The format used by the SNAP network repository: ``#``-prefixed comment
+    lines anywhere, then one ``u v`` pair per line (tabs or spaces).  Node
+    ids may be arbitrary non-negative integers with gaps; they are
+    relabeled to ``0..n-1`` in ascending numeric order, so the result is
+    deterministic for a given file.  ``.gz`` paths decompress
+    transparently.
+
+    Inherits the strict edge-soup check from :func:`check_edge_soup`:
+    self-loops or duplicate undirected edges (including a pair listed in
+    both directions, as directed SNAP exports do) raise
+    :class:`~repro.errors.InvalidGraphError` unless ``strict=False``,
+    which canonicalizes instead.
+    """
+    try:
+        if _is_gzip(path):
+            import gzip
+
+            with gzip.open(path, "rt", encoding="ascii") as fh:
+                lines = fh.readlines()
+        else:
+            with open(path, "r", encoding="ascii") as fh:
+                lines = fh.readlines()
+    except OSError as exc:
+        raise GraphFormatError(f"cannot read graph file {path!r}: {exc}") from exc
+    us = []
+    vs = []
+    for lineno, line in enumerate(lines, start=1):
+        body = line.strip()
+        if not body or body.startswith("#"):
+            continue
+        parts = body.split()
+        if len(parts) != 2:
+            raise GraphFormatError(
+                f"{path}:{lineno}: expected 'u v', found {body!r}"
+            )
+        try:
+            us.append(int(parts[0]))
+            vs.append(int(parts[1]))
+        except ValueError as exc:
+            raise GraphFormatError(
+                f"{path}:{lineno}: non-integer endpoint in {body!r}"
+            ) from exc
+    u = np.asarray(us, dtype=np.int64)
+    v = np.asarray(vs, dtype=np.int64)
+    if u.size == 0:
+        return from_edges(0, u, v)
+    if min(int(u.min()), int(v.min())) < 0:
+        raise GraphFormatError(f"{path}: negative vertex id")
+    labels = np.unique(np.concatenate([u, v]))
+    u = np.searchsorted(labels, u)
+    v = np.searchsorted(labels, v)
+    n = int(labels.size)
+    if strict:
+        check_edge_soup(u, v, context=str(path))
     return from_edges(n, u, v)
 
 

@@ -105,6 +105,7 @@ class ChaosScenario:
     queue_flood: bool = False
     gateway: bool = False
     network_attack: Optional[str] = None
+    session_churn: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -254,6 +255,17 @@ SCENARIOS: Tuple[ChaosScenario, ...] = (
         "stale pre-mutation entry",
         requests=4, network_attack="cache_poison_guard", seed=1515,
     ),
+    ChaosScenario(
+        "session-churn",
+        "stateful MIS+matching sessions under edge-mutation batches "
+        "while workers are hard-killed mid-mutation; every committed "
+        "version must replay deterministically (retries from committed "
+        "state), a mid-run snapshot/close/restore must be transparent, "
+        "and the final answers must be bit-identical to a from-scratch "
+        "greedy solve of the mutated graph",
+        requests=10, kill_probability=0.3, max_retries=8,
+        session_churn=True, seed=1616,
+    ),
 )
 
 
@@ -393,6 +405,8 @@ def run_scenario(
         outcome = _run_shard_kill(scenario, seed_offset)
     elif scenario.segment_attack == "orphan":
         outcome = _run_segment_orphan(scenario, seed_offset)
+    elif scenario.session_churn:
+        outcome = _run_session_churn(scenario, seed_offset)
     elif scenario.gateway:
         outcome = _run_gateway(scenario, seed_offset)
     else:
@@ -619,6 +633,141 @@ def _run_segment_orphan(
             outcome.untyped_failures.append(
                 f"round {k}: orphaned segment {name} survived the reap"
             )
+    return outcome
+
+
+# -- the session-churn runner ------------------------------------------------
+
+
+def _session_batch(rng, n: int, edges: Set[Tuple[int, int]], size: int):
+    """One valid random mutation batch against the live edge set."""
+    half = max(1, size // 2)
+    pool = sorted(edges)
+    k = min(half, len(pool))
+    dels = (
+        [pool[j] for j in rng.choice(len(pool), size=k, replace=False)]
+        if k else []
+    )
+    ins: List[Tuple[int, int]] = []
+    while len(ins) < half:
+        u, v = int(rng.integers(n)), int(rng.integers(n))
+        if u == v:
+            continue
+        key = (min(u, v), max(u, v))
+        if key in edges or key in ins or key in dels:
+            continue
+        ins.append(key)
+    return ins, dels
+
+
+def _run_session_churn(
+    scenario: ChaosScenario, seed_offset: int
+) -> ScenarioOutcome:
+    """Stateful sessions under worker kills: replay must be transparent.
+
+    Two sessions (MIS and matching) take ``scenario.requests`` seeded
+    mutation batches each while the service's chaos knobs hard-kill
+    workers mid-mutation.  Halfway through, each session is snapshotted,
+    closed, and restored — the continuation must behave as if nothing
+    happened.  At the end the committed answer must be **bit-identical**
+    to a from-scratch greedy solve of the mutated graph, and the
+    session's edge set must equal the independently tracked shadow set.
+    """
+    from repro.dynamic.jobs import _maintainer_from_state
+
+    outcome = ScenarioOutcome(scenario.name, scenario.requests)
+    rng = np.random.default_rng((scenario.seed, seed_offset))
+    graph = uniform_random_graph(220, 640, seed=scenario.seed + seed_offset)
+    n = graph.num_vertices
+    pi = np.random.default_rng(scenario.seed + 1).permutation(n).astype(np.int64)
+    el = graph.edge_list()
+    base_edges = set(zip(el.u.tolist(), el.v.tolist()))
+
+    svc = SolverService(scenario.service_config())
+    svc.start()
+    try:
+        sessions: Dict[str, Dict[str, Any]] = {}
+        for problem in ("mis", "matching"):
+            info = svc.create_session(
+                problem,
+                graph if problem == "mis" else graph.edge_list(),
+                pi if problem == "mis" else None,
+                seed=scenario.seed,
+                guards="full",
+            )
+            sessions[problem] = {"id": info.session_id, "edges": set(base_edges)}
+
+        half = scenario.requests // 2
+        for b in range(scenario.requests):
+            for problem, rec in sessions.items():
+                ins, dels = _session_batch(rng, n, rec["edges"], 6)
+                try:
+                    svc.mutate_session(rec["id"], ins, dels)
+                except ReproError as exc:
+                    # Retries exhausted: the committed version did NOT
+                    # advance, so the shadow must not either.
+                    outcome._count_failure(exc)
+                    continue
+                except Exception as exc:  # noqa: BLE001 — taxonomy boundary
+                    outcome.untyped_failures.append(
+                        f"batch {b} ({problem}): {type(exc).__name__}: {exc}"
+                    )
+                    continue
+                rec["edges"].difference_update(dels)
+                rec["edges"].update(ins)
+                outcome.completed += 1
+            if b == half:
+                # Snapshot/close/restore mid-churn: the revived session
+                # must continue exactly where the committed state left off.
+                for problem, rec in sessions.items():
+                    snap = svc.session_snapshot(rec["id"])
+                    svc.close_session(rec["id"])
+                    revived = svc.restore_session(snap)
+                    if revived.session_id != rec["id"]:
+                        outcome.untyped_failures.append(
+                            f"restore renamed session {rec['id']!r}"
+                        )
+                    outcome.notes.append(
+                        f"{problem} session restored at version "
+                        f"{revived.version}"
+                    )
+
+        for problem, rec in sessions.items():
+            snap = svc.session_snapshot(rec["id"])
+            maintainer = _maintainer_from_state(snap["state"])
+            mutated = maintainer.graph()
+            live = set(
+                zip(mutated.edge_list().u.tolist(),
+                    mutated.edge_list().v.tolist())
+            )
+            if live != rec["edges"]:
+                outcome.mismatches.append(
+                    f"{problem} session edge set diverged from the shadow "
+                    f"({len(live ^ rec['edges'])} differing edges)"
+                )
+                continue
+            result = svc.session_result(rec["id"])
+            if problem == "mis":
+                ref = maximal_independent_set(mutated, pi, method="rootset")
+            else:
+                ref = maximal_matching(
+                    maintainer.edge_list(), maintainer.current_ranks(),
+                    method="rootset",
+                )
+            if np.array_equal(result.status, ref.status):
+                outcome.completed += 1
+                outcome.notes.append(
+                    f"{problem} session bit-identical to from-scratch "
+                    f"greedy after {snap['version']} committed versions"
+                )
+            else:
+                outcome.mismatches.append(
+                    f"{problem} session diverged from the from-scratch "
+                    "greedy answer on the mutated graph"
+                )
+        outcome.stats = svc.stats().as_dict()
+    finally:
+        svc.shutdown(drain=False)
     return outcome
 
 

@@ -40,6 +40,7 @@ from repro.service.cache import ResultCache, request_key
 from repro.service.config import ServiceConfig, SolveRequest
 from repro.service.pool import WorkerHandle, WorkerPool
 from repro.service.service import ServiceFuture, SolverService, serve, solve_many
+from repro.service.sessions import SessionInfo, SessionManager
 from repro.service.stats import ServiceStats, StatsCollector
 
 __all__ = [
@@ -48,6 +49,8 @@ __all__ = [
     "ServiceConfig",
     "ServiceFuture",
     "ServiceStats",
+    "SessionInfo",
+    "SessionManager",
     "SolveRequest",
     "SolverService",
     "StatsCollector",

@@ -124,6 +124,13 @@ class ServiceConfig:
         health on this period; ``None`` (the default) runs unsupervised.
     reap_interval_s:
         Minimum spacing between the supervisor's reap sweeps.
+    session_dir:
+        Directory for durable session snapshots
+        (:class:`~repro.dynamic.store.SnapshotStore`).  When set, every
+        committed session version is persisted atomically and sessions
+        survive full service restarts via
+        :meth:`~repro.service.SolverService.restore_session`; ``None``
+        (the default) keeps session state in memory only.
     """
 
     workers: int = 2
@@ -162,6 +169,7 @@ class ServiceConfig:
     reap_on_start: bool = True
     supervise_interval_s: Optional[float] = None
     reap_interval_s: float = 60.0
+    session_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -290,7 +298,15 @@ class SolveRequest:
         :class:`~repro.observability.JSONLSink`.
     options:
         Extra engine keywords forwarded to the front door
-        (``seed``, ``prefix_size``, ``prefix_frac``, …).
+        (``seed``, ``prefix_size``, ``prefix_frac``, …), or a
+        :class:`~repro.core.options.SolveOptions` record — the unified
+        front-door options object.  A ``SolveOptions`` is normalized in
+        ``__post_init__``: its ``method``/``guards`` lift into the
+        request fields (conflicting explicit values raise
+        ``ValueError``), the remaining wire-safe knobs become the
+        options dict, and local-only knobs (``budget``/``tracer``/
+        ``machine``) are rejected because they cannot cross the worker
+        pipe — use ``timeout_seconds``/``budget_steps``/``trace_path``.
     """
 
     problem: str
@@ -304,6 +320,53 @@ class SolveRequest:
     options: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
+        from repro.core.options import SolveOptions
+
+        if isinstance(self.options, SolveOptions):
+            opts = self.options
+            wire = opts.to_wire()  # rejects budget/tracer/machine
+            wire.pop("method", None)
+            wire.pop("guards", None)
+            if self.method is None:
+                self.method = opts.method
+            elif self.method != opts.method:
+                raise ValueError(
+                    f"method set to {self.method!r} on the request but "
+                    f"{opts.method!r} in options"
+                )
+            if opts.guards is not None:
+                if self.guards is None:
+                    self.guards = opts.guards
+                elif self.guards != opts.guards:
+                    raise ValueError(
+                        f"guards set to {self.guards!r} on the request but "
+                        f"{opts.guards!r} in options"
+                    )
+            self.options = wire
+        elif self.options:
+            # Plain-dict options (the wire form) get the same lifting, so
+            # the worker never sees method/guards both as job fields and
+            # inside **options.
+            opts = dict(self.options)
+            o_method = opts.pop("method", None)
+            o_guards = opts.pop("guards", None)
+            if o_method is not None:
+                if self.method is None:
+                    self.method = o_method
+                elif self.method != o_method:
+                    raise ValueError(
+                        f"method set to {self.method!r} on the request but "
+                        f"{o_method!r} in options"
+                    )
+            if o_guards is not None:
+                if self.guards is None:
+                    self.guards = o_guards
+                elif self.guards != o_guards:
+                    raise ValueError(
+                        f"guards set to {self.guards!r} on the request but "
+                        f"{o_guards!r} in options"
+                    )
+            self.options = opts
         if self.problem not in _PROBLEMS:
             raise ValueError(
                 f"problem must be one of {_PROBLEMS}, got {self.problem!r}"

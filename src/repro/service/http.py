@@ -63,9 +63,9 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.core.result import MatchingResult, MISResult
-from repro.errors import DeadlineExceededError, ReproError
-from repro.graphs.builders import from_edges
+from repro.core.options import SolveOptions
+from repro.errors import DeadlineExceededError, EngineError, ReproError
+from repro.service import schema as wire_schema
 from repro.service.config import ServiceConfig, SolveRequest
 from repro.service.service import SolverService
 
@@ -83,6 +83,7 @@ _STATUS_BY_ERROR: Dict[str, int] = {
     "InvalidOrderingError": 400,
     "EngineError": 400,
     "InvariantViolationError": 500,
+    "UnknownSessionError": 404,
     "BudgetExceededError": 422,
     "QueueFullError": 429,
     "CircuitOpenError": 503,
@@ -100,10 +101,9 @@ _REASONS = {
     504: "Gateway Timeout",
 }
 
-_SOLVE_FIELDS = frozenset({
-    "problem", "graph", "ranks", "seed", "method", "guards",
-    "budget_steps", "timeout_s", "options",
-})
+#: The legal solve-object field set — owned by :mod:`repro.service.schema`
+#: so the gateway, the CLI, and ``SolveRequest`` cannot drift.
+_SOLVE_FIELDS = wire_schema.SOLVE_FIELDS
 
 
 class _HTTPError(Exception):
@@ -706,6 +706,28 @@ class HTTPGateway:
             return "POST /v1/graphs", self._handle_register
         if path.startswith("/v1/graphs/") and method == "DELETE":
             return "DELETE /v1/graphs/{name}", self._handle_release
+        if path == "/v1/sessions" and method == "POST":
+            return "POST /v1/sessions", self._handle_session_create
+        if path == "/v1/sessions" and method == "GET":
+            return "GET /v1/sessions", self._handle_session_list
+        if path.startswith("/v1/sessions/"):
+            rest = path[len("/v1/sessions/"):]
+            sid, _, action = rest.partition("/")
+            if sid:
+                if not action and method == "GET":
+                    return "GET /v1/sessions/{id}", self._handle_session_info
+                if not action and method == "DELETE":
+                    return "DELETE /v1/sessions/{id}", self._handle_session_close
+                if action == "mutate" and method == "POST":
+                    return (
+                        "POST /v1/sessions/{id}/mutate",
+                        self._handle_session_mutate,
+                    )
+                if action == "result" and method == "GET":
+                    return (
+                        "GET /v1/sessions/{id}/result",
+                        self._handle_session_result,
+                    )
         return f"{method} {path}", None
 
     def _record(self, route: str, status: int, latency: float) -> None:
@@ -744,100 +766,52 @@ class HTTPGateway:
     def _parse_solve(
         self, obj: Any, headers: Dict[str, str]
     ) -> Tuple[SolveRequest, Optional[float]]:
-        """Turn one JSON solve object into a SolveRequest + deadline."""
-        if not isinstance(obj, dict):
-            raise _HTTPError(
-                400, "BadRequestError", "solve request must be a JSON object"
-            )
-        unknown = set(obj) - _SOLVE_FIELDS
-        if unknown:
-            raise _HTTPError(
-                400, "BadRequestError",
-                f"unknown fields: {', '.join(sorted(unknown))}",
-            )
-        problem = obj.get("problem", "mis")
-        if problem not in ("mis", "matching", "mm"):
-            raise _HTTPError(
-                400, "BadRequestError",
-                f"problem must be 'mis' or 'matching', got {problem!r}",
-            )
-        if problem == "mm":
-            problem = "matching"
-        ranks = obj.get("ranks")
-        payload, default_ranks = self._solve_payload(obj.get("graph"), problem)
-        options = dict(obj.get("options") or {})
-        if obj.get("seed") is not None:
-            options["seed"] = int(obj["seed"])
-        if ranks is not None:
+        """Turn one JSON solve object into a SolveRequest + deadline.
+
+        Decoding itself lives in :mod:`repro.service.schema`; this wrapper
+        adds the HTTP-only concerns — the ``X-Repro-Timeout-S`` header and
+        registered-graph name resolution — and maps schema ``ValueError``
+        onto ``400``.
+        """
+        timeout_override = None
+        if "x-repro-timeout-s" in headers:
             try:
-                ranks = np.asarray(ranks)
-            except (TypeError, ValueError):
-                raise _HTTPError(
-                    400, "BadRequestError", "ranks must be an array of numbers"
-                )
-        elif problem == "mis" and "seed" not in options:
-            # A registered graph's π is the default ordering only when
-            # the request pins neither ranks nor a seed of its own.
-            ranks = default_ranks
-        timeout_s = obj.get("timeout_s")
-        if timeout_s is None and "x-repro-timeout-s" in headers:
-            try:
-                timeout_s = float(headers["x-repro-timeout-s"])
+                timeout_override = float(headers["x-repro-timeout-s"])
             except ValueError:
                 raise _HTTPError(
                     400, "BadRequestError",
                     "X-Repro-Timeout-S must be a number",
                 )
-        if timeout_s is None:
-            timeout_s = self.config.default_timeout_s
         try:
-            request = SolveRequest(
-                problem,
-                payload,
-                ranks=ranks,
-                method=obj.get("method"),
-                guards=obj.get("guards"),
-                timeout_seconds=timeout_s,
-                budget_steps=obj.get("budget_steps"),
-                options=options,
+            return wire_schema.decode_solve(
+                obj,
+                default_timeout_s=self.config.default_timeout_s,
+                timeout_override=timeout_override,
+                graph_resolver=self._registered_payload,
             )
-        except (TypeError, ValueError) as exc:
+        except _HTTPError:
+            raise
+        except ValueError as exc:
             raise _HTTPError(400, "BadRequestError", str(exc))
-        return request, timeout_s
 
-    def _solve_payload(self, graph: Any, problem: str):
-        """Resolve the ``graph`` field: registered name or inline edges."""
-        if isinstance(graph, str):
-            with self._graphs_lock:
-                record = self._graphs.get(graph)
-            if record is None:
-                raise _HTTPError(
-                    404, "UnknownGraphError",
-                    f"no registered graph named {graph!r}",
-                )
-            if problem == "mis":
-                return record.graph, record.ranks
-            return record.edges, None
-        if isinstance(graph, dict):
-            built = self._build_graph(graph)
-            return (built if problem == "mis" else built.edge_list()), None
-        raise _HTTPError(
-            400, "BadRequestError",
-            "graph must be a registered name or {'n': …, 'edges': […]}",
-        )
+    def _registered_payload(self, name: str, problem: str):
+        """Graph-name resolver handed to the schema decoder."""
+        with self._graphs_lock:
+            record = self._graphs.get(name)
+        if record is None:
+            raise _HTTPError(
+                404, "UnknownGraphError",
+                f"no registered graph named {name!r}",
+            )
+        if problem == "mis":
+            return record.graph, record.ranks
+        return record.edges, None
 
     def _build_graph(self, obj: Dict[str, Any]):
         try:
-            n = int(obj["n"])
-            edges = obj.get("edges", [])
-            arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
-            return from_edges(n, arr[:, 0], arr[:, 1])
-        except _HTTPError:
-            raise
-        except (KeyError, TypeError, ValueError) as exc:
-            raise _HTTPError(
-                400, "BadRequestError", f"malformed inline graph: {exc}"
-            )
+            return wire_schema.build_inline_graph(obj)
+        except ValueError as exc:
+            raise _HTTPError(400, "BadRequestError", str(exc))
 
     # -- solve execution ---------------------------------------------------
 
@@ -881,24 +855,10 @@ class HTTPGateway:
         function of (graph, π, method, knobs), so cold, warm-hit, and
         stale-degraded responses for one content address are
         byte-identical.  Run-varying details (worker id, wall time,
-        attempts) stay out; the cache disposition rides in headers."""
-        stats = result.stats
-        body = {
-            "problem": request.problem,
-            "n": stats.n,
-            "m": stats.m,
-            "size": result.size,
-            "status": result.status.tolist(),
-            "ranks": np.asarray(result.ranks).tolist(),
-            "steps": stats.steps,
-            "rounds": stats.rounds,
-            "work": stats.work,
-            "depth": stats.depth,
-        }
-        if isinstance(result, MatchingResult):
-            body["edge_u"] = result.edge_u.tolist()
-            body["edge_v"] = result.edge_v.tolist()
-        return body
+        attempts) stay out; the cache disposition rides in headers.
+        The encoding itself is owned by :mod:`repro.service.schema` so
+        the CLI batch output matches field-for-field."""
+        return wire_schema.encode_result(request, result)
 
     def _encoded_body(
         self, key: Optional[str], request: SolveRequest, result: Any
@@ -1085,6 +1045,169 @@ class HTTPGateway:
             self._executor, self._release_record, record
         )
         return 200, {"released": name}, {}
+
+    # -- stateful sessions -------------------------------------------------
+
+    def _session_id_from(self, request: _Request) -> str:
+        rest = request.path.split("?", 1)[0][len("/v1/sessions/"):]
+        return rest.partition("/")[0]
+
+    def _session_timeout(
+        self, obj: Any, headers: Dict[str, str]
+    ) -> Optional[float]:
+        """Deadline for a session call: body > header > gateway default."""
+        timeout_s = obj.get("timeout_s") if isinstance(obj, dict) else None
+        if timeout_s is None and "x-repro-timeout-s" in headers:
+            try:
+                timeout_s = float(headers["x-repro-timeout-s"])
+            except ValueError:
+                raise _HTTPError(
+                    400, "BadRequestError",
+                    "X-Repro-Timeout-S must be a number",
+                )
+        if timeout_s is None:
+            timeout_s = self.config.default_timeout_s
+        return timeout_s
+
+    async def _session_call(self, call, timeout_s: Optional[float]):
+        """Bridge one blocking session call to the executor, deadline-bounded.
+
+        Same never-a-hung-socket contract as :meth:`_solve_one`: past the
+        deadline plus grace plus ``deadline_slack_s`` the response is a
+        504 even if the worker-kill path has not reported back yet.
+        """
+        loop = asyncio.get_running_loop()
+        future = loop.run_in_executor(self._executor, call)
+        if timeout_s is None:
+            return await future
+        allowance = (
+            timeout_s
+            + self.service.config.deadline_grace
+            + self.config.deadline_slack_s
+        )
+        try:
+            return await asyncio.wait_for(asyncio.shield(future), allowance)
+        except (asyncio.TimeoutError, TimeoutError):
+            future.add_done_callback(lambda f: f.exception())
+            raise DeadlineExceededError(
+                f"session call exceeded its {timeout_s}s deadline "
+                f"(gateway allowance {allowance:.3f}s)"
+            )
+
+    async def _handle_session_create(self, request: _Request):
+        obj = self._json_body(request)
+        if not isinstance(obj, dict):
+            raise _HTTPError(
+                400, "BadRequestError", "session body must be a JSON object"
+            )
+        unknown = set(obj) - {
+            "problem", "graph", "ranks", "seed", "guards",
+            "session_id", "timeout_s", "options",
+        }
+        if unknown:
+            raise _HTTPError(
+                400, "BadRequestError",
+                f"unknown fields: {', '.join(sorted(unknown))}",
+            )
+        problem = obj.get("problem", "mis")
+        if problem not in ("mis", "matching", "mm"):
+            raise _HTTPError(
+                400, "BadRequestError",
+                f"problem must be 'mis' or 'matching', got {problem!r}",
+            )
+        if problem == "mm":
+            problem = "matching"
+        graph = obj.get("graph")
+        default_ranks = None
+        if isinstance(graph, str):
+            payload, default_ranks = self._registered_payload(graph, problem)
+        elif isinstance(graph, dict):
+            built = self._build_graph(graph)
+            payload = built if problem == "mis" else built.edge_list()
+        else:
+            raise _HTTPError(
+                400, "BadRequestError",
+                "graph must be a registered name or {'n': …, 'edges': […]}",
+            )
+        ranks = obj.get("ranks")
+        if ranks is not None:
+            try:
+                ranks = np.asarray(ranks)
+            except (TypeError, ValueError):
+                raise _HTTPError(
+                    400, "BadRequestError", "ranks must be an array of numbers"
+                )
+        elif problem == "mis" and obj.get("seed") is None:
+            # Same default as /v1/solve: a registered graph's pi orders
+            # the session unless the request pins ranks or a seed.
+            opt_seed = (obj.get("options") or {}).get("seed")
+            if opt_seed is None:
+                ranks = default_ranks
+        options = None
+        if obj.get("options") is not None:
+            try:
+                options = SolveOptions.from_wire(obj["options"])
+            except EngineError as exc:
+                raise _HTTPError(400, "BadRequestError", str(exc))
+        timeout_s = self._session_timeout(obj, request.headers)
+        info = await self._session_call(
+            functools.partial(
+                self.service.create_session, problem, payload, ranks,
+                seed=obj.get("seed"), guards=obj.get("guards"),
+                session_id=obj.get("session_id"), timeout_s=timeout_s,
+                options=options,
+            ),
+            timeout_s,
+        )
+        return 200, info.as_dict(), {}
+
+    async def _handle_session_mutate(self, request: _Request):
+        sid = self._session_id_from(request)
+        obj = self._json_body(request)
+        if not isinstance(obj, dict):
+            raise _HTTPError(
+                400, "BadRequestError", "mutation body must be a JSON object"
+            )
+        unknown = set(obj) - {"insertions", "deletions", "timeout_s"}
+        if unknown:
+            raise _HTTPError(
+                400, "BadRequestError",
+                f"unknown fields: {', '.join(sorted(unknown))}",
+            )
+        timeout_s = self._session_timeout(obj, request.headers)
+        stats = await self._session_call(
+            functools.partial(
+                self.service.mutate_session, sid,
+                obj.get("insertions") or (), obj.get("deletions") or (),
+                timeout_s=timeout_s,
+            ),
+            timeout_s,
+        )
+        return 200, dict(stats, session_id=sid), {}
+
+    async def _handle_session_result(self, request: _Request):
+        sid = self._session_id_from(request)
+        info = self.service.session_info(sid)
+        result = await self._session_call(
+            functools.partial(self.service.session_result, sid),
+            self._session_timeout(None, request.headers),
+        )
+        body = wire_schema.encode_result(info.problem, result)
+        body.update(session_id=sid, version=info.version)
+        return 200, body, {}
+
+    async def _handle_session_info(self, request: _Request):
+        sid = self._session_id_from(request)
+        return 200, self.service.session_info(sid).as_dict(), {}
+
+    async def _handle_session_list(self, request: _Request):
+        infos = self.service.list_sessions()
+        return 200, {"sessions": [i.as_dict() for i in infos]}, {}
+
+    async def _handle_session_close(self, request: _Request):
+        sid = self._session_id_from(request)
+        info = self.service.close_session(sid)
+        return 200, dict(info.as_dict(), closed=True), {}
 
     # -- response writing --------------------------------------------------
 

@@ -1,0 +1,235 @@
+"""One wire schema for solve requests and results.
+
+The HTTP gateway, the CLI ``batch`` subcommand, and
+:class:`~repro.service.config.SolveRequest` all speak the same JSON
+dialect; this module is its single definition, so the three front doors
+cannot drift field-by-field (the round-trip property test pins
+``decode(encode(x)) == x``).
+
+A solve object looks like::
+
+    {"problem": "mis" | "matching" | "mm",
+     "graph":   {"n": 5, "edges": [[0, 1], [1, 2]]} | "<registered name>",
+     "ranks":   [...],          # optional explicit priorities
+     "seed":    7,              # optional (merged into options)
+     "method":  "rootset-vec",  # optional engine name
+     "guards":  "full",         # optional guard mode
+     "budget_steps": 10000,     # optional step budget
+     "timeout_s": 2.5,          # optional wall-clock deadline
+     "options": {...}}          # optional SolveOptions wire fields
+
+Malformed objects raise plain :class:`ValueError` with a client-facing
+message; transports map it onto their own status taxonomy (the gateway
+to ``400``, the CLI to exit code ``2``).  Graph *names* only resolve
+when the caller passes a ``graph_resolver`` (the gateway's registered
+graphs); the CLI and tests use inline graphs.
+
+The result schema (:func:`encode_result`) holds only fields that are a
+pure function of (graph, π, method, knobs) so cached and fresh bodies
+stay byte-identical — run-varying details ride response headers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.result import MatchingResult
+from repro.graphs.builders import from_edges
+from repro.graphs.csr import CSRGraph, EdgeList
+from repro.service.config import SolveRequest
+
+__all__ = [
+    "SOLVE_FIELDS",
+    "build_inline_graph",
+    "decode_solve",
+    "encode_solve",
+    "encode_result",
+]
+
+#: The complete legal field set of one wire solve object.
+SOLVE_FIELDS = frozenset({
+    "problem", "graph", "ranks", "seed", "method", "guards",
+    "budget_steps", "timeout_s", "options",
+})
+
+#: graph_resolver(name, problem) -> (payload, default_ranks)
+GraphResolver = Callable[[str, str], Tuple[Any, Optional[np.ndarray]]]
+
+
+def build_inline_graph(obj: Dict[str, Any]) -> CSRGraph:
+    """Build a CSR graph from the inline ``{"n": …, "edges": […]}`` form."""
+    try:
+        n = int(obj["n"])
+        edges = obj.get("edges", [])
+        arr = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        return from_edges(n, arr[:, 0], arr[:, 1])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed inline graph: {exc}") from exc
+
+
+def decode_solve(
+    obj: Any,
+    *,
+    default_timeout_s: Optional[float] = None,
+    timeout_override: Optional[float] = None,
+    graph_resolver: Optional[GraphResolver] = None,
+) -> Tuple[SolveRequest, Optional[float]]:
+    """Decode one wire solve object into ``(SolveRequest, timeout_s)``.
+
+    Parameters
+    ----------
+    obj:
+        The parsed JSON value (must be an object).
+    default_timeout_s:
+        Deadline applied when the object sets none.
+    timeout_override:
+        A transport-level deadline (e.g. the gateway's
+        ``X-Repro-Timeout-S`` header) used when the object sets none;
+        wins over *default_timeout_s*.
+    graph_resolver:
+        Resolves a string ``graph`` field to ``(payload,
+        default_ranks)``; without one, string names raise
+        ``ValueError``.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError("solve request must be a JSON object")
+    unknown = set(obj) - SOLVE_FIELDS
+    if unknown:
+        raise ValueError(f"unknown fields: {', '.join(sorted(unknown))}")
+    problem = obj.get("problem", "mis")
+    if problem not in ("mis", "matching", "mm"):
+        raise ValueError(f"problem must be 'mis' or 'matching', got {problem!r}")
+    if problem == "mm":
+        problem = "matching"
+
+    graph = obj.get("graph")
+    default_ranks: Optional[np.ndarray] = None
+    if isinstance(graph, str):
+        if graph_resolver is None:
+            raise ValueError(
+                f"graph names are not resolvable here; inline the graph "
+                f"as {{'n': …, 'edges': […]}} (got {graph!r})"
+            )
+        payload, default_ranks = graph_resolver(graph, problem)
+    elif isinstance(graph, dict):
+        built = build_inline_graph(graph)
+        payload = built if problem == "mis" else built.edge_list()
+    else:
+        raise ValueError(
+            "graph must be a registered name or {'n': …, 'edges': […]}"
+        )
+
+    options = dict(obj.get("options") or {})
+    if obj.get("seed") is not None:
+        options["seed"] = int(obj["seed"])
+    ranks = obj.get("ranks")
+    if ranks is not None:
+        try:
+            arr = np.asarray(ranks)
+        except (TypeError, ValueError):
+            raise ValueError("ranks must be a flat array of numbers")
+        if arr.ndim != 1 or arr.dtype.kind not in "iuf":
+            raise ValueError("ranks must be a flat array of numbers")
+        ranks = arr
+    elif problem == "mis" and "seed" not in options:
+        # A registered graph's π is the default ordering only when the
+        # request pins neither ranks nor a seed of its own.
+        ranks = default_ranks
+
+    timeout_s = obj.get("timeout_s")
+    if timeout_s is None:
+        timeout_s = timeout_override
+    if timeout_s is None:
+        timeout_s = default_timeout_s
+    try:
+        request = SolveRequest(
+            problem,
+            payload,
+            ranks=ranks,
+            method=obj.get("method"),
+            guards=obj.get("guards"),
+            timeout_seconds=timeout_s,
+            budget_steps=obj.get("budget_steps"),
+            options=options,
+        )
+    except (TypeError, ValueError) as exc:
+        raise ValueError(str(exc)) from exc
+    return request, timeout_s
+
+
+def encode_solve(request: SolveRequest) -> Dict[str, Any]:
+    """Encode a :class:`SolveRequest` back into the wire object.
+
+    The inverse of :func:`decode_solve` for inline-graph requests (the
+    round-trip property the schema test pins).  ``"call"`` requests and
+    requests whose payload is not a plain graph are not wire
+    representations and raise ``ValueError``.
+    """
+    payload = request.payload
+    if isinstance(payload, CSRGraph):
+        el = payload.edge_list()
+        n = payload.num_vertices
+    elif isinstance(payload, EdgeList):
+        el = payload
+        n = payload.num_vertices
+    else:
+        raise ValueError(
+            f"cannot encode a {request.problem!r} request whose payload is "
+            f"{type(payload).__name__}"
+        )
+    obj: Dict[str, Any] = {
+        "problem": request.problem,
+        "graph": {
+            "n": n,
+            "edges": np.stack([el.u, el.v], axis=1).tolist() if el.num_edges else [],
+        },
+    }
+    if request.ranks is not None:
+        obj["ranks"] = np.asarray(request.ranks).tolist()
+    if request.method is not None:
+        obj["method"] = request.method
+    if request.guards is not None:
+        obj["guards"] = request.guards
+    if request.timeout_seconds is not None:
+        obj["timeout_s"] = request.timeout_seconds
+    if request.budget_steps is not None:
+        obj["budget_steps"] = request.budget_steps
+    if request.options:
+        obj["options"] = dict(request.options)
+    return obj
+
+
+def encode_result(
+    request: Union[SolveRequest, str], result: Any
+) -> Dict[str, Any]:
+    """Deterministic result body shared by the gateway and CLI batch.
+
+    Only fields that are a pure function of (graph, π, method, knobs), so
+    cold, warm-hit, and stale-degraded responses for one content address
+    are byte-identical.  ``aux["dynamic"]`` (session re-peel accounting)
+    is deterministic too and rides along when present.  *request* may be
+    a bare problem name — session results have no :class:`SolveRequest`.
+    """
+    problem = request if isinstance(request, str) else request.problem
+    stats = result.stats
+    body = {
+        "problem": problem,
+        "n": stats.n,
+        "m": stats.m,
+        "size": result.size,
+        "status": result.status.tolist(),
+        "ranks": np.asarray(result.ranks).tolist(),
+        "steps": stats.steps,
+        "rounds": stats.rounds,
+        "work": stats.work,
+        "depth": stats.depth,
+    }
+    if isinstance(result, MatchingResult):
+        body["edge_u"] = result.edge_u.tolist()
+        body["edge_v"] = result.edge_v.tolist()
+    dynamic = stats.aux.get("dynamic")
+    if dynamic is not None:
+        body["dynamic"] = dynamic
+    return body

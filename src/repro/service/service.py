@@ -223,6 +223,8 @@ class SolverService:
         # load-bearing: it pins the object so the id key can never be
         # recycled while the registration is live.
         self._shared: Dict[int, tuple] = {}
+        self._session_manager = None
+        self._session_manager_lock = threading.Lock()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -558,6 +560,64 @@ class SolverService:
                     raise
                 out.append(exc)
         return out
+
+    # -- stateful sessions -------------------------------------------------
+
+    @property
+    def sessions(self):
+        """The service's :class:`~repro.service.sessions.SessionManager`.
+
+        Created lazily; with ``config.session_dir`` set it persists every
+        committed version through a
+        :class:`~repro.dynamic.store.SnapshotStore`.
+        """
+        with self._session_manager_lock:
+            if self._session_manager is None:
+                from repro.service.sessions import SessionManager
+
+                store = None
+                if self.config.session_dir is not None:
+                    from repro.dynamic.store import SnapshotStore
+
+                    store = SnapshotStore(self.config.session_dir)
+                self._session_manager = SessionManager(self, store=store)
+            return self._session_manager
+
+    def create_session(self, problem, payload, ranks=None, **kwargs):
+        """Start a stateful incremental session (initial solve = v0).
+
+        Mutations replay inside crash-isolated workers from the
+        parent-held committed state; see :mod:`repro.service.sessions`.
+        """
+        return self.sessions.create(problem, payload, ranks, **kwargs)
+
+    def mutate_session(self, session_id, insertions=(), deletions=(), **kwargs):
+        """Apply one edge-mutation batch; returns the batch's re-peel stats."""
+        return self.sessions.mutate(session_id, insertions, deletions, **kwargs)
+
+    def session_result(self, session_id):
+        """The full MIS/matching result of the committed version."""
+        return self.sessions.result(session_id)
+
+    def session_info(self, session_id):
+        """Version/size/work summary of one live session."""
+        return self.sessions.info(session_id)
+
+    def session_snapshot(self, session_id):
+        """A portable snapshot of the committed version."""
+        return self.sessions.snapshot(session_id)
+
+    def restore_session(self, snapshot=None, **kwargs):
+        """Revive a session from a snapshot or the persistent store."""
+        return self.sessions.restore(snapshot, **kwargs)
+
+    def close_session(self, session_id, **kwargs):
+        """Drop a live session (optionally deleting its snapshot)."""
+        return self.sessions.close(session_id, **kwargs)
+
+    def list_sessions(self):
+        """Infos for every live session."""
+        return self.sessions.list()
 
     # -- observability -----------------------------------------------------
 

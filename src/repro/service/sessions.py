@@ -1,0 +1,395 @@
+"""Stateful graph sessions on top of the crash-isolated service.
+
+A *session* is a long-lived incremental MIS/matching maintainer
+(:mod:`repro.dynamic.incremental`) served through the
+:class:`~repro.service.SolverService` worker pool.  The parent holds the
+**committed state** — the JSON-safe ``to_state()`` snapshot of the last
+successful version — and runs every state transition inside a worker via
+the generic ``"call"`` job kind pointing at
+:mod:`repro.dynamic.jobs`.  That split is what makes sessions survive
+worker crashes:
+
+1. A mutation ships ``(committed state, batch)`` to a worker, which
+   replays the maintainer and applies the batch.
+2. The parent commits the returned state **only on success** and bumps
+   the version.
+3. A worker killed mid-mutation (chaos, OOM, hang) is simply retried by
+   the service's normal retry machinery with the *same* committed
+   input; the maintainers are deterministic, so the replayed attempt
+   reproduces the bit-identical result.  Half-applied state can never
+   be observed because it never leaves the dead worker.
+
+Queries (:meth:`SessionManager.result`) are read-only reconstructions
+from the committed state and run in-parent — they cannot corrupt
+anything and need no isolation.
+
+With a :class:`~repro.dynamic.store.SnapshotStore` attached, every
+committed version is also persisted atomically, so sessions additionally
+survive full service restarts via :meth:`SessionManager.restore`.
+
+The front doors are :class:`~repro.service.SolverService`'s delegating
+methods (``create_session`` …), the gateway's ``/v1/sessions`` routes,
+and the ``repro session`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import copy
+import itertools
+import threading
+import uuid
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.options import SolveOptions, resolve_options
+from repro.errors import InvalidGraphError, UnknownSessionError
+from repro.service.config import SolveRequest
+
+__all__ = ["SessionInfo", "SessionManager"]
+
+_PROBLEMS = ("mis", "matching")
+
+
+def _normalize_batch(edges: Sequence[Any], label: str) -> List[Tuple[int, int]]:
+    """Coerce one mutation batch into ``[(int, int), ...]``."""
+    out: List[Tuple[int, int]] = []
+    for item in edges or ():
+        try:
+            u, v = item
+            out.append((int(u), int(v)))
+        except (TypeError, ValueError):
+            raise InvalidGraphError(
+                f"{label} must be (u, v) pairs, got {item!r}"
+            ) from None
+    return out
+
+
+@dataclass
+class SessionInfo:
+    """Public, JSON-safe description of one live session."""
+
+    session_id: str
+    problem: str
+    version: int
+    n: int
+    m: int
+    size: int
+    dynamic: Dict[str, Any]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "session_id": self.session_id,
+            "problem": self.problem,
+            "version": self.version,
+            "n": self.n,
+            "m": self.m,
+            "size": self.size,
+            "dynamic": self.dynamic,
+        }
+
+
+@dataclass
+class _SessionRecord:
+    """Parent-side committed state of one session."""
+
+    session_id: str
+    problem: str
+    state: Dict[str, Any]
+    version: int
+    n: int
+    m: int
+    size: int
+    guards: Optional[str]
+    dynamic: Dict[str, Any]
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    # (version, result) — queries rebuild from committed state lazily.
+    _result_cache: Optional[Tuple[int, Any]] = None
+
+    def info(self) -> SessionInfo:
+        return SessionInfo(
+            self.session_id, self.problem, self.version,
+            self.n, self.m, self.size, dict(self.dynamic),
+        )
+
+
+class SessionManager:
+    """Session registry + lifecycle for one :class:`SolverService`.
+
+    Mutations on one session serialize on its per-record lock (versions
+    are a linear history); distinct sessions mutate concurrently through
+    the shared worker pool.
+    """
+
+    def __init__(self, service, store=None) -> None:
+        self._service = service
+        self._store = store
+        self._sessions: Dict[str, _SessionRecord] = {}
+        self._lock = threading.Lock()
+        self._counter = itertools.count()
+
+    # -- helpers -----------------------------------------------------------
+
+    def _record(self, session_id: str) -> _SessionRecord:
+        with self._lock:
+            record = self._sessions.get(session_id)
+        if record is None:
+            raise UnknownSessionError(
+                f"no live session {session_id!r}"
+                + (" (restore_session can revive a persisted snapshot)"
+                   if self._store is not None else "")
+            )
+        return record
+
+    def _call(
+        self,
+        func: str,
+        kwargs: Dict[str, Any],
+        timeout_s: Optional[float],
+    ) -> Dict[str, Any]:
+        request = SolveRequest(
+            "call",
+            {
+                "module": "repro.dynamic.jobs",
+                "func": func,
+                "kwargs": kwargs,
+            },
+            timeout_seconds=timeout_s,
+        )
+        return self._service.solve(request)
+
+    def _persist(self, record: _SessionRecord) -> None:
+        if self._store is None:
+            return
+        self._store.save(record.session_id, {
+            "session_id": record.session_id,
+            "problem": record.problem,
+            "version": record.version,
+            "guards": record.guards,
+            "state": record.state,
+            "dynamic": record.dynamic,
+        })
+
+    def _commit(
+        self,
+        session_id: str,
+        problem: str,
+        summary: Dict[str, Any],
+        version: int,
+        guards: Optional[str],
+    ) -> _SessionRecord:
+        record = _SessionRecord(
+            session_id=session_id,
+            problem=problem,
+            state=summary["state"],
+            version=version,
+            n=summary["n"],
+            m=summary["m"],
+            size=summary["size"],
+            guards=guards,
+            dynamic=summary["dynamic"],
+        )
+        with self._lock:
+            self._sessions[session_id] = record
+        self._persist(record)
+        return record
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def create(
+        self,
+        problem: str,
+        payload: Any,
+        ranks: Any = None,
+        *,
+        seed: Optional[int] = None,
+        guards: Optional[str] = None,
+        session_id: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+        options: Optional["SolveOptions"] = None,
+    ) -> SessionInfo:
+        """Initial solve: version 0 of a new session.
+
+        ``payload`` is a :class:`~repro.graphs.csr.CSRGraph` for
+        ``"mis"`` and a graph or edge list for ``"matching"`` — the same
+        shapes the stateless front doors take.  ``options`` accepts the
+        unified :class:`~repro.core.options.SolveOptions` record (its
+        ``seed``/``guards`` fields are the knobs a maintainer consumes);
+        the ``seed=``/``guards=`` keywords remain as the legacy shim and
+        may not be mixed with it.
+        """
+        resolved = resolve_options(options, {"seed": seed, "guards": guards})
+        seed, guards = resolved.seed, resolved.guards
+        if problem == "mm":
+            problem = "matching"
+        if problem not in _PROBLEMS:
+            raise InvalidGraphError(
+                f"session problem must be one of {_PROBLEMS}, got {problem!r}"
+            )
+        if session_id is None:
+            session_id = f"s{next(self._counter)}-{uuid.uuid4().hex[:12]}"
+        with self._lock:
+            if session_id in self._sessions:
+                raise InvalidGraphError(
+                    f"session {session_id!r} already exists"
+                )
+        if ranks is not None:
+            ranks = np.asarray(ranks)
+        summary = self._call(
+            "create_session_state",
+            {
+                "problem": problem,
+                "payload": payload,
+                "ranks": ranks,
+                "seed": seed,
+                "guards": guards,
+            },
+            timeout_s,
+        )
+        return self._commit(session_id, problem, summary, 0, guards).info()
+
+    def mutate(
+        self,
+        session_id: str,
+        insertions: Sequence[Any] = (),
+        deletions: Sequence[Any] = (),
+        *,
+        timeout_s: Optional[float] = None,
+    ) -> Dict[str, Any]:
+        """Apply one edge-mutation batch; returns the batch stats.
+
+        Commits the worker's returned state only on success, so a
+        crashed attempt is retried from the same committed version and
+        the session can never be observed half-mutated.
+        """
+        ins = _normalize_batch(insertions, "insertions")
+        dels = _normalize_batch(deletions, "deletions")
+        record = self._record(session_id)
+        with record.lock:
+            summary = self._call(
+                "mutate_session_state",
+                {
+                    "state": record.state,
+                    "insertions": ins,
+                    "deletions": dels,
+                    "session_id": session_id,
+                    "version": record.version,
+                    "guards": record.guards,
+                },
+                timeout_s,
+            )
+            record.state = summary["state"]
+            record.version += 1
+            record.n = summary["n"]
+            record.m = summary["m"]
+            record.size = summary["size"]
+            record.dynamic = summary["dynamic"]
+            record._result_cache = None
+            self._persist(record)
+            return dict(
+                summary["dynamic"],
+                version=record.version,
+                size=record.size,
+                m=record.m,
+            )
+
+    def result(self, session_id: str):
+        """The full result object for the committed version.
+
+        A read-only reconstruction from committed state (deterministic,
+        no worker round-trip); cached per version.
+        """
+        from repro.dynamic.jobs import _maintainer_from_state
+
+        record = self._record(session_id)
+        with record.lock:
+            cached = record._result_cache
+            if cached is not None and cached[0] == record.version:
+                return cached[1]
+            result = _maintainer_from_state(record.state).result()
+            record._result_cache = (record.version, result)
+            return result
+
+    def info(self, session_id: str) -> SessionInfo:
+        return self._record(session_id).info()
+
+    def snapshot(self, session_id: str) -> Dict[str, Any]:
+        """A portable snapshot of the committed version.
+
+        Deep-copied, so callers can serialize or mutate it freely; feed
+        it back through :meth:`restore` (possibly on a different
+        service) to revive the session.
+        """
+        record = self._record(session_id)
+        with record.lock:
+            return copy.deepcopy({
+                "session_id": record.session_id,
+                "problem": record.problem,
+                "version": record.version,
+                "guards": record.guards,
+                "state": record.state,
+                "dynamic": record.dynamic,
+            })
+
+    def restore(
+        self,
+        snapshot: Optional[Dict[str, Any]] = None,
+        *,
+        session_id: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+    ) -> SessionInfo:
+        """Revive a session from a snapshot (or the persistent store).
+
+        The snapshot is validated by rebuilding the maintainer inside a
+        worker (with the session's guard mode), so a corrupt snapshot
+        fails loudly here instead of poisoning later mutations.
+        """
+        if snapshot is None:
+            if self._store is None:
+                raise UnknownSessionError(
+                    "restore needs a snapshot (no session_dir configured)"
+                )
+            if session_id is None:
+                raise UnknownSessionError(
+                    "restore from the store needs a session_id"
+                )
+            snapshot = self._store.load(session_id)
+            if snapshot is None:
+                raise UnknownSessionError(
+                    f"no persisted snapshot for session {session_id!r}"
+                )
+        if not isinstance(snapshot, dict) or "state" not in snapshot:
+            raise InvalidGraphError(
+                "session snapshot must be a dict holding 'state'"
+            )
+        sid = session_id or snapshot.get("session_id")
+        if not sid:
+            raise UnknownSessionError("snapshot names no session_id")
+        guards = snapshot.get("guards")
+        summary = self._call(
+            "restore_session_state",
+            {"state": snapshot["state"], "guards": guards},
+            timeout_s,
+        )
+        return self._commit(
+            sid, snapshot["state"].get("problem", snapshot.get("problem")),
+            summary, int(snapshot.get("version", 0)), guards,
+        ).info()
+
+    def close(self, session_id: str, *, delete_snapshot: bool = False) -> SessionInfo:
+        """Drop a session; optionally also its persisted snapshot."""
+        with self._lock:
+            record = self._sessions.pop(session_id, None)
+        if record is None:
+            raise UnknownSessionError(f"no live session {session_id!r}")
+        if delete_snapshot and self._store is not None:
+            self._store.delete(session_id)
+        return record.info()
+
+    def list(self) -> List[SessionInfo]:
+        """Infos for every live session (sorted by id)."""
+        with self._lock:
+            records = sorted(self._sessions.values(),
+                             key=lambda r: r.session_id)
+        return [r.info() for r in records]

@@ -88,6 +88,8 @@ class TestLayering:
                       "repro.theory", "repro.extensions", "repro.cli")),
         ("core", ("repro.bench", "repro.theory", "repro.extensions",
                   "repro.cli")),
+        ("dynamic", ("repro.service", "repro.bench", "repro.theory",
+                     "repro.extensions", "repro.cli")),
         ("service", ("repro.bench", "repro.theory", "repro.extensions",
                      "repro.cli")),
         ("resilience", ("repro.bench", "repro.theory", "repro.extensions",
@@ -183,3 +185,75 @@ class TestDocsMatchRegistry:
         assert not missing, (
             f"registered {problem} methods absent from docs/api.md: {missing}"
         )
+
+
+class TestSessionApiIntegrity:
+    """The session surface: docs, gateway routes, and the options record
+    must agree — a documented endpoint that the gateway does not route
+    (or vice versa) is a failure, as is a `SolveOptions` field missing
+    from the api.md migration table."""
+
+    GATEWAY_SRC = SRC / "service" / "http.py"
+
+    def _gateway_session_routes(self):
+        import re
+
+        # Route labels as _resolve names them: "POST /v1/sessions", ...
+        return sorted(set(re.findall(
+            r'"((?:GET|POST|DELETE|PUT) /v1/sessions[^"]*)"',
+            self.GATEWAY_SRC.read_text(),
+        )))
+
+    def test_gateway_routes_the_canonical_session_surface(self):
+        assert self._gateway_session_routes() == [
+            "DELETE /v1/sessions/{id}",
+            "GET /v1/sessions",
+            "GET /v1/sessions/{id}",
+            "GET /v1/sessions/{id}/result",
+            "POST /v1/sessions",
+            "POST /v1/sessions/{id}/mutate",
+        ]
+
+    def test_every_gateway_session_route_is_documented(self):
+        api_md = (SRC.parent.parent / "docs" / "api.md").read_text()
+        for route in self._gateway_session_routes():
+            _, path = route.split(" ", 1)
+            assert path in api_md, (
+                f"gateway session route {route!r} undocumented in docs/api.md"
+            )
+
+    def test_documented_session_handlers_exist_on_the_gateway(self):
+        from repro.service.http import HTTPGateway
+
+        for handler in (
+            "_handle_session_create", "_handle_session_list",
+            "_handle_session_info", "_handle_session_close",
+            "_handle_session_mutate", "_handle_session_result",
+        ):
+            assert callable(getattr(HTTPGateway, handler, None)), (
+                f"HTTPGateway.{handler} missing"
+            )
+
+    def test_every_solve_options_field_is_in_the_migration_table(self):
+        import dataclasses
+
+        from repro.core.options import SolveOptions
+
+        api_md = (SRC.parent.parent / "docs" / "api.md").read_text()
+        start = api_md.index("Migration table")
+        table = api_md[start:start + 2000]
+        missing = [f.name for f in dataclasses.fields(SolveOptions)
+                   if f"`{f.name}`" not in table]
+        assert not missing, (
+            f"SolveOptions fields absent from the api.md migration table: "
+            f"{missing}"
+        )
+
+    def test_session_manager_is_exported_and_documented(self):
+        import repro.service as service
+
+        assert "SessionManager" in service.__all__
+        assert "SessionInfo" in service.__all__
+        api_md = (SRC.parent.parent / "docs" / "api.md").read_text()
+        assert "create_session" in api_md
+        assert "`repro.dynamic`" in api_md

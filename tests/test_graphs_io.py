@@ -102,10 +102,22 @@ class TestEdgeListFormat:
         write_edge_list(sample_graph, p)
         assert p.read_text().splitlines()[0] == "EdgeArray"
 
-    def test_reader_canonicalizes(self, tmp_path):
+    def test_strict_reader_rejects_soup(self, tmp_path):
+        from repro.errors import InvalidGraphError
+
+        p = tmp_path / "soup.edges"
+        p.write_text("EdgeArray\n1 0\n0 1\n1 2\n")
+        with pytest.raises(InvalidGraphError, match="duplicate"):
+            read_edge_list(p)
+        q = tmp_path / "loop.edges"
+        q.write_text("EdgeArray\n0 1\n2 2\n")
+        with pytest.raises(InvalidGraphError, match="self-loop"):
+            read_edge_list(q)
+
+    def test_non_strict_reader_canonicalizes(self, tmp_path):
         p = tmp_path / "soup.edges"
         p.write_text("EdgeArray\n1 0\n0 1\n2 2\n1 2\n")
-        g = read_edge_list(p)
+        g = read_edge_list(p, strict=False)
         assert g.num_edges == 2  # duplicate merged, loop dropped
 
     def test_odd_token_count(self, tmp_path):
