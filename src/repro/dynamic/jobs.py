@@ -9,11 +9,18 @@ reply, so a worker killed mid-mutation is simply retried with the same
 committed input and, by determinism of the maintainers, reproduces the
 identical result.
 
-A small per-process cache keyed by ``(session_id, version)`` lets a
-worker that already holds the maintainer for the committed version skip
-the state rebuild; cache misses rebuild from the shipped state, so the
+A small per-process cache keyed by ``(epoch, version)`` lets a worker
+that already holds the maintainer for the committed version skip the
+state rebuild; cache misses rebuild from the shipped state, so the
 cache is a pure optimization with no correctness weight (chaos kills
-wipe it with the process).
+wipe it with the process).  The *epoch* is an opaque token the
+:class:`~repro.service.sessions.SessionManager` mints fresh on every
+``create``/``restore`` — i.e. per state *timeline*, not per session id.
+Keying on it (rather than the session id) means a maintainer cached on
+an abandoned timeline — the session was closed and its id reused, or
+restored from an older snapshot — can never be popped by a later
+mutation whose version happens to line up: the new timeline carries a
+new epoch, misses, and rebuilds from the shipped committed state.
 """
 
 from __future__ import annotations
@@ -31,7 +38,7 @@ __all__ = ["create_session_state", "mutate_session_state", "restore_session_stat
 
 Maintainer = Union[IncrementalMIS, IncrementalMatching]
 
-#: (session_id, version) → live maintainer for that committed version.
+#: (epoch, version) → live maintainer for that committed version.
 _CACHE: "OrderedDict[Tuple[str, int], Maintainer]" = OrderedDict()
 _CACHE_MAX = 8
 
@@ -93,18 +100,20 @@ def mutate_session_state(
     state: Dict[str, Any],
     insertions: Sequence[Tuple[int, int]] = (),
     deletions: Sequence[Tuple[int, int]] = (),
-    session_id: Optional[str] = None,
+    epoch: Optional[str] = None,
     version: Optional[int] = None,
     guards: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Apply one mutation batch to a committed state; return the new state.
 
-    Pure in (state, batch) — shipping ``session_id``/``version`` only
-    enables the warm-maintainer cache.  Any failure evicts the cache
-    entry so a poisoned half-applied maintainer can never serve a later
-    version.
+    Pure in (state, batch) — shipping ``epoch``/``version`` only enables
+    the warm-maintainer cache.  The epoch identifies the committed-state
+    *timeline* (fresh per create/restore), so cached maintainers from a
+    closed-and-recreated or snapshot-restored session never alias the
+    current one.  Any failure evicts the cache entry so a poisoned
+    half-applied maintainer can never serve a later version.
     """
-    key = (session_id, version) if session_id is not None and version is not None else None
+    key = (epoch, version) if epoch is not None and version is not None else None
     # Popped (not peeked): if the batch fails mid-apply the maintainer is
     # simply dropped and the next attempt rebuilds from committed state.
     maintainer = _CACHE.pop(key, None) if key is not None else None

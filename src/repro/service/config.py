@@ -327,13 +327,19 @@ class SolveRequest:
             wire = opts.to_wire()  # rejects budget/tracer/machine
             wire.pop("method", None)
             wire.pop("guards", None)
-            if self.method is None:
-                self.method = opts.method
-            elif self.method != opts.method:
-                raise ValueError(
-                    f"method set to {self.method!r} on the request but "
-                    f"{opts.method!r} in options"
-                )
+            # Mirror to_wire's non-default filtering: a SolveOptions left
+            # at the default method expresses no choice, so it neither
+            # conflicts with an explicit request method nor overrides the
+            # service's default_method.
+            default_method = type(opts).__dataclass_fields__["method"].default
+            if opts.method != default_method:
+                if self.method is None:
+                    self.method = opts.method
+                elif self.method != opts.method:
+                    raise ValueError(
+                        f"method set to {self.method!r} on the request but "
+                        f"{opts.method!r} in options"
+                    )
             if opts.guards is not None:
                 if self.guards is None:
                     self.guards = opts.guards

@@ -1129,6 +1129,15 @@ class HTTPGateway:
                 400, "BadRequestError",
                 "graph must be a registered name or {'n': …, 'edges': […]}",
             )
+        options = None
+        if obj.get("options") is not None:
+            # Parsed before the default-ranks seed probe below so a
+            # malformed options value (non-dict, unknown fields) is a
+            # 400, not an AttributeError-turned-500.
+            try:
+                options = SolveOptions.from_wire(obj["options"])
+            except EngineError as exc:
+                raise _HTTPError(400, "BadRequestError", str(exc))
         ranks = obj.get("ranks")
         if ranks is not None:
             try:
@@ -1140,15 +1149,8 @@ class HTTPGateway:
         elif problem == "mis" and obj.get("seed") is None:
             # Same default as /v1/solve: a registered graph's pi orders
             # the session unless the request pins ranks or a seed.
-            opt_seed = (obj.get("options") or {}).get("seed")
-            if opt_seed is None:
+            if options is None or options.seed is None:
                 ranks = default_ranks
-        options = None
-        if obj.get("options") is not None:
-            try:
-                options = SolveOptions.from_wire(obj["options"])
-            except EngineError as exc:
-                raise _HTTPError(400, "BadRequestError", str(exc))
         timeout_s = self._session_timeout(obj, request.headers)
         info = await self._session_call(
             functools.partial(
@@ -1187,13 +1189,18 @@ class HTTPGateway:
 
     async def _handle_session_result(self, request: _Request):
         sid = self._session_id_from(request)
+        # problem is immutable for a session's lifetime; the version is
+        # read under the record lock *with* the result so a concurrent
+        # mutation cannot pair this payload with a later version.
         info = self.service.session_info(sid)
-        result = await self._session_call(
-            functools.partial(self.service.session_result, sid),
+        result, version = await self._session_call(
+            functools.partial(
+                self.service.session_result, sid, with_version=True,
+            ),
             self._session_timeout(None, request.headers),
         )
         body = wire_schema.encode_result(info.problem, result)
-        body.update(session_id=sid, version=info.version)
+        body.update(session_id=sid, version=version)
         return 200, body, {}
 
     async def _handle_session_info(self, request: _Request):

@@ -595,9 +595,13 @@ class SolverService:
         """Apply one edge-mutation batch; returns the batch's re-peel stats."""
         return self.sessions.mutate(session_id, insertions, deletions, **kwargs)
 
-    def session_result(self, session_id):
-        """The full MIS/matching result of the committed version."""
-        return self.sessions.result(session_id)
+    def session_result(self, session_id, **kwargs):
+        """The full MIS/matching result of the committed version.
+
+        ``with_version=True`` returns ``(result, version)`` read
+        atomically under the session's record lock.
+        """
+        return self.sessions.result(session_id, **kwargs)
 
     def session_info(self, session_id):
         """Version/size/work summary of one live session."""

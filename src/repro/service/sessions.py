@@ -51,6 +51,14 @@ __all__ = ["SessionInfo", "SessionManager"]
 
 _PROBLEMS = ("mis", "matching")
 
+#: Registry placeholder: the id is claimed by an in-flight create/restore
+#: whose initial worker call has not committed yet.  Holding the slot
+#: under the registry lock closes the check-then-commit race where two
+#: concurrent create() calls with the same explicit id both pass the
+#: duplicate check and the later commit silently overwrites the earlier
+#: session.
+_RESERVED = object()
+
 
 def _normalize_batch(edges: Sequence[Any], label: str) -> List[Tuple[int, int]]:
     """Coerce one mutation batch into ``[(int, int), ...]``."""
@@ -103,6 +111,11 @@ class _SessionRecord:
     size: int
     guards: Optional[str]
     dynamic: Dict[str, Any]
+    #: Opaque timeline token, minted fresh on every create/restore and
+    #: shipped with mutations so the worker-side warm-maintainer cache
+    #: (:mod:`repro.dynamic.jobs`) can never serve a maintainer from an
+    #: abandoned timeline (closed-and-recreated id, older snapshot).
+    epoch: str = ""
     lock: threading.Lock = field(default_factory=threading.Lock)
     # (version, result) — queries rebuild from committed state lazily.
     _result_cache: Optional[Tuple[int, Any]] = None
@@ -125,7 +138,9 @@ class SessionManager:
     def __init__(self, service, store=None) -> None:
         self._service = service
         self._store = store
-        self._sessions: Dict[str, _SessionRecord] = {}
+        # id → _SessionRecord, or the _RESERVED placeholder while an
+        # initial create/restore worker call is in flight.
+        self._sessions: Dict[str, Any] = {}
         self._lock = threading.Lock()
         self._counter = itertools.count()
 
@@ -134,7 +149,7 @@ class SessionManager:
     def _record(self, session_id: str) -> _SessionRecord:
         with self._lock:
             record = self._sessions.get(session_id)
-        if record is None:
+        if not isinstance(record, _SessionRecord):  # absent or _RESERVED
             raise UnknownSessionError(
                 f"no live session {session_id!r}"
                 + (" (restore_session can revive a persisted snapshot)"
@@ -189,11 +204,35 @@ class SessionManager:
             size=summary["size"],
             guards=guards,
             dynamic=summary["dynamic"],
+            # A commit here is always a timeline boundary (create or
+            # restore), so the epoch is always fresh.
+            epoch=uuid.uuid4().hex,
         )
         with self._lock:
             self._sessions[session_id] = record
         self._persist(record)
         return record
+
+    def _reserve(self, session_id: str, *, verb: str) -> None:
+        """Claim *session_id* in the registry before the worker call."""
+        with self._lock:
+            existing = self._sessions.get(session_id)
+            if isinstance(existing, _SessionRecord):
+                raise InvalidGraphError(
+                    f"session {session_id!r} already exists"
+                    + ("; close it before restoring" if verb == "restore" else "")
+                )
+            if existing is _RESERVED:
+                raise InvalidGraphError(
+                    f"session {session_id!r} is already being created"
+                )
+            self._sessions[session_id] = _RESERVED
+
+    def _release(self, session_id: str) -> None:
+        """Drop a reservation whose worker call failed."""
+        with self._lock:
+            if self._sessions.get(session_id) is _RESERVED:
+                del self._sessions[session_id]
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -229,24 +268,24 @@ class SessionManager:
             )
         if session_id is None:
             session_id = f"s{next(self._counter)}-{uuid.uuid4().hex[:12]}"
-        with self._lock:
-            if session_id in self._sessions:
-                raise InvalidGraphError(
-                    f"session {session_id!r} already exists"
-                )
         if ranks is not None:
             ranks = np.asarray(ranks)
-        summary = self._call(
-            "create_session_state",
-            {
-                "problem": problem,
-                "payload": payload,
-                "ranks": ranks,
-                "seed": seed,
-                "guards": guards,
-            },
-            timeout_s,
-        )
+        self._reserve(session_id, verb="create")
+        try:
+            summary = self._call(
+                "create_session_state",
+                {
+                    "problem": problem,
+                    "payload": payload,
+                    "ranks": ranks,
+                    "seed": seed,
+                    "guards": guards,
+                },
+                timeout_s,
+            )
+        except BaseException:
+            self._release(session_id)
+            raise
         return self._commit(session_id, problem, summary, 0, guards).info()
 
     def mutate(
@@ -273,7 +312,7 @@ class SessionManager:
                     "state": record.state,
                     "insertions": ins,
                     "deletions": dels,
-                    "session_id": session_id,
+                    "epoch": record.epoch,
                     "version": record.version,
                     "guards": record.guards,
                 },
@@ -294,11 +333,15 @@ class SessionManager:
                 m=record.m,
             )
 
-    def result(self, session_id: str):
+    def result(self, session_id: str, *, with_version: bool = False):
         """The full result object for the committed version.
 
         A read-only reconstruction from committed state (deterministic,
-        no worker round-trip); cached per version.
+        no worker round-trip); cached per version.  With
+        ``with_version=True`` returns ``(result, version)`` read under
+        the record lock, so callers that echo the version alongside the
+        payload (the gateway) cannot pair a result with the version of a
+        concurrent later mutation.
         """
         from repro.dynamic.jobs import _maintainer_from_state
 
@@ -306,10 +349,11 @@ class SessionManager:
         with record.lock:
             cached = record._result_cache
             if cached is not None and cached[0] == record.version:
-                return cached[1]
-            result = _maintainer_from_state(record.state).result()
-            record._result_cache = (record.version, result)
-            return result
+                result = cached[1]
+            else:
+                result = _maintainer_from_state(record.state).result()
+                record._result_cache = (record.version, result)
+            return (result, record.version) if with_version else result
 
     def info(self, session_id: str) -> SessionInfo:
         return self._record(session_id).info()
@@ -344,6 +388,11 @@ class SessionManager:
         The snapshot is validated by rebuilding the maintainer inside a
         worker (with the session's guard mode), so a corrupt snapshot
         fails loudly here instead of poisoning later mutations.
+
+        Refuses to replace a *live* session (``InvalidGraphError``):
+        silently swapping the timeline under a concurrent mutation would
+        let that mutation re-persist old-timeline state over the
+        restored snapshot.  Close the session first.
         """
         if snapshot is None:
             if self._store is None:
@@ -367,11 +416,16 @@ class SessionManager:
         if not sid:
             raise UnknownSessionError("snapshot names no session_id")
         guards = snapshot.get("guards")
-        summary = self._call(
-            "restore_session_state",
-            {"state": snapshot["state"], "guards": guards},
-            timeout_s,
-        )
+        self._reserve(sid, verb="restore")
+        try:
+            summary = self._call(
+                "restore_session_state",
+                {"state": snapshot["state"], "guards": guards},
+                timeout_s,
+            )
+        except BaseException:
+            self._release(sid)
+            raise
         return self._commit(
             sid, snapshot["state"].get("problem", snapshot.get("problem")),
             summary, int(snapshot.get("version", 0)), guards,
@@ -380,7 +434,13 @@ class SessionManager:
     def close(self, session_id: str, *, delete_snapshot: bool = False) -> SessionInfo:
         """Drop a session; optionally also its persisted snapshot."""
         with self._lock:
-            record = self._sessions.pop(session_id, None)
+            record = self._sessions.get(session_id)
+            if isinstance(record, _SessionRecord):
+                del self._sessions[session_id]
+            else:
+                # Absent, or a _RESERVED placeholder an in-flight
+                # create/restore still needs — leave the reservation.
+                record = None
         if record is None:
             raise UnknownSessionError(f"no live session {session_id!r}")
         if delete_snapshot and self._store is not None:
@@ -390,6 +450,9 @@ class SessionManager:
     def list(self) -> List[SessionInfo]:
         """Infos for every live session (sorted by id)."""
         with self._lock:
-            records = sorted(self._sessions.values(),
-                             key=lambda r: r.session_id)
+            records = sorted(
+                (r for r in self._sessions.values()
+                 if isinstance(r, _SessionRecord)),
+                key=lambda r: r.session_id,
+            )
         return [r.info() for r in records]

@@ -358,6 +358,26 @@ class TestConfigAndRequestValidation:
         with pytest.raises(ValueError):
             SolveRequest(**kwargs)
 
+    def test_options_default_method_is_not_an_explicit_choice(self):
+        from repro.core.options import SolveOptions
+
+        # A SolveOptions left at its default method expresses no engine
+        # choice: it neither conflicts with an explicit request method
+        # nor pins the request (the service default_method still wins).
+        req = SolveRequest("mis", None, method="rootset-vec",
+                           options=SolveOptions(seed=1))
+        assert req.method == "rootset-vec"
+        assert req.options == {"seed": 1}
+        assert SolveRequest("mis", None,
+                            options=SolveOptions(seed=1)).method is None
+        # An explicit non-default method still lifts and still conflicts.
+        assert SolveRequest(
+            "mis", None, options=SolveOptions(method="luby"),
+        ).method == "luby"
+        with pytest.raises(ValueError):
+            SolveRequest("mis", None, method="prefix",
+                         options=SolveOptions(method="luby"))
+
     def test_chaos_enabled_property(self):
         assert not ServiceConfig().chaos_enabled
         assert ServiceConfig(kill_probability=0.1).chaos_enabled

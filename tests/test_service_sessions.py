@@ -7,6 +7,8 @@ when the session is snapshotted and restored into a fresh service, and
 when it is driven over the HTTP front door.  This suite pins each leg.
 """
 
+import copy
+
 import numpy as np
 import pytest
 
@@ -131,6 +133,73 @@ class TestServiceLifecycle:
             assert stats["version"] == 2
         finally:
             other.shutdown()
+
+
+class TestTimelineIsolation:
+    def test_worker_cache_never_serves_an_abandoned_timeline(self, graph, pi):
+        """A maintainer cached at (epoch, version) on one timeline must
+        not be popped by a same-version mutation on a diverged timeline
+        (closed-and-recreated id, or restore from an older snapshot)."""
+        from repro.dynamic import jobs
+
+        jobs._CACHE.clear()
+        pool = sorted(_live(graph))
+        base = jobs.create_session_state("mis", graph, pi)
+        # Timeline A: v0 -> v1 deleting pool[0]; leaves a warm
+        # maintainer cached for version 1 of epoch "a".
+        jobs.mutate_session_state(
+            copy.deepcopy(base["state"]), deletions=[pool[0]],
+            epoch="a", version=0,
+        )
+        assert ("a", 1) in jobs._CACHE
+        # Timeline B diverged at v1 on *another worker* (no cache write
+        # here): its committed v1 state deletes pool[1] instead.
+        b1 = jobs.mutate_session_state(
+            copy.deepcopy(base["state"]), deletions=[pool[1]], version=0,
+        )
+        # B's next mutation ships version 1 under its own epoch — it
+        # must rebuild from the shipped committed state, never pop
+        # timeline A's warm maintainer for the same version.
+        out = jobs.mutate_session_state(
+            copy.deepcopy(b1["state"]), deletions=[pool[2]],
+            epoch="b", version=1,
+        )
+        live = _live(graph) - {pool[1], pool[2]}
+        ref = maximal_independent_set(
+            _rebuild(graph.num_vertices, live), pi, method="rootset-vec",
+        )
+        got = IncrementalMIS.from_state(out["state"]).result()
+        assert np.array_equal(got.status, ref.status)
+        jobs._CACHE.clear()
+
+    def test_commit_mints_a_fresh_epoch_per_timeline(self, svc, graph, pi):
+        svc.create_session("mis", graph, pi, session_id="reborn")
+        first = svc.sessions._sessions["reborn"].epoch
+        snap = svc.session_snapshot("reborn")
+        svc.close_session("reborn")
+        svc.restore_session(snap)
+        second = svc.sessions._sessions["reborn"].epoch
+        assert first and second and first != second
+        svc.close_session("reborn")
+
+    def test_restore_refuses_live_session(self, svc, graph, pi):
+        svc.create_session("mis", graph, pi, session_id="livewire")
+        snap = svc.session_snapshot("livewire")
+        with pytest.raises(InvalidGraphError, match="close it before restoring"):
+            svc.restore_session(snap)
+        svc.close_session("livewire")
+        restored = svc.restore_session(snap)
+        assert restored.session_id == "livewire"
+        svc.close_session("livewire")
+
+    def test_result_with_version_pairs_atomically(self, svc, graph, pi):
+        info = svc.create_session("mis", graph, pi)
+        result, version = svc.session_result(info.session_id, with_version=True)
+        assert version == 0 and result.status is not None
+        svc.mutate_session(info.session_id, [], [sorted(_live(graph))[0]])
+        result, version = svc.session_result(info.session_id, with_version=True)
+        assert version == 1
+        svc.close_session(info.session_id)
 
 
 class TestCrashReplay:
@@ -271,3 +340,9 @@ class TestHTTPSessions:
             {"problem": "mis", "graph": "g", "options": {"bogus": 1}},
         )
         assert status == 400 and "bogus" in err["message"]
+        # A non-dict options value is a 400, not an AttributeError 500.
+        status, _, err = request_json(
+            addr, "POST", "/v1/sessions",
+            {"problem": "mis", "graph": "g", "options": [1, 2]},
+        )
+        assert status == 400 and err["error"] == "BadRequestError"
