@@ -21,6 +21,17 @@ Afterwards the three gateway survival properties are checked:
    after shutdown, and ``/v1/health`` is ``ok`` again once the storm
    stops.
 
+After the storm an **exactly-once session exercise** runs (disable
+with ``--sessions 0``): MIS and matching sessions stream mutation
+batches over HTTP under ``X-Repro-Idempotency-Key`` headers while a
+seeded fraction (``--ambiguous``) of outcomes is made ambiguous —
+response lost after commit, the whole stack torn down and restored
+from persisted snapshots, or killed before the request landed.  Every
+ambiguous mutation is retried with the same key and must be applied
+exactly once (N/N in the report), with the final session answers
+bit-identical to a from-scratch ``rootset-vec`` solve of the shadow
+graph and zero ``.corrupt`` quarantine files left behind.
+
 The report is written as Markdown (default
 ``results/stress_gateway.md``) so a run's evidence can be committed.
 
@@ -28,6 +39,7 @@ Usage:
     python scripts/stress_gateway.py                 # full storm
     python scripts/stress_gateway.py --smoke         # tier-1 sized
     python scripts/stress_gateway.py --requests 300 --kill 0.3
+    python scripts/stress_gateway.py --sessions 20 --ambiguous 0.5
 """
 
 from __future__ import annotations
@@ -47,7 +59,7 @@ from repro.graphs.generators import (
     rmat_graph,
     uniform_random_graph,
 )
-from repro.resilience import ChaosScenario, reap_orphans
+from repro.resilience import ChaosScenario, reap_orphans, run_scenario
 from repro.service.http import GatewayConfig, HTTPGateway, request_json
 
 
@@ -227,8 +239,69 @@ def run_storm(args):
     }
 
 
-def render_report(outcome, args) -> str:
+def run_sessions(args):
+    """Exactly-once session exercise: ambiguous outcomes, same-key retries.
+
+    Delegates to the ``ambiguous_retry`` chaos runner so the script and
+    the soak exercise the identical code path; the scenario here is
+    CLI-parameterized (batch count, ambiguity probability, seed).
+    """
+    scenario = ChaosScenario(
+        name="gateway-exactly-once",
+        description="CLI-configured ambiguous-outcome session mutations",
+        requests=args.sessions,
+        kill_probability=args.ambiguous,
+        max_retries=args.max_retries,
+        ambiguous_retry=True,
+        seed=args.seed,
+    )
+    return run_scenario(scenario)
+
+
+def render_sessions(session_outcome, args):
+    """Markdown section for the exactly-once session exercise."""
+    if session_outcome is None:
+        return True, []
+    retry_note = next(
+        (n for n in session_outcome.notes if "retried exactly once" in n),
+        "no ambiguous mutations were drawn (raise --ambiguous)",
+    )
+    identity_notes = [
+        n for n in session_outcome.notes if "bit-identical" in n
+    ]
+    counters = session_outcome.stats.get("sessions", {})
+    lines = [
+        "",
+        "## Exactly-once sessions",
+        "",
+        f"- verdict: **{'SURVIVED' if session_outcome.ok else 'FAILED'}** "
+        f"— {session_outcome.completed} checks passed in "
+        f"{session_outcome.duration_s:.1f}s, "
+        f"{len(session_outcome.mismatches)} exactly-once violations, "
+        f"{len(session_outcome.untyped_failures)} untyped errors",
+        f"- exercise: {args.sessions} mutation batches per session "
+        f"(MIS + matching) over HTTP, each under an "
+        f"X-Repro-Idempotency-Key; ambiguity probability "
+        f"{args.ambiguous} (response lost after commit / stack killed "
+        f"and restored from snapshots / killed before commit)",
+        f"- retries: {retry_note}",
+        f"- session counters at shutdown: "
+        f"{counters or 'metrics scrape unavailable'}",
+    ]
+    lines += [f"- {note}" for note in identity_notes]
+    for title, items in (
+        ("exactly-once violations", session_outcome.mismatches),
+        ("untyped errors", session_outcome.untyped_failures),
+    ):
+        if items:
+            lines += [f"- {title}:"]
+            lines += [f"  - {item}" for item in items]
+    return session_outcome.ok, lines
+
+
+def render_report(outcome, args, session_outcome=None) -> str:
     scenario = outcome["scenario"]
+    sessions_ok, session_lines = render_sessions(session_outcome, args)
     metrics_gw = outcome["metrics"]["gateway"]
     solve_route = outcome["metrics"]["endpoints"].get("POST /v1/solve", {})
     health_counts = {}
@@ -241,6 +314,7 @@ def render_report(outcome, args) -> str:
         and metrics_gw["untyped_errors"] == 0
         and not outcome["leaked"]
         and outcome["final_health"][0] in (200, 207)
+        and sessions_ok
     )
     lines = [
         "# HTTP gateway stress report",
@@ -258,7 +332,8 @@ def render_report(outcome, args) -> str:
         f"python scripts/stress_gateway.py --requests {args.requests} "
         f"--workers {args.workers} --kill {args.kill} --fault {args.fault} "
         f"--seed {args.seed} --concurrency {args.concurrency} "
-        f"--max-retries {args.max_retries}",
+        f"--max-retries {args.max_retries} --sessions {args.sessions} "
+        f"--ambiguous {args.ambiguous}",
         "```",
         "",
         "## Storm",
@@ -296,6 +371,7 @@ def render_report(outcome, args) -> str:
         f"- final health (post-storm, pre-shutdown): "
         f"HTTP {outcome['final_health'][0]} ({outcome['final_health'][1]})",
     ]
+    lines += session_lines
     for title, items in (("Mismatches", outcome["mismatches"]),
                          ("Untyped errors", outcome["untyped"])):
         if items:
@@ -323,6 +399,12 @@ def main(argv=None) -> int:
                         help="give every Nth request a deadline")
     parser.add_argument("--recovery-window-s", type=float, default=25.0,
                         help="post-storm window for health to return to ok")
+    parser.add_argument("--sessions", type=int, default=12,
+                        help="mutation batches per session in the "
+                        "exactly-once exercise (0 disables it)")
+    parser.add_argument("--ambiguous", type=float, default=0.35,
+                        help="per-mutation probability the outcome is "
+                        "made ambiguous and retried with the same key")
     parser.add_argument("--out", default="results/stress_gateway.md",
                         help="survival report path ('-' = stdout only)")
     parser.add_argument("--smoke", action="store_true",
@@ -332,9 +414,11 @@ def main(argv=None) -> int:
         args.requests = min(args.requests, 40)
         args.workers = min(args.workers, 2)
         args.concurrency = min(args.concurrency, 8)
+        args.sessions = min(args.sessions, 6)
 
     outcome = run_storm(args)
-    report = render_report(outcome, args)
+    session_outcome = run_sessions(args) if args.sessions > 0 else None
+    report = render_report(outcome, args, session_outcome)
     print(report)
     if args.out != "-":
         path = Path(args.out)
@@ -346,6 +430,7 @@ def main(argv=None) -> int:
         and not outcome["mismatches"]
         and not outcome["untyped"]
         and not outcome["leaked"]
+        and (session_outcome is None or session_outcome.ok)
     )
     return 0 if ok else 1
 

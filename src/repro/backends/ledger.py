@@ -18,6 +18,14 @@ unlink, so a scan of the directory is always a consistent inventory.
 The reaper cross-checks each owner record against ``os.kill(pid, 0)``
 liveness and unlinks segments whose owners are gone.
 
+Records embed a SHA-256 content checksum so a torn or bit-flipped file
+is *detected*, not misread: :meth:`SegmentLedger.entries` verifies each
+record and renames failures to a ``.corrupt`` quarantine instead of
+silently skipping them, so the reaper and ``repro recover`` can report
+how much of the inventory was lost.  Records written by older versions
+(no ``sha256`` field) are still accepted — the default ledger directory
+outlives upgrades, and quarantining history en masse would be wrong.
+
 The ledger is best-effort by design: a full disk or unwritable tempdir
 must never break the hot path, so every operation swallows ``OSError``.
 Set ``REPRO_LEDGER_DIR`` to relocate the ledger (tests isolate through
@@ -26,6 +34,7 @@ this) or ``REPRO_LEDGER=0`` to disable recording entirely.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
@@ -43,6 +52,13 @@ __all__ = [
 
 _ENV_DIR = "REPRO_LEDGER_DIR"
 _ENV_TOGGLE = "REPRO_LEDGER"
+
+
+def _record_checksum(payload: Dict[str, Any]) -> str:
+    """SHA-256 of a record's canonical JSON, excluding the digest itself."""
+    body = {k: v for k, v in payload.items() if k != "sha256"}
+    canon = json.dumps(body, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()
 
 
 def ledger_enabled() -> bool:
@@ -104,12 +120,15 @@ class SegmentLedger:
 
     def __init__(self, root: Optional[os.PathLike] = None) -> None:
         self.root = Path(root) if root is not None else _default_root()
+        #: Records quarantined (renamed ``.corrupt``) by this instance's scans.
+        self.quarantined = 0
 
     # -- recording -----------------------------------------------------------
 
     def _write(self, path: Path, payload: Dict[str, Any]) -> None:
         if not ledger_enabled():
             return
+        payload = dict(payload, sha256=_record_checksum(payload))
         try:
             self.root.mkdir(parents=True, exist_ok=True)
             tmp = path.with_suffix(f".tmp{os.getpid()}")
@@ -167,8 +186,22 @@ class SegmentLedger:
 
     # -- scanning ------------------------------------------------------------
 
+    def _quarantine(self, path: Path) -> None:
+        """Rename an unreadable/corrupt record out of the scanned set."""
+        try:
+            os.replace(path, Path(f"{path}.corrupt"))
+            self.quarantined += 1
+        except OSError:  # pragma: no cover - raced / readonly ledger
+            pass
+
     def entries(self) -> List[LedgerEntry]:
-        """Every readable record, owners first (malformed files skipped)."""
+        """Every verified record, owners first.
+
+        Files that fail to parse or fail their embedded SHA-256 are
+        quarantined (renamed ``.corrupt``) so the next scan does not
+        re-read the same poison; records from older versions without a
+        checksum field are accepted as legacy.
+        """
         out: List[LedgerEntry] = []
         try:
             paths = sorted(self.root.glob("*.json"))
@@ -177,6 +210,11 @@ class SegmentLedger:
         for path in paths:
             try:
                 raw = json.loads(path.read_text())
+                if not isinstance(raw, dict):
+                    raise ValueError("record is not an object")
+                digest = raw.get("sha256")
+                if digest is not None and digest != _record_checksum(raw):
+                    raise ValueError("checksum mismatch")
                 out.append(LedgerEntry(
                     name=str(raw["name"]),
                     pid=int(raw["pid"]),
@@ -186,10 +224,30 @@ class SegmentLedger:
                     fingerprint=raw.get("fingerprint"),
                     nbytes=raw.get("nbytes"),
                 ))
-            except (OSError, ValueError, KeyError, TypeError):
-                continue  # half-written or foreign file; the reaper ignores it
+            except OSError:
+                continue  # unlinked mid-scan; nothing on disk to quarantine
+            except (ValueError, KeyError, TypeError):
+                self._quarantine(path)
         out.sort(key=lambda e: (e.record != "owner", e.name, e.pid))
         return out
+
+    def corrupt_files(self) -> List[str]:
+        """Quarantined record filenames currently in the ledger (sorted)."""
+        try:
+            return sorted(p.name for p in self.root.glob("*.corrupt"))
+        except OSError:  # pragma: no cover - root vanished mid-scan
+            return []
+
+    def sweep_corrupt(self) -> List[str]:
+        """Delete quarantined records; returns the names removed."""
+        removed = []
+        for name in self.corrupt_files():
+            try:
+                (self.root / name).unlink()
+                removed.append(name)
+            except OSError:  # pragma: no cover - raced another sweep
+                pass
+        return removed
 
     def owners(self) -> List[LedgerEntry]:
         """Just the owner records (what the reaper decides over)."""

@@ -45,6 +45,10 @@ Installed as the ``repro`` console script (also usable as
 ``reap``
     Sweep the segment ledger and unlink shared-memory segments orphaned
     by killed owner processes (``--dry-run`` to only report).
+``recover``
+    Inspect quarantined durability files — session snapshots and ledger
+    records renamed ``.corrupt`` after failing their embedded checksum —
+    and optionally purge them.
 
 Every command takes ``--seed`` so runs are reproducible end to end.
 
@@ -56,8 +60,11 @@ configuration (:class:`~repro.errors.InvalidGraphError`,
 (:class:`~repro.errors.BudgetExceededError`); 4 invariant violation or
 corrupted output (:class:`~repro.errors.InvariantViolationError`);
 5 service-operational failure (:class:`~repro.errors.ServiceError`:
-shed, deadline, worker crash, open breaker); 6 malformed graph file
-(:class:`~repro.errors.GraphFormatError`).
+shed, deadline, worker crash, open breaker, corrupt snapshot); 6
+malformed graph file (:class:`~repro.errors.GraphFormatError`); 7
+version precondition failed
+(:class:`~repro.errors.VersionConflictError`: a session mutate's
+``--cas`` / ``if_version`` no longer matches the committed version).
 """
 
 from __future__ import annotations
@@ -277,6 +284,12 @@ def build_parser() -> argparse.ArgumentParser:
     sr.add_argument("--workers", type=int, default=2)
     sr.add_argument("--snapshot-out", default=None, metavar="PATH",
                     help="write the final session snapshot as JSON")
+    sr.add_argument("--mutation-id-prefix", default=None, metavar="PREFIX",
+                    help="send each batch with idempotency key "
+                    "PREFIX-<batch index>, making the run retry-safe")
+    sr.add_argument("--cas", action="store_true",
+                    help="send each batch with if_version set to the "
+                    "expected committed version (exit 7 on conflict)")
     sr.add_argument("--verify", action="store_true",
                     help="check the final answer bit-identical to a "
                     "from-scratch sequential greedy solve")
@@ -301,8 +314,22 @@ def build_parser() -> argparse.ArgumentParser:
     r.add_argument("--min-age-s", type=float, default=0.0,
                    help="only consider segments ledgered at least this "
                    "many seconds ago")
+    r.add_argument("--session-dir", default=None, metavar="DIR",
+                   help="also sweep stray snapshot temp files and count "
+                   "quarantined files in this session directory")
     r.add_argument("--json", action="store_true",
                    help="print the reap report as JSON")
+
+    rc = sub.add_parser(
+        "recover",
+        help="inspect quarantined (.corrupt) snapshots and ledger records",
+    )
+    rc.add_argument("--session-dir", default=None, metavar="DIR",
+                    help="session snapshot directory to inspect")
+    rc.add_argument("--purge", action="store_true",
+                    help="delete the quarantined files after listing them")
+    rc.add_argument("--json", action="store_true",
+                    help="print the recovery report as JSON")
     return parser
 
 
@@ -866,10 +893,17 @@ def _cmd_session_run(args) -> int:
         info = svc.create_session(problem, payload, ranks, guards=args.guards)
         print(f"session {info.session_id}: {problem} n={info.n} m={info.m} "
               f"size={info.size}")
+        version = info.version
         for i, batch in enumerate(batches):
             stats = svc.mutate_session(
-                info.session_id, batch["insertions"], batch["deletions"]
+                info.session_id, batch["insertions"], batch["deletions"],
+                mutation_id=(
+                    None if args.mutation_id_prefix is None
+                    else f"{args.mutation_id_prefix}-{i}"
+                ),
+                if_version=version if args.cas else None,
             )
+            version = stats["version"]
             rows.append({"batch": i, **{k: stats.get(k) for k in
                          ("affected", "flipped", "scanned_arcs", "work",
                           "scratch_work", "work_ratio")},
@@ -985,9 +1019,62 @@ def _cmd_reap(args) -> int:
 
     from repro.resilience import reap_orphans
 
-    report = reap_orphans(min_age_s=args.min_age_s, dry_run=args.dry_run)
+    report = reap_orphans(
+        min_age_s=args.min_age_s,
+        dry_run=args.dry_run,
+        snapshot_dir=args.session_dir,
+    )
     print(json.dumps(report.as_dict(), indent=2) if args.json
           else report.format())
+    return 0
+
+
+def _cmd_recover(args) -> int:
+    """List (and optionally purge) quarantined durability files.
+
+    Covers the two checksummed stores: session snapshots under
+    ``--session-dir`` and the shared segment ledger.  Quarantined files
+    were renamed ``.corrupt`` when a load failed its embedded checksum;
+    they are held for exactly this inspection until purged here (or by
+    a reap sweep run with purging enabled).
+    """
+    import json
+
+    from repro.backends.ledger import default_ledger
+
+    ledger = default_ledger()
+    snapshot_corrupt = []
+    snapshot_dir = args.session_dir
+    if snapshot_dir is not None:
+        from repro.dynamic.store import SnapshotStore
+
+        store = SnapshotStore(snapshot_dir)
+        snapshot_corrupt = store.corrupt_files()
+    ledger_corrupt = ledger.corrupt_files()
+    purged = []
+    if args.purge:
+        if snapshot_dir is not None:
+            purged.extend(store.sweep_corrupt())
+        purged.extend(ledger.sweep_corrupt())
+    if args.json:
+        print(json.dumps({
+            "session_dir": snapshot_dir,
+            "quarantined_snapshots": snapshot_corrupt,
+            "quarantined_ledger_records": ledger_corrupt,
+            "purged": purged,
+        }, indent=2))
+        return 0
+    total = len(snapshot_corrupt) + len(ledger_corrupt)
+    print(f"quarantined: {total} file(s) "
+          f"({len(snapshot_corrupt)} snapshot, {len(ledger_corrupt)} ledger)")
+    for name in snapshot_corrupt:
+        print(f"  snapshot {name}")
+    for name in ledger_corrupt:
+        print(f"  ledger   {name}")
+    if args.purge:
+        print(f"purged:      {len(purged)} file(s)")
+    elif total:
+        print("rerun with --purge to delete them")
     return 0
 
 
@@ -1005,6 +1092,7 @@ _COMMANDS = {
     "session": _cmd_session,
     "health": _cmd_health,
     "reap": _cmd_reap,
+    "recover": _cmd_recover,
 }
 
 
@@ -1014,7 +1102,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     Library failures map onto a stable exit-code taxonomy (see the
     module docstring and docs/api.md): 2 invalid input/config, 3 budget,
     4 invariant violation, 5 service-operational failure, 6 malformed
-    graph file.
+    graph file, 7 version precondition failed.
     """
     from repro.errors import (
         BudgetExceededError,
@@ -1024,6 +1112,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         InvalidOrderingError,
         InvariantViolationError,
         ServiceError,
+        VersionConflictError,
     )
 
     args = build_parser().parse_args(argv)
@@ -1044,6 +1133,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     except InvariantViolationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 4
+    except VersionConflictError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 7
     except ServiceError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 5

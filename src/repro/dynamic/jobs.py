@@ -9,6 +9,16 @@ reply, so a worker killed mid-mutation is simply retried with the same
 committed input and, by determinism of the maintainers, reproduces the
 identical result.
 
+Note the scope of that guarantee: it covers *service-side* retries of a
+worker that died before replying.  A **client** retry after an
+ambiguous outcome — the reply was lost after the parent committed — is
+a different transaction and would re-apply the batch; deduplicating
+those is the parent's job, via the ``mutation_id`` idempotency window
+in :class:`~repro.service.sessions.SessionManager`.  Nothing here needs
+to (or could) see the idempotency key: by the time a duplicate reaches
+the dedup check it is answered from the recorded outcome and never
+ships to a worker at all.
+
 A small per-process cache keyed by ``(epoch, version)`` lets a worker
 that already holds the maintainer for the committed version skip the
 state rebuild; cache misses rebuild from the shipped state, so the

@@ -1,4 +1,4 @@
-"""Durable session snapshots: atomic JSON files, one per session.
+"""Durable session snapshots: atomic, checksummed JSON files, one per session.
 
 The service keeps the authoritative session state in memory and commits
 a new state after every successful mutation; this store persists those
@@ -6,32 +6,81 @@ states so sessions survive full process restarts, not just worker
 respawns.  Writes follow the same temp-file + ``os.replace`` discipline
 as the bench checkpoint machinery: a crash mid-write leaves the previous
 snapshot intact, never a torn file.
+
+Two durability hazards remain even with atomic replacement, and both
+are handled here rather than left to callers:
+
+* **Stray temp files** — a process killed between ``mkstemp`` and
+  ``os.replace`` leaks its temp file.  The store sweeps ``*.tmp``
+  debris on construction (:attr:`SnapshotStore.tmp_swept`), and the
+  resilience reaper reports the same sweep on its timer.
+* **Corruption** — every snapshot is wrapped in an envelope carrying a
+  SHA-256 of its canonical JSON encoding.  A load that fails to parse
+  or fails the checksum renames the file to a ``.corrupt`` quarantine
+  and raises the typed
+  :class:`~repro.errors.SnapshotCorruptError` — never a raw
+  ``json.JSONDecodeError`` — so the exit-code/status taxonomy holds,
+  retries cannot re-read the poison, and ``repro recover`` can inspect
+  what was quarantined.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import tempfile
 from typing import Dict, List, Optional, Union
 
-from repro.errors import ReproError
+from repro.errors import ReproError, SnapshotCorruptError
 
-__all__ = ["SnapshotStore"]
+__all__ = ["SnapshotStore", "snapshot_checksum"]
 
 PathLike = Union[str, os.PathLike]
+
+
+def snapshot_checksum(snapshot: Dict[str, object]) -> str:
+    """SHA-256 over the canonical JSON encoding of *snapshot*.
+
+    Canonical means sorted keys and compact separators — exactly the
+    bytes :meth:`SnapshotStore.save` writes — so the digest is a pure
+    function of content, not of dict ordering.
+    """
+    body = json.dumps(snapshot, separators=(",", ":"), sort_keys=True)
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
 
 
 class SnapshotStore:
     """Directory of ``<session_id>.json`` snapshot files.
 
     Session ids are restricted to ``[A-Za-z0-9_.-]`` so an id can never
-    escape the store directory.
+    escape the store directory.  On disk each file is an envelope
+    ``{"format": 1, "sha256": …, "snapshot": …}``; :meth:`load` verifies
+    the digest before handing the payload back.
     """
 
     def __init__(self, root: PathLike) -> None:
         self.root = str(root)
         os.makedirs(self.root, exist_ok=True)
+        #: ``*.tmp`` files left by writers killed mid-save, removed now.
+        self.tmp_swept = self._sweep_tmp()
+        #: Snapshots this instance quarantined (renamed ``.corrupt``).
+        self.quarantined = 0
+
+    def _sweep_tmp(self) -> int:
+        swept = 0
+        try:
+            names = os.listdir(self.root)
+        except OSError:  # pragma: no cover - root vanished
+            return 0
+        for name in names:
+            if name.endswith(".tmp"):
+                try:
+                    os.unlink(os.path.join(self.root, name))
+                    swept += 1
+                except OSError:  # pragma: no cover - raced another sweep
+                    pass
+        return swept
 
     def _path(self, session_id: str) -> str:
         if not session_id or not all(
@@ -43,10 +92,15 @@ class SnapshotStore:
     def save(self, session_id: str, snapshot: Dict[str, object]) -> str:
         """Atomically persist *snapshot*; returns the file path."""
         path = self._path(session_id)
+        envelope = {
+            "format": 1,
+            "sha256": snapshot_checksum(snapshot),
+            "snapshot": snapshot,
+        }
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(snapshot, fh, separators=(",", ":"), sort_keys=True)
+                json.dump(envelope, fh, separators=(",", ":"), sort_keys=True)
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, path)
@@ -56,16 +110,55 @@ class SnapshotStore:
             raise
         return path
 
+    def _quarantine(self, path: str, why: str) -> "SnapshotCorruptError":
+        """Rename *path* out of the way and build the typed error."""
+        target = f"{path}.corrupt"
+        try:
+            os.replace(path, target)
+            self.quarantined += 1
+            where = f"; quarantined as {os.path.basename(target)!r}"
+        except OSError:  # pragma: no cover - raced / read-only dir
+            where = "; quarantine rename failed"
+        return SnapshotCorruptError(
+            f"corrupt session snapshot {path!r}: {why}{where}"
+        )
+
     def load(self, session_id: str) -> Optional[Dict[str, object]]:
-        """Read a snapshot back, or ``None`` if absent."""
+        """Read a snapshot back, or ``None`` if absent.
+
+        A file that fails to parse or fails its embedded checksum is
+        renamed to ``<file>.corrupt`` and raises
+        :class:`~repro.errors.SnapshotCorruptError`.
+        """
         path = self._path(session_id)
         try:
             with open(path, "r", encoding="utf-8") as fh:
-                return json.load(fh)
+                raw = fh.read()
         except FileNotFoundError:
             return None
-        except (OSError, json.JSONDecodeError) as exc:
-            raise ReproError(f"corrupt session snapshot {path!r}: {exc}") from exc
+        except OSError as exc:  # pragma: no cover - unreadable file
+            raise SnapshotCorruptError(
+                f"unreadable session snapshot {path!r}: {exc}"
+            ) from exc
+        try:
+            envelope = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise self._quarantine(path, f"not valid JSON ({exc})") from exc
+        if (
+            not isinstance(envelope, dict)
+            or not isinstance(envelope.get("snapshot"), dict)
+            or not isinstance(envelope.get("sha256"), str)
+        ):
+            raise self._quarantine(path, "missing checksum envelope")
+        snapshot = envelope["snapshot"]
+        digest = snapshot_checksum(snapshot)
+        if digest != envelope["sha256"]:
+            raise self._quarantine(
+                path,
+                f"checksum mismatch (recorded {envelope['sha256'][:12]}…, "
+                f"recomputed {digest[:12]}…)",
+            )
+        return snapshot
 
     def delete(self, session_id: str) -> bool:
         """Remove a snapshot; ``True`` if one existed."""
@@ -82,3 +175,28 @@ class SnapshotStore:
             if name.endswith(".json"):
                 out.append(name[: -len(".json")])
         return sorted(out)
+
+    def corrupt_files(self) -> List[str]:
+        """Quarantined snapshot filenames in the store (sorted)."""
+        try:
+            names = os.listdir(self.root)
+        except OSError:  # pragma: no cover - root vanished
+            return []
+        return sorted(n for n in names if n.endswith(".corrupt"))
+
+    def sweep_corrupt(self) -> List[str]:
+        """Delete quarantined files; returns the names removed.
+
+        Quarantine is held for inspection by default — the reaper only
+        *reports* counts unless its sweep runs with purging enabled.
+        ``repro recover`` lists the files and performs this sweep with
+        ``--purge``.
+        """
+        removed = []
+        for name in self.corrupt_files():
+            try:
+                os.unlink(os.path.join(self.root, name))
+                removed.append(name)
+            except OSError:  # pragma: no cover - raced another sweep
+                pass
+        return removed

@@ -17,12 +17,14 @@ __all__ = [
     "VerificationError",
     "InvariantViolationError",
     "BudgetExceededError",
+    "VersionConflictError",
     "ServiceError",
     "QueueFullError",
     "DeadlineExceededError",
     "WorkerCrashError",
     "CircuitOpenError",
     "UnknownSessionError",
+    "SnapshotCorruptError",
 ]
 
 
@@ -87,6 +89,21 @@ class BudgetExceededError(ReproError):
     """
 
 
+class VersionConflictError(ReproError):
+    """A mutation's ``if_version`` precondition no longer holds.
+
+    Raised by the stateful session API when a compare-and-swap mutation
+    names a committed version that has since moved — another client (or
+    a retried duplicate of this one) already advanced the session.  The
+    input is valid and the service is healthy; the *precondition* failed,
+    so this is neither the invalid-input family (exit ``2``) nor the
+    operational :class:`ServiceError` family (exit ``5``).  The HTTP
+    gateway maps it onto ``409`` and the CLI onto exit code ``7``; the
+    right client reaction is to re-read the current version and decide,
+    never to blindly retry.
+    """
+
+
 class ServiceError(ReproError):
     """Base class for failures raised by :mod:`repro.service`.
 
@@ -140,4 +157,19 @@ class UnknownSessionError(ServiceError):
     when a mutate/query/snapshot/close call targets an id that was never
     created, was already closed, or has no snapshot to restore from.  The
     HTTP gateway maps it onto ``404``.
+    """
+
+
+class SnapshotCorruptError(ServiceError):
+    """A durability artifact failed its embedded content checksum.
+
+    Raised by :class:`~repro.dynamic.store.SnapshotStore` (and detected
+    by the segment ledger scan) when a persisted record is torn,
+    truncated, or bit-flipped: the file parses wrong or its payload no
+    longer matches the checksum written alongside it.  The offending
+    file is renamed to a ``.corrupt`` quarantine before this is raised,
+    so a retry never re-reads the same poison and the reaper / ``repro
+    recover`` can inspect what was lost.  An operational failure of the
+    durability layer (HTTP ``503``, CLI exit ``5``) — never a raw
+    ``json.JSONDecodeError`` escaping the taxonomy.
     """

@@ -106,6 +106,14 @@ class ChaosScenario:
     gateway: bool = False
     network_attack: Optional[str] = None
     session_churn: bool = False
+    #: Exactly-once axis: session mutations over HTTP whose outcomes are
+    #: made ambiguous (response discarded, or the whole gateway+service
+    #: stack torn down) in the commit-vs-respond window, then retried
+    #: under the same idempotency key.  ``kill_probability`` is consumed
+    #: by the *runner* as the per-mutation ambiguity probability — the
+    #: service's own worker-kill chaos stays off so every ambiguity is
+    #: injected in the commit window, not before it.
+    ambiguous_retry: bool = False
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -266,6 +274,17 @@ SCENARIOS: Tuple[ChaosScenario, ...] = (
         requests=10, kill_probability=0.3, max_retries=8,
         session_churn=True, seed=1616,
     ),
+    ChaosScenario(
+        "ambiguous-retry",
+        "session mutations over HTTP whose responses are lost — or whose "
+        "whole gateway+service stack is torn down and restored from "
+        "persisted snapshots — in the commit-vs-respond window; every "
+        "retry carries the same idempotency key and must be applied "
+        "exactly once, with the final answers bit-identical to a "
+        "from-scratch rootset-vec solve of the shadow graph",
+        requests=12, kill_probability=0.35, max_retries=8,
+        ambiguous_retry=True, seed=1717,
+    ),
 )
 
 
@@ -407,6 +426,8 @@ def run_scenario(
         outcome = _run_segment_orphan(scenario, seed_offset)
     elif scenario.session_churn:
         outcome = _run_session_churn(scenario, seed_offset)
+    elif scenario.ambiguous_retry:
+        outcome = _run_ambiguous_retry(scenario, seed_offset)
     elif scenario.gateway:
         outcome = _run_gateway(scenario, seed_offset)
     else:
@@ -768,6 +789,228 @@ def _run_session_churn(
         outcome.stats = svc.stats().as_dict()
     finally:
         svc.shutdown(drain=False)
+    return outcome
+
+
+# -- the ambiguous-retry (exactly-once) runner -------------------------------
+
+
+def _run_ambiguous_retry(
+    scenario: ChaosScenario, seed_offset: int
+) -> ScenarioOutcome:
+    """Client retries after ambiguous outcomes must be exactly-once.
+
+    Two sessions (MIS and matching) stream mutation batches over a real
+    HTTP gateway, every batch under an ``X-Repro-Idempotency-Key``.
+    With probability ``scenario.kill_probability`` a mutation's outcome
+    is made *ambiguous* in one of three ways:
+
+    * ``lost_response`` — the commit landed but the response is
+      discarded (a 504 / connection reset after commit);
+    * ``killed_after_commit`` — the whole gateway+service stack is torn
+      down after the commit and rebuilt on the same ``session_dir``,
+      restoring the sessions from their persisted snapshots;
+    * ``killed_before_commit`` — the stack dies before the request was
+      ever sent, so nothing committed.
+
+    In every case the client retries with the *same* key.  The retry
+    must leave the session at exactly one version past the pre-mutation
+    version (a double-apply moves it two), and the final MIS/MM answers
+    must be bit-identical to a from-scratch ``rootset-vec`` solve of
+    the independently tracked shadow graph.  The snapshot directory
+    must also end with zero ``.corrupt`` quarantine files.
+    """
+    import shutil
+    import tempfile
+
+    from repro.dynamic.jobs import _maintainer_from_state
+    from repro.dynamic.store import SnapshotStore
+    from repro.service.http import GatewayConfig, HTTPGateway, request_json
+
+    outcome = ScenarioOutcome(scenario.name, scenario.requests)
+    rng = np.random.default_rng((scenario.seed, seed_offset))
+    graph = uniform_random_graph(180, 520, seed=scenario.seed + seed_offset)
+    n = graph.num_vertices
+    pi = np.random.default_rng(scenario.seed + 1).permutation(n).astype(np.int64)
+    el = graph.edge_list()
+    base_edges = set(zip(el.u.tolist(), el.v.tolist()))
+    session_dir = tempfile.mkdtemp(prefix="repro-ambiguous-")
+
+    def build_stack() -> "HTTPGateway":
+        svc = SolverService(scenario.service_config(
+            kill_probability=0.0,
+            session_dir=session_dir,
+        ))
+        gw = HTTPGateway(svc, GatewayConfig(drain_timeout_s=15.0))
+        gw.start_in_thread()
+        return gw
+
+    gw = build_stack()
+    retried = replayed = fresh_applied = 0
+    try:
+        sessions: Dict[str, Dict[str, Any]] = {}
+        for problem in ("mis", "matching"):
+            info = gw.service.create_session(
+                problem,
+                graph if problem == "mis" else graph.edge_list(),
+                pi if problem == "mis" else None,
+                seed=scenario.seed,
+                guards="full",
+                session_id=f"ambiguous-{problem}",
+            )
+            sessions[problem] = {
+                "id": info.session_id,
+                "edges": set(base_edges),
+                "version": info.version,
+            }
+
+        def mutate_http(sid: str, mid: str, ins, dels):
+            return request_json(
+                gw.address, "POST", f"/v1/sessions/{sid}/mutate",
+                {
+                    "insertions": [list(e) for e in ins],
+                    "deletions": [list(e) for e in dels],
+                },
+                headers={"X-Repro-Idempotency-Key": mid},
+                timeout=120.0,
+            )
+
+        def restart_stack() -> None:
+            nonlocal gw
+            gw.stop_in_thread()
+            gw = build_stack()
+            for rec in sessions.values():
+                gw.service.restore_session(session_id=rec["id"])
+
+        for b in range(scenario.requests):
+            for problem, rec in sessions.items():
+                ins, dels = _session_batch(rng, n, rec["edges"], 6)
+                mid = f"{problem}-b{b}"
+                expected = rec["version"] + 1
+                mode = None
+                if rng.random() < scenario.kill_probability:
+                    sub = rng.random()
+                    mode = (
+                        "lost_response" if sub < 0.4
+                        else "killed_after_commit" if sub < 0.8
+                        else "killed_before_commit"
+                    )
+                try:
+                    body = None
+                    if mode != "killed_before_commit":
+                        status, _, body = mutate_http(
+                            rec["id"], mid, ins, dels
+                        )
+                        if status != 200:
+                            outcome.untyped_failures.append(
+                                f"batch {b} ({problem}): status {status}: "
+                                f"{body}"
+                            )
+                            continue
+                    if mode in ("killed_after_commit", "killed_before_commit"):
+                        restart_stack()
+                    if mode is not None:
+                        # The first outcome is ambiguous by construction;
+                        # retry with the same key until a definite answer.
+                        retried += 1
+                        status, _, body = mutate_http(
+                            rec["id"], mid, ins, dels
+                        )
+                        if status != 200:
+                            outcome.untyped_failures.append(
+                                f"batch {b} ({problem}) retry ({mode}): "
+                                f"status {status}: {body}"
+                            )
+                            continue
+                        if body.get("idempotent_replay"):
+                            replayed += 1
+                        else:
+                            fresh_applied += 1
+                except ReproError as exc:
+                    outcome._count_failure(exc)
+                    continue
+                except Exception as exc:  # noqa: BLE001 — taxonomy boundary
+                    outcome.untyped_failures.append(
+                        f"batch {b} ({problem}, {mode}): "
+                        f"{type(exc).__name__}: {exc}"
+                    )
+                    continue
+                if body.get("version") != expected:
+                    outcome.mismatches.append(
+                        f"batch {b} ({problem}, {mode}): version "
+                        f"{body.get('version')} != expected {expected} — "
+                        f"the mutation was not applied exactly once"
+                    )
+                    continue
+                rec["version"] = expected
+                rec["edges"].difference_update(dels)
+                rec["edges"].update(ins)
+                outcome.completed += 1
+
+        for problem, rec in sessions.items():
+            snap = gw.service.session_snapshot(rec["id"])
+            maintainer = _maintainer_from_state(snap["state"])
+            mutated = maintainer.graph()
+            live = set(
+                zip(mutated.edge_list().u.tolist(),
+                    mutated.edge_list().v.tolist())
+            )
+            if live != rec["edges"]:
+                outcome.mismatches.append(
+                    f"{problem} session edge set diverged from the shadow "
+                    f"({len(live ^ rec['edges'])} differing edges)"
+                )
+                continue
+            result = gw.service.session_result(rec["id"])
+            if problem == "mis":
+                ref = maximal_independent_set(
+                    mutated, pi, method="rootset-vec"
+                )
+            else:
+                ref = maximal_matching(
+                    maintainer.edge_list(), maintainer.current_ranks(),
+                    method="rootset-vec",
+                )
+            if np.array_equal(result.status, ref.status):
+                outcome.completed += 1
+                outcome.notes.append(
+                    f"{problem} session bit-identical to from-scratch "
+                    f"rootset-vec after {snap['version']} committed "
+                    f"versions"
+                )
+            else:
+                outcome.mismatches.append(
+                    f"{problem} session diverged from the from-scratch "
+                    "rootset-vec answer on the shadow graph"
+                )
+
+        corrupt = SnapshotStore(session_dir).corrupt_files()
+        if corrupt:
+            outcome.mismatches.append(
+                f"quarantine leak: {len(corrupt)} .corrupt file(s) left "
+                f"in the session dir: {corrupt}"
+            )
+        outcome.notes.append(
+            f"{retried}/{retried} ambiguous mutation(s) retried exactly "
+            f"once ({replayed} idempotent replays, {fresh_applied} applied "
+            f"fresh on retry)"
+        )
+        status, _, metrics = request_json(
+            gw.address, "GET", "/v1/metrics", timeout=30.0
+        )
+        if status == 200:
+            outcome.stats = {
+                "sessions": metrics.get("sessions", {}),
+                "service": metrics.get("service", {}),
+            }
+            untyped = metrics["gateway"]["untyped_errors"]
+            if untyped:
+                outcome.untyped_failures.append(
+                    f"gateway counted {untyped} untyped error(s)"
+                )
+    finally:
+        gw.stop_in_thread()
+        shutil.rmtree(session_dir, ignore_errors=True)
     return outcome
 
 

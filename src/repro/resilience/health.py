@@ -107,6 +107,10 @@ class HealthReport:
     segments: List[SegmentHealth]
     registered_graphs: int              #: service-registered SharedCSR count
     latency_p95: float
+    #: Durability counters: session lifecycle (live sessions, mutations
+    #: applied, idempotent replays, version conflicts) plus quarantined
+    #: snapshot/ledger files and swept temp debris.
+    durability: Dict[str, Any] = field(default_factory=dict)
     generated_at: float = field(default_factory=time.time)
 
     def as_dict(self) -> Dict[str, Any]:
@@ -128,6 +132,7 @@ class HealthReport:
             "segments": [s.as_dict() for s in self.segments],
             "registered_graphs": self.registered_graphs,
             "latency_p95": self.latency_p95,
+            "durability": dict(self.durability),
             "generated_at": self.generated_at,
         }
 
@@ -178,9 +183,67 @@ class HealthReport:
         )
         for s in orphans:
             lines.append(f"  ORPHAN {s.name} (owner pid {s.pid} dead)")
+        if self.durability:
+            d = self.durability
+            lines.append(
+                f"sessions:        {d.get('live_sessions', 0)} live, "
+                f"{d.get('mutations_applied', 0)} mutations applied, "
+                f"{d.get('idempotent_replays', 0)} idempotent replays, "
+                f"{d.get('version_conflicts', 0)} version conflicts"
+            )
+            quarantined = (
+                d.get("quarantined_snapshots", 0)
+                + d.get("quarantined_ledger_records", 0)
+            )
+            lines.append(
+                f"durability:      {quarantined} quarantined file(s), "
+                f"{d.get('snapshot_tmp_swept', 0)} tmp file(s) swept"
+            )
         if self.latency_p95:
             lines.append(f"latency p95:     {self.latency_p95 * 1e3:.1f} ms")
         return "\n".join(lines)
+
+
+def _durability_counters(service, ledger: Optional[SegmentLedger]) -> Dict[str, Any]:
+    """Session + quarantine counters for the report's durability block.
+
+    Reads ``service._session_manager`` directly rather than the lazy
+    ``sessions`` property so a pure health probe never *creates* the
+    manager as a side effect.
+    """
+    out: Dict[str, Any] = {
+        "live_sessions": 0,
+        "mutations_applied": 0,
+        "idempotent_replays": 0,
+        "version_conflicts": 0,
+        "quarantined_snapshots": 0,
+        "quarantined_ledger_records": 0,
+        "snapshot_tmp_swept": 0,
+    }
+    manager = getattr(service, "_session_manager", None)
+    if manager is not None:
+        out.update(manager.counters())
+        store = getattr(manager, "_store", None)
+        if store is not None:
+            out["quarantined_snapshots"] = len(store.corrupt_files())
+            out["snapshot_tmp_swept"] = store.tmp_swept
+    else:
+        # No manager yet — still scan the configured directory so
+        # corruption left by a previous process is visible immediately.
+        session_dir = getattr(service.config, "session_dir", None)
+        if session_dir is not None:
+            import os
+
+            try:
+                out["quarantined_snapshots"] = sum(
+                    1 for name in os.listdir(session_dir)
+                    if name.endswith(".corrupt")
+                )
+            except OSError:
+                pass
+    scan_ledger = ledger if ledger is not None else SegmentLedger()
+    out["quarantined_ledger_records"] = len(scan_ledger.corrupt_files())
+    return out
 
 
 def _segment_health(ledger: Optional[SegmentLedger]) -> List[SegmentHealth]:
@@ -245,6 +308,7 @@ def build_health_report(
     alive_count = sum(1 for w in workers if w.alive)
     segments = _segment_health(ledger) if include_segments else []
     orphans = [s for s in segments if s.orphaned]
+    durability = _durability_counters(service, ledger)
 
     if not started:
         reasons.append("service is not running")
@@ -277,6 +341,15 @@ def build_health_report(
             reasons.append(
                 f"{len(orphans)} orphaned segment(s) awaiting reap"
             )
+        quarantined = (
+            durability["quarantined_snapshots"]
+            + durability["quarantined_ledger_records"]
+        )
+        if quarantined:
+            reasons.append(
+                f"{quarantined} quarantined durability file(s) "
+                f"(inspect with `repro recover`)"
+            )
         status = "degraded" if reasons else "ok"
 
     return HealthReport(
@@ -297,4 +370,5 @@ def build_health_report(
         segments=segments,
         registered_graphs=registered,
         latency_p95=latency_p95,
+        durability=durability,
     )

@@ -108,6 +108,10 @@ class ReapReport:
     stale: List[str] = field(default_factory=list)     #: records w/o segment
     skipped: List[str] = field(default_factory=list)   #: younger than min age
     attach_swept: int = 0        #: dead-pid attach sidecars removed
+    snapshot_tmp_swept: int = 0  #: stray ``*.tmp`` snapshot files removed
+    quarantined_snapshots: int = 0       #: ``.corrupt`` snapshot files seen
+    quarantined_ledger_records: int = 0  #: ``.corrupt`` ledger files seen
+    quarantine_purged: int = 0   #: quarantined files deleted (purge mode)
     dry_run: bool = False
 
     @property
@@ -123,6 +127,10 @@ class ReapReport:
             "stale": list(self.stale),
             "skipped": list(self.skipped),
             "attach_swept": self.attach_swept,
+            "snapshot_tmp_swept": self.snapshot_tmp_swept,
+            "quarantined_snapshots": self.quarantined_snapshots,
+            "quarantined_ledger_records": self.quarantined_ledger_records,
+            "quarantine_purged": self.quarantine_purged,
             "dry_run": self.dry_run,
         }
 
@@ -142,6 +150,20 @@ class ReapReport:
             lines.append(f"skipped:      {len(self.skipped)} (younger than min age)")
         if self.attach_swept:
             lines.append(f"attach sweeps: {self.attach_swept} dead-pid sidecar(s)")
+        if self.snapshot_tmp_swept:
+            lines.append(
+                f"tmp sweeps:    {self.snapshot_tmp_swept} stray snapshot "
+                f"temp file(s)"
+            )
+        quarantined = self.quarantined_snapshots + self.quarantined_ledger_records
+        if quarantined or self.quarantine_purged:
+            verb = "purged" if self.quarantine_purged else "held"
+            lines.append(
+                f"quarantine:    {quarantined} corrupt file(s) "
+                f"({self.quarantined_snapshots} snapshot, "
+                f"{self.quarantined_ledger_records} ledger), "
+                f"{self.quarantine_purged} {verb}"
+            )
         return "\n".join(lines)
 
 
@@ -172,6 +194,8 @@ def reap_orphans(
     *,
     min_age_s: float = 0.0,
     dry_run: bool = False,
+    snapshot_dir: Optional[str] = None,
+    purge_quarantine: bool = False,
 ) -> ReapReport:
     """One reap sweep over the ledger; returns what was (or would be) done.
 
@@ -180,8 +204,25 @@ def reap_orphans(
     being set up (pid reuse in the window between fork and record is the
     only way a dead-pid young record can be wrong).  ``dry_run=True``
     reports orphans without unlinking anything.
+
+    With *snapshot_dir* the sweep also covers session-snapshot debris:
+    stray ``*.tmp`` files (a writer killed between ``mkstemp`` and
+    ``os.replace``) are removed and counted, and quarantined
+    ``.corrupt`` files — snapshot and ledger — are counted.  Quarantine
+    is *held* for inspection (``repro recover``) unless
+    ``purge_quarantine=True`` explicitly deletes it.
     """
     ledger = ledger or default_ledger()
+    snapshot_tmp_swept = quarantined_snapshots = 0
+    quarantine_purged = 0
+    if snapshot_dir is not None and not dry_run:
+        from repro.dynamic.store import SnapshotStore
+
+        store = SnapshotStore(snapshot_dir)  # construction sweeps *.tmp
+        snapshot_tmp_swept = store.tmp_swept
+        quarantined_snapshots = len(store.corrupt_files())
+        if purge_quarantine:
+            quarantine_purged += len(store.sweep_corrupt())
     entries: List[LedgerEntry] = ledger.entries()
     reaped: List[str] = []
     stale: List[str] = []
@@ -212,6 +253,10 @@ def reap_orphans(
         else:
             stale.append(entry.name)
         ledger.forget(entry.name)
+    # Counted after the scan: entries() itself quarantines corrupt records.
+    quarantined_ledger = len(ledger.corrupt_files())
+    if purge_quarantine and not dry_run:
+        quarantine_purged += len(ledger.sweep_corrupt())
     return ReapReport(
         scanned=scanned,
         live=live,
@@ -219,5 +264,9 @@ def reap_orphans(
         stale=sorted(stale),
         skipped=sorted(skipped),
         attach_swept=attach_swept,
+        snapshot_tmp_swept=snapshot_tmp_swept,
+        quarantined_snapshots=quarantined_snapshots,
+        quarantined_ledger_records=quarantined_ledger,
+        quarantine_purged=quarantine_purged,
         dry_run=dry_run,
     )

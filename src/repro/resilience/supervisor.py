@@ -108,8 +108,14 @@ class Supervisor:
             self.reports.append(report)
         now = self._clock()
         if force_reap or self._reap_due(now):
+            session_dir = (
+                None if self.service is None
+                else getattr(self.service.config, "session_dir", None)
+            )
             try:
-                self.last_reap = reap_orphans(self.ledger)
+                self.last_reap = reap_orphans(
+                    self.ledger, snapshot_dir=session_dir
+                )
             except OSError:  # pragma: no cover - ledger dir vanished
                 pass
             self._last_reap_at = now

@@ -84,6 +84,8 @@ _STATUS_BY_ERROR: Dict[str, int] = {
     "EngineError": 400,
     "InvariantViolationError": 500,
     "UnknownSessionError": 404,
+    "VersionConflictError": 409,
+    "SnapshotCorruptError": 503,
     "BudgetExceededError": 422,
     "QueueFullError": 429,
     "CircuitOpenError": 503,
@@ -992,9 +994,31 @@ class HTTPGateway:
                 "untyped_errors": self._untyped_errors,
                 "graphs": graphs,
             },
+            "sessions": self._session_counters(),
             "service": stats.as_dict(),
         }
         return 200, body, {}
+
+    def _session_counters(self) -> Dict[str, int]:
+        """Session + durability counters for ``/v1/metrics``.
+
+        Reads the service's ``_session_manager`` attribute directly so a
+        metrics scrape never *creates* the manager as a side effect.
+        """
+        counters = {
+            "live_sessions": 0,
+            "mutations_applied": 0,
+            "idempotent_replays": 0,
+            "version_conflicts": 0,
+            "quarantined_snapshots": 0,
+        }
+        manager = getattr(self.service, "_session_manager", None)
+        if manager is not None:
+            counters.update(manager.counters())
+            store = getattr(manager, "_store", None)
+            if store is not None:
+                counters["quarantined_snapshots"] = len(store.corrupt_files())
+        return counters
 
     async def _handle_register(self, request: _Request):
         obj = self._json_body(request)
@@ -1166,26 +1190,30 @@ class HTTPGateway:
     async def _handle_session_mutate(self, request: _Request):
         sid = self._session_id_from(request)
         obj = self._json_body(request)
-        if not isinstance(obj, dict):
-            raise _HTTPError(
-                400, "BadRequestError", "mutation body must be a JSON object"
+        header_key = request.headers.get("x-repro-idempotency-key")
+        try:
+            decoded = wire_schema.decode_mutate(
+                obj, header_mutation_id=header_key
             )
-        unknown = set(obj) - {"insertions", "deletions", "timeout_s"}
-        if unknown:
-            raise _HTTPError(
-                400, "BadRequestError",
-                f"unknown fields: {', '.join(sorted(unknown))}",
-            )
+        except ValueError as exc:
+            raise _HTTPError(400, "BadRequestError", str(exc))
         timeout_s = self._session_timeout(obj, request.headers)
         stats = await self._session_call(
             functools.partial(
                 self.service.mutate_session, sid,
-                obj.get("insertions") or (), obj.get("deletions") or (),
+                decoded["insertions"], decoded["deletions"],
                 timeout_s=timeout_s,
+                mutation_id=decoded["mutation_id"],
+                if_version=decoded["if_version"],
             ),
             timeout_s,
         )
-        return 200, dict(stats, session_id=sid), {}
+        headers = {}
+        if stats.get("idempotent_replay"):
+            # Lets a retrying client (and the chaos harness) distinguish
+            # a replayed recorded outcome from a fresh application.
+            headers["X-Repro-Idempotent-Replay"] = "1"
+        return 200, dict(stats, session_id=sid), headers
 
     async def _handle_session_result(self, request: _Request):
         sid = self._session_id_from(request)

@@ -41,8 +41,10 @@ from repro.graphs.csr import CSRGraph, EdgeList
 from repro.service.config import SolveRequest
 
 __all__ = [
+    "MUTATE_FIELDS",
     "SOLVE_FIELDS",
     "build_inline_graph",
+    "decode_mutate",
     "decode_solve",
     "encode_solve",
     "encode_result",
@@ -52,6 +54,11 @@ __all__ = [
 SOLVE_FIELDS = frozenset({
     "problem", "graph", "ranks", "seed", "method", "guards",
     "budget_steps", "timeout_s", "options",
+})
+
+#: The complete legal field set of one wire session-mutate object.
+MUTATE_FIELDS = frozenset({
+    "insertions", "deletions", "timeout_s", "mutation_id", "if_version",
 })
 
 #: graph_resolver(name, problem) -> (payload, default_ranks)
@@ -157,6 +164,54 @@ def decode_solve(
     except (TypeError, ValueError) as exc:
         raise ValueError(str(exc)) from exc
     return request, timeout_s
+
+
+def decode_mutate(
+    obj: Any,
+    *,
+    header_mutation_id: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Decode one wire session-mutate object into ``mutate()`` keywords.
+
+    Returns a dict with keys ``insertions``, ``deletions``,
+    ``mutation_id``, and ``if_version`` (timeouts are resolved by the
+    transport and are not returned here).  *header_mutation_id* carries
+    the gateway's ``X-Repro-Idempotency-Key`` header; when both the
+    header and the body name a key they must agree, so a retry that
+    garbles one of them cannot silently bypass deduplication.
+
+    Malformed objects raise plain :class:`ValueError`, mapped by the
+    gateway to ``400`` like every other schema error.
+    """
+    if not isinstance(obj, dict):
+        raise ValueError("mutate request must be a JSON object")
+    unknown = set(obj) - MUTATE_FIELDS
+    if unknown:
+        raise ValueError(f"unknown fields: {', '.join(sorted(unknown))}")
+    mutation_id = obj.get("mutation_id")
+    if mutation_id is not None and (
+        not isinstance(mutation_id, str) or not mutation_id
+    ):
+        raise ValueError("mutation_id must be a non-empty string")
+    if header_mutation_id is not None:
+        if mutation_id is not None and mutation_id != header_mutation_id:
+            raise ValueError(
+                "mutation_id in body disagrees with the "
+                "X-Repro-Idempotency-Key header"
+            )
+        mutation_id = header_mutation_id
+    if_version = obj.get("if_version")
+    if if_version is not None:
+        if isinstance(if_version, bool) or not isinstance(if_version, int):
+            raise ValueError("if_version must be an integer")
+        if if_version < 0:
+            raise ValueError("if_version must be >= 0")
+    return {
+        "insertions": obj.get("insertions") or (),
+        "deletions": obj.get("deletions") or (),
+        "mutation_id": mutation_id,
+        "if_version": if_version,
+    }
 
 
 def encode_solve(request: SolveRequest) -> Dict[str, Any]:

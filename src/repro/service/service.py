@@ -244,7 +244,7 @@ class SolverService:
                 from repro.resilience.reaper import reap_orphans
 
                 try:
-                    reap_orphans()
+                    reap_orphans(snapshot_dir=self.config.session_dir)
                 except OSError:  # pragma: no cover - ledger dir unusable
                     pass
             self._pool.start()
@@ -592,7 +592,13 @@ class SolverService:
         return self.sessions.create(problem, payload, ranks, **kwargs)
 
     def mutate_session(self, session_id, insertions=(), deletions=(), **kwargs):
-        """Apply one edge-mutation batch; returns the batch's re-peel stats."""
+        """Apply one edge-mutation batch; returns the batch's re-peel stats.
+
+        Accepts the exactly-once keywords: ``mutation_id`` (idempotent
+        replay of a recorded outcome for duplicates) and ``if_version``
+        (compare-and-swap precondition; raises
+        :class:`~repro.errors.VersionConflictError` on mismatch).
+        """
         return self.sessions.mutate(session_id, insertions, deletions, **kwargs)
 
     def session_result(self, session_id, **kwargs):

@@ -27,6 +27,21 @@ With a :class:`~repro.dynamic.store.SnapshotStore` attached, every
 committed version is also persisted atomically, so sessions additionally
 survive full service restarts via :meth:`SessionManager.restore`.
 
+Worker-crash retries are safe because the *service* retries from the
+same committed input — but a **client** retry after an ambiguous outcome
+(the response was lost after the commit landed) would re-apply the
+batch.  Two per-mutation knobs close that gap:
+
+* ``mutation_id`` — a client-chosen idempotency key.  Each record keeps
+  a bounded, snapshot-persisted window of applied ids
+  (:data:`DEDUP_WINDOW`); a duplicate replays the *recorded outcome*
+  (summary + version) without touching a worker, so retrying until a
+  definite answer arrives is exactly-once.
+* ``if_version`` — a compare-and-swap precondition.  If the committed
+  version has moved, the mutation fails with the typed
+  :class:`~repro.errors.VersionConflictError` (HTTP ``409``), turning
+  lost-update races between concurrent clients into detectable errors.
+
 The front doors are :class:`~repro.service.SolverService`'s delegating
 methods (``create_session`` …), the gateway's ``/v1/sessions`` routes,
 and the ``repro session`` CLI subcommand.
@@ -38,18 +53,30 @@ import copy
 import itertools
 import threading
 import uuid
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.options import SolveOptions, resolve_options
-from repro.errors import InvalidGraphError, UnknownSessionError
+from repro.errors import (
+    InvalidGraphError,
+    UnknownSessionError,
+    VersionConflictError,
+)
 from repro.service.config import SolveRequest
 
-__all__ = ["SessionInfo", "SessionManager"]
+__all__ = ["DEDUP_WINDOW", "SessionInfo", "SessionManager"]
 
 _PROBLEMS = ("mis", "matching")
+
+#: Applied mutation ids remembered per session for idempotent replay.
+#: Bounds both memory and snapshot size; a client retrying one ambiguous
+#: mutation needs a window of exactly 1, so 128 leaves two orders of
+#: magnitude of slack for pipelined writers before an evicted id could
+#: make a very late duplicate re-apply.
+DEDUP_WINDOW = 128
 
 #: Registry placeholder: the id is claimed by an in-flight create/restore
 #: whose initial worker call has not committed yet.  Holding the slot
@@ -116,6 +143,12 @@ class _SessionRecord:
     #: (:mod:`repro.dynamic.jobs`) can never serve a maintainer from an
     #: abandoned timeline (closed-and-recreated id, older snapshot).
     epoch: str = ""
+    #: mutation_id → recorded outcome, oldest first; bounded by
+    #: :data:`DEDUP_WINDOW` and persisted with every snapshot so
+    #: exactly-once survives full restarts, not just worker respawns.
+    applied: "OrderedDict[str, Dict[str, Any]]" = field(
+        default_factory=OrderedDict
+    )
     lock: threading.Lock = field(default_factory=threading.Lock)
     # (version, result) — queries rebuild from committed state lazily.
     _result_cache: Optional[Tuple[int, Any]] = None
@@ -143,6 +176,10 @@ class SessionManager:
         self._sessions: Dict[str, Any] = {}
         self._lock = threading.Lock()
         self._counter = itertools.count()
+        # Lifetime counters surfaced by health() and /v1/metrics.
+        self.mutations_applied = 0
+        self.idempotent_replays = 0
+        self.version_conflicts = 0
 
     # -- helpers -----------------------------------------------------------
 
@@ -184,7 +221,23 @@ class SessionManager:
             "guards": record.guards,
             "state": record.state,
             "dynamic": record.dynamic,
+            "applied": [[mid, out] for mid, out in record.applied.items()],
         })
+
+    @staticmethod
+    def _applied_window(raw: Any) -> "OrderedDict[str, Dict[str, Any]]":
+        """Rebuild a dedup window from its snapshot form (list of pairs)."""
+        window: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        if isinstance(raw, list):
+            for item in raw:
+                if (
+                    isinstance(item, (list, tuple)) and len(item) == 2
+                    and isinstance(item[0], str) and isinstance(item[1], dict)
+                ):
+                    window[item[0]] = item[1]
+        while len(window) > DEDUP_WINDOW:
+            window.popitem(last=False)
+        return window
 
     def _commit(
         self,
@@ -193,6 +246,7 @@ class SessionManager:
         summary: Dict[str, Any],
         version: int,
         guards: Optional[str],
+        applied: Optional["OrderedDict[str, Dict[str, Any]]"] = None,
     ) -> _SessionRecord:
         record = _SessionRecord(
             session_id=session_id,
@@ -207,6 +261,7 @@ class SessionManager:
             # A commit here is always a timeline boundary (create or
             # restore), so the epoch is always fresh.
             epoch=uuid.uuid4().hex,
+            applied=applied if applied is not None else OrderedDict(),
         )
         with self._lock:
             self._sessions[session_id] = record
@@ -295,17 +350,63 @@ class SessionManager:
         deletions: Sequence[Any] = (),
         *,
         timeout_s: Optional[float] = None,
+        mutation_id: Optional[str] = None,
+        if_version: Optional[int] = None,
     ) -> Dict[str, Any]:
         """Apply one edge-mutation batch; returns the batch stats.
 
         Commits the worker's returned state only on success, so a
         crashed attempt is retried from the same committed version and
         the session can never be observed half-mutated.
+
+        ``mutation_id`` makes the call idempotent: an id already in the
+        session's dedup window replays the recorded outcome (flagged
+        ``idempotent_replay``) without invoking a worker, so clients may
+        retry ambiguous outcomes safely.  ``if_version`` is a
+        compare-and-swap precondition against the committed version;
+        on mismatch the batch is *not* applied and
+        :class:`~repro.errors.VersionConflictError` is raised.  The
+        duplicate check runs first: a retried duplicate still carrying
+        its original ``if_version`` replays instead of conflicting.
         """
+        if mutation_id is not None:
+            if not isinstance(mutation_id, str) or not mutation_id:
+                raise InvalidGraphError(
+                    f"mutation_id must be a non-empty string, "
+                    f"got {mutation_id!r}"
+                )
+            if len(mutation_id) > 200:
+                raise InvalidGraphError(
+                    "mutation_id must be at most 200 characters"
+                )
+        if if_version is not None:
+            try:
+                if_version = int(if_version)
+            except (TypeError, ValueError):
+                raise InvalidGraphError(
+                    f"if_version must be an integer, got {if_version!r}"
+                ) from None
+            if if_version < 0:
+                raise InvalidGraphError("if_version must be >= 0")
         ins = _normalize_batch(insertions, "insertions")
         dels = _normalize_batch(deletions, "deletions")
         record = self._record(session_id)
         with record.lock:
+            if mutation_id is not None and mutation_id in record.applied:
+                outcome = record.applied[mutation_id]
+                # Refresh recency so a hot retried id is evicted last.
+                record.applied.move_to_end(mutation_id)
+                with self._lock:
+                    self.idempotent_replays += 1
+                return dict(outcome, idempotent_replay=True)
+            if if_version is not None and if_version != record.version:
+                with self._lock:
+                    self.version_conflicts += 1
+                raise VersionConflictError(
+                    f"session {session_id!r} is at version {record.version}, "
+                    f"mutation requires if_version={if_version}; re-read the "
+                    f"current state before deciding to retry"
+                )
             summary = self._call(
                 "mutate_session_state",
                 {
@@ -325,13 +426,23 @@ class SessionManager:
             record.size = summary["size"]
             record.dynamic = summary["dynamic"]
             record._result_cache = None
-            self._persist(record)
-            return dict(
+            outcome = dict(
                 summary["dynamic"],
                 version=record.version,
                 size=record.size,
                 m=record.m,
             )
+            if mutation_id is not None:
+                # Record the outcome *before* persisting so the snapshot
+                # that makes this version durable also makes it
+                # replayable — the two can never diverge across a crash.
+                record.applied[mutation_id] = dict(outcome)
+                while len(record.applied) > DEDUP_WINDOW:
+                    record.applied.popitem(last=False)
+            with self._lock:
+                self.mutations_applied += 1
+            self._persist(record)
+            return outcome
 
     def result(self, session_id: str, *, with_version: bool = False):
         """The full result object for the committed version.
@@ -374,6 +485,9 @@ class SessionManager:
                 "guards": record.guards,
                 "state": record.state,
                 "dynamic": record.dynamic,
+                "applied": [
+                    [mid, out] for mid, out in record.applied.items()
+                ],
             })
 
     def restore(
@@ -429,6 +543,7 @@ class SessionManager:
         return self._commit(
             sid, snapshot["state"].get("problem", snapshot.get("problem")),
             summary, int(snapshot.get("version", 0)), guards,
+            applied=self._applied_window(snapshot.get("applied")),
         ).info()
 
     def close(self, session_id: str, *, delete_snapshot: bool = False) -> SessionInfo:
@@ -456,3 +571,17 @@ class SessionManager:
                 key=lambda r: r.session_id,
             )
         return [r.info() for r in records]
+
+    def counters(self) -> Dict[str, int]:
+        """Lifetime session counters for health() and /v1/metrics."""
+        with self._lock:
+            live = sum(
+                1 for r in self._sessions.values()
+                if isinstance(r, _SessionRecord)
+            )
+            return {
+                "live_sessions": live,
+                "mutations_applied": self.mutations_applied,
+                "idempotent_replays": self.idempotent_replays,
+                "version_conflicts": self.version_conflicts,
+            }

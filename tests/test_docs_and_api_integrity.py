@@ -257,3 +257,55 @@ class TestSessionApiIntegrity:
         api_md = (SRC.parent.parent / "docs" / "api.md").read_text()
         assert "create_session" in api_md
         assert "`repro.dynamic`" in api_md
+
+
+class TestRetrySafetyDocs:
+    """The exactly-once surface: wire schema, error taxonomy, CLI exits,
+    and the runbook must stay in sync across code and docs."""
+
+    API_MD = SRC.parent.parent / "docs" / "api.md"
+    ROBUSTNESS_MD = SRC.parent.parent / "docs" / "robustness.md"
+
+    def test_every_mutate_wire_field_is_documented(self):
+        from repro.service import schema
+
+        api_md = self.API_MD.read_text()
+        missing = [f for f in schema.MUTATE_FIELDS if f"`{f}`" not in api_md]
+        assert not missing, (
+            f"MUTATE_FIELDS absent from docs/api.md: {missing}"
+        )
+
+    def test_idempotency_headers_are_documented(self):
+        api_md = self.API_MD.read_text()
+        assert "X-Repro-Idempotency-Key" in api_md
+        assert "X-Repro-Idempotent-Replay" in api_md
+        assert "X-Repro-Idempotency-Key" in self.ROBUSTNESS_MD.read_text()
+
+    def test_new_error_types_are_real_and_documented(self):
+        from repro import errors
+
+        assert issubclass(errors.VersionConflictError, errors.ReproError)
+        assert not issubclass(errors.VersionConflictError, errors.ServiceError)
+        assert issubclass(errors.SnapshotCorruptError, errors.ServiceError)
+        for doc in (self.API_MD, self.ROBUSTNESS_MD):
+            text = doc.read_text()
+            assert "VersionConflictError" in text, doc.name
+            assert "SnapshotCorruptError" in text, doc.name
+
+    def test_exit_code_7_documented_and_wired(self):
+        from repro import cli
+
+        api_md = self.API_MD.read_text()
+        assert "| 7 |" in api_md, "exit code 7 missing from the api.md table"
+        assert "recover" in cli._COMMANDS
+        # The 409 CLI row in robustness.md must carry exit 7.
+        assert "`VersionConflictError` | `7`" in self.ROBUSTNESS_MD.read_text()
+
+    def test_runbook_section_exists_and_names_the_scenario(self):
+        from repro.resilience import scenario_by_name
+
+        scenario = scenario_by_name("ambiguous-retry")
+        assert scenario.ambiguous_retry is True
+        text = self.ROBUSTNESS_MD.read_text()
+        assert "## Retry safety and recovery runbook" in text
+        assert "ambiguous-retry" in text
